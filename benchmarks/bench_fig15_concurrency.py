@@ -1,0 +1,70 @@
+"""Figure 15: per-client gain CDFs of the concurrency algorithms (§10.3).
+
+Paper results (17 clients, 3 APs, 1000 slots, infinite demand):
+
+* uplink mean gains  : brute 2.32x, FIFO 1.9x, best-of-two 2.08x
+* downlink mean gains: brute 1.58x, FIFO 1.23x, best-of-two 1.52x
+* brute force is significantly unfair (some clients below 1x);
+* best-of-two has the best fairness-throughput tradeoff and no client
+  suffers a notable rate reduction.
+"""
+
+import pytest
+
+from repro.sim.experiment import large_network_experiment
+from repro.sim.metrics import format_cdf_table
+
+N_SLOTS = 400
+PAPER_MEANS = {
+    ("uplink", "brute"): 2.32,
+    ("uplink", "fifo"): 1.9,
+    ("uplink", "best2"): 2.08,
+    ("downlink", "brute"): 1.58,
+    ("downlink", "fifo"): 1.23,
+    ("downlink", "best2"): 1.52,
+}
+
+
+def _run_all(testbed, direction):
+    return {
+        alg: large_network_experiment(
+            testbed, alg, direction, n_slots=N_SLOTS, n_clients=17, seed=15
+        )
+        for alg in ("brute", "fifo", "best2")
+    }
+
+
+@pytest.mark.parametrize("direction", ["uplink", "downlink"])
+def test_fig15_concurrency(benchmark, testbed, record, direction):
+    cdfs = benchmark.pedantic(_run_all, args=(testbed, direction), rounds=1, iterations=1)
+
+    for alg, cdf in cdfs.items():
+        record(
+            f"Fig. 15 ({direction})",
+            f"{alg} mean gain",
+            f"{PAPER_MEANS[(direction, alg)]}x",
+            f"{cdf.mean_gain:.2f}x",
+        )
+    record(
+        f"Fig. 15 ({direction})",
+        "best2 worst client",
+        ">= ~1x",
+        f"{cdfs['best2'].min_gain:.2f}x",
+    )
+    print("\n" + format_cdf_table(list(cdfs.values()), n_rows=8))
+
+    # Shape assertions from the paper's findings:
+    # 1. every algorithm provides a significant average gain;
+    for cdf in cdfs.values():
+        assert cdf.mean_gain > 1.1
+    # 2. brute force maximises mean throughput ...
+    assert cdfs["brute"].mean_gain >= cdfs["best2"].mean_gain >= 0.9 * cdfs["fifo"].mean_gain
+    # 3. ... but is unfair: its worst client drops below its 802.11 rate
+    #    (in Fig. 15b a large fraction of clients do);
+    assert cdfs["brute"].min_gain < 1.0
+    if direction == "downlink":
+        assert cdfs["brute"].fraction_below(1.0) > 0.15
+    # ... while best-of-two never notably hurts anyone;
+    assert cdfs["best2"].fraction_below(0.95) == 0.0
+    # 4. best-of-two's worst client is far better off than brute force's.
+    assert cdfs["best2"].min_gain > cdfs["brute"].min_gain

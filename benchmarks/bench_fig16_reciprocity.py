@@ -1,0 +1,36 @@
+"""Figure 16: channel reciprocity accuracy (paper §10.4).
+
+Paper result: across 17 client-AP pairs (each measured at 5 locations
+after calibration), the fractional error of reciprocity-based downlink
+estimates stays small -- roughly 0.05-0.2 -- even though the client moved
+between calibration and use.
+"""
+
+import numpy as np
+
+from repro.sim.experiment import reciprocity_experiment
+
+
+def _experiment(testbed):
+    return reciprocity_experiment(testbed, n_pairs=17, n_moves=5, seed=16)
+
+
+def test_fig16_reciprocity(benchmark, testbed, record):
+    errors = benchmark.pedantic(_experiment, args=(testbed,), rounds=1, iterations=1)
+
+    record(
+        "Fig. 16 (reciprocity)",
+        "fractional error range",
+        "~0.05-0.2",
+        f"{min(errors):.3f}-{max(errors):.3f}",
+    )
+    record("Fig. 16 (reciprocity)", "mean error", "~0.1", f"{np.mean(errors):.3f}")
+
+    print("\n  client   fractional error")
+    for i, err in enumerate(errors, 1):
+        print(f"  {i:6d}   {err:.3f} {'#' * int(err * 100)}")
+
+    # Shape: errors are small for every client and never catastrophic.
+    assert max(errors) < 0.3
+    assert np.mean(errors) < 0.2
+    assert min(errors) > 0.0

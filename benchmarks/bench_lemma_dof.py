@@ -1,0 +1,91 @@
+"""Lemmas 5.1 / 5.2: the multiplexing-gain table (paper §5).
+
+The paper proves that with M antennas per node IAC delivers 2M uplink
+packets (3 APs) and max(2M-2, floor(3M/2)) downlink packets (M-1 APs for
+M > 2).  This benchmark regenerates the table constructively: for each M
+it builds the alignment solution, verifies every packet decodes at high
+SNR, and estimates the multiplexing gain from the rate-vs-SNR slope
+(C(SNR) = d log SNR + o(log SNR), §1.1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import decode_rate_level
+from repro.core.dof import downlink_max_packets, uplink_max_packets
+from repro.core.general import solve_downlink_general, solve_uplink_general
+from repro.core.plans import ChannelSet
+from repro.phy.channel.model import rayleigh_channel
+from repro.phy.mimo.capacity import multiplexing_slope
+
+
+def _uplink_solution(m, rng):
+    n_clients = 3 if m == 2 else m
+    clients = list(range(n_clients))
+    aps = list(range(100, 103))
+    chans = ChannelSet(
+        {(c, a): rayleigh_channel(m, m, rng) for c in clients for a in aps}
+    )
+    # Tight tolerance: residual leakage floors the post-projection SINR,
+    # which would flatten the high-SNR slope this benchmark measures.
+    solution = solve_uplink_general(
+        chans, clients=clients, aps=aps, rng=rng, max_iterations=1500, tolerance=1e-12
+    )
+    return solution, chans
+
+
+def _downlink_solution(m, rng):
+    if m == 2:
+        aps, clients = [0, 1, 2], [10, 11, 12]
+    else:
+        aps, clients = list(range(m - 1)), [10, 11]
+    chans = ChannelSet(
+        {(a, k): rayleigh_channel(m, m, rng) for a in aps for k in clients}
+    )
+    return solve_downlink_general(chans, aps=aps, clients=clients, rng=rng), chans
+
+
+def _measured_dof(solution, chans):
+    """Multiplexing gain from the high-SNR slope of the rate curve."""
+    snrs_db = np.array([30.0, 40.0, 50.0])
+    rates = [
+        decode_rate_level(solution, chans, noise_power=10 ** (-s / 10)).total_rate
+        for s in snrs_db
+    ]
+    return multiplexing_slope(snrs_db, rates)
+
+
+@pytest.mark.parametrize("m", [2, 3, 4])
+def test_lemma_52_uplink(benchmark, record, m):
+    rng = np.random.default_rng(520 + m)
+    solution, chans = benchmark.pedantic(
+        _uplink_solution, args=(m, rng), rounds=1, iterations=1
+    )
+    expected = uplink_max_packets(m)
+    record(f"Lemma 5.2 (M={m})", "uplink packets", expected, len(solution.packets))
+    assert len(solution.packets) == expected
+
+    report = decode_rate_level(solution, chans, noise_power=1e-9)
+    assert report.min_sinr > 1e3  # every packet decodable
+
+    dof = _measured_dof(solution, chans)
+    record(f"Lemma 5.2 (M={m})", "measured DoF slope", expected, f"{dof:.2f}")
+    assert dof > expected - 1.0  # slope within one stream of the lemma
+
+
+@pytest.mark.parametrize("m", [2, 3, 4, 5])
+def test_lemma_51_downlink(benchmark, record, m):
+    rng = np.random.default_rng(510 + m)
+    solution, chans = benchmark.pedantic(
+        _downlink_solution, args=(m, rng), rounds=1, iterations=1
+    )
+    expected = downlink_max_packets(m)
+    record(f"Lemma 5.1 (M={m})", "downlink packets", expected, len(solution.packets))
+    assert len(solution.packets) == expected
+
+    report = decode_rate_level(solution, chans, noise_power=1e-9)
+    assert report.min_sinr > 1e3
+
+    dof = _measured_dof(solution, chans)
+    record(f"Lemma 5.1 (M={m})", "measured DoF slope", expected, f"{dof:.2f}")
+    assert dof > expected - 1.0

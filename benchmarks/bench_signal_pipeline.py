@@ -1,0 +1,54 @@
+"""Performance of the sample-level pipeline (the GNU-Radio analogue).
+
+Not a paper figure: these are engineering benchmarks of the library
+itself -- how fast the full modulate/mix/project/cancel/demodulate chain
+runs, and that the §6 impairments do not change delivery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ChannelSet, SignalConfig, run_session, solve_uplink_three_packets
+from repro.phy.channel.model import rayleigh_channel
+from repro.phy.packet import Packet
+
+
+@pytest.fixture(scope="module")
+def scene():
+    rng = np.random.default_rng(77)
+    chans = ChannelSet(
+        {(c, a): rayleigh_channel(2, 2, rng) for c in (0, 1) for a in (0, 1)}
+    )
+    solution = solve_uplink_three_packets(chans, rng=rng)
+    payloads = {i: Packet.random(rng, 200, src=i, seq=i) for i in range(3)}
+    return solution, chans, payloads
+
+
+@pytest.mark.parametrize("modulation", ["bpsk", "qpsk", "qam16"])
+def test_pipeline_throughput(benchmark, scene, modulation):
+    solution, chans, payloads = scene
+    config = SignalConfig(modulation=modulation, noise_power=1e-4)
+
+    def run():
+        return run_session(solution, chans, payloads, config, rng=np.random.default_rng(1))
+
+    report = benchmark(run)
+    assert report.all_delivered
+
+
+def test_pipeline_with_full_impairments(benchmark, scene):
+    solution, chans, payloads = scene
+    config = SignalConfig(
+        modulation="qpsk",
+        fec="conv",
+        noise_power=1e-3,
+        cfo_spread=5e-5,
+        max_timing_offset=16,
+        estimate_channels=True,
+    )
+
+    def run():
+        return run_session(solution, chans, payloads, config, rng=np.random.default_rng(2))
+
+    report = benchmark(run)
+    assert report.all_delivered

@@ -1,0 +1,85 @@
+"""Cross-validation: the signal-level pipeline vs the rate-level model.
+
+DESIGN.md commits to two evaluation paths that must agree: the fast
+rate-level decoder used by the large sweeps, and the sample-accurate
+pipeline that validates the §6 practicality claims.  This benchmark runs
+a miniature Fig.-12 experiment through *both* and compares the measured
+gains -- if they diverge, the cheap path's conclusions would be suspect.
+"""
+
+import numpy as np
+
+from repro.baselines.dot11_mimo import best_ap_link
+from repro.core import SignalConfig, decode_rate_level, run_session, solve_uplink_three_packets
+from repro.phy.packet import Packet
+from repro.utils.rng import spawn_rngs
+
+N_TRIALS = 8
+PAYLOAD = 150
+
+
+def _trial(testbed, rng):
+    nodes = testbed.pick_nodes(4, rng)
+    clients, aps = nodes[:2], nodes[2:]
+    chans = testbed.channel_set(clients, aps)
+    noise = testbed.noise_power
+
+    dot11 = float(
+        np.mean([best_ap_link(chans, c, aps, noise).rate for c in clients])
+    )
+    solution = solve_uplink_three_packets(
+        chans, clients=tuple(clients), aps=tuple(aps), rng=rng
+    )
+    rate_level = decode_rate_level(solution, chans, noise).total_rate
+
+    payloads = {
+        pid: Packet.random(rng, PAYLOAD, src=solution.packet(pid).tx, seq=pid)
+        for pid in (0, 1, 2)
+    }
+    session = run_session(
+        solution,
+        chans,
+        payloads,
+        SignalConfig(noise_power=noise, fec="conv", modulation="qpsk"),
+        rng=rng,
+    )
+    return dot11, rate_level, session.total_rate, session.delivery_count
+
+
+def _sweep(testbed):
+    return [_trial(testbed, rng) for rng in spawn_rngs(88, N_TRIALS)]
+
+
+def test_signal_level_agrees_with_rate_level(benchmark, testbed, record):
+    rows = benchmark.pedantic(_sweep, args=(testbed,), rounds=1, iterations=1)
+
+    dot11 = np.array([r[0] for r in rows])
+    rate_level = np.array([r[1] for r in rows])
+    signal_level = np.array([r[2] for r in rows])
+    delivered = sum(r[3] for r in rows)
+
+    gain_rate = float(np.mean(rate_level) / np.mean(dot11))
+    gain_signal = float(np.mean(signal_level) / np.mean(dot11))
+    record(
+        "Signal vs rate level",
+        "Fig.-12 gain (both paths)",
+        "agree",
+        f"rate {gain_rate:.2f}x, signal {gain_signal:.2f}x",
+    )
+    record(
+        "Signal vs rate level",
+        "packets delivered",
+        f"{3 * N_TRIALS}",
+        f"{delivered}",
+    )
+    print("\n  trial   802.11   rate-level   signal-level")
+    for i, (d, rl, sl, _n) in enumerate(rows):
+        print(f"  {i:5d}   {d:6.2f}   {rl:10.2f}   {sl:12.2f}")
+
+    # The sample pipeline delivers (noise 1.0 on unit-ish gains is the
+    # testbed's operating point; FEC covers the weak packets).
+    assert delivered >= int(0.8 * 3 * N_TRIALS)
+    # Implementation loss bounded: the signal-level gain keeps the win and
+    # stays within ~35% of the rate-level prediction.
+    assert gain_signal > 1.0
+    assert abs(gain_signal - gain_rate) / gain_rate < 0.35

@@ -1,0 +1,43 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints a ``paper vs measured`` comparison.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(the ``-s`` keeps the comparison tables visible).  Results are also
+accumulated and printed at the end of the session.
+"""
+
+import pytest
+
+from repro.sim.testbed import Testbed, TestbedConfig
+
+_RESULTS = []
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The 20-node, 2-antenna testbed of the paper's Fig. 11."""
+    return Testbed(TestbedConfig(n_nodes=20, seed=2009))
+
+
+@pytest.fixture
+def record():
+    """Record one (experiment, metric, paper value, measured value) row."""
+
+    def _record(experiment: str, metric: str, paper, measured):
+        _RESULTS.append((experiment, metric, paper, measured))
+        print(f"\n[{experiment}] {metric}: paper={paper}  measured={measured}")
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    lines = ["", "=" * 74, "PAPER vs MEASURED (all benchmarks)", "=" * 74]
+    lines.append(f"{'experiment':<24} {'metric':<26} {'paper':>10} {'measured':>10}")
+    for experiment, metric, paper, measured in _RESULTS:
+        lines.append(f"{experiment:<24} {metric:<26} {str(paper):>10} {str(measured):>10}")
+    print("\n".join(lines))

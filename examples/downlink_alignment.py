@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Downlink IAC: clients decode alone, so alignment does all the work.
+
+On the downlink the receivers are clients that cannot cancel for each
+other over a wire (paper §4d).  Every client must therefore see all its
+*undesired* packets collapsed onto one spatial direction, leaving its own
+packet decodable by orthogonal projection.
+
+Part 1 runs the 2-antenna construction (3 APs deliver 3 packets, Eqs. 5-7).
+Part 2 runs the general M-antenna construction behind Lemma 5.1: with
+M = 3 antennas, two APs deliver 2M - 2 = 4 packets to two clients (Fig. 7).
+
+Run:  python examples/downlink_alignment.py
+"""
+
+import numpy as np
+
+from repro import (
+    ChannelSet,
+    decode_rate_level,
+    solve_downlink_general,
+    solve_downlink_three_packets,
+)
+from repro.core.dof import downlink_max_packets
+from repro.phy.channel import rayleigh_channel
+from repro.utils.linalg import align_error
+
+rng = np.random.default_rng(7)
+
+# --------------------------------------------------------------------- #
+# Part 1: M = 2.  Three APs, three clients, three concurrent packets.
+# --------------------------------------------------------------------- #
+print("=== M = 2: three concurrent downlink packets (Eqs. 5-7) ===")
+aps, clients = (0, 1, 2), (0, 1, 2)
+channels = ChannelSet({(a, c): rayleigh_channel(2, 2, rng) for a in aps for c in clients})
+solution = solve_downlink_three_packets(channels, aps=aps, clients=clients, rng=rng)
+
+for client in clients:
+    undesired = [p.packet_id for p in solution.packets if p.rx != client]
+    dirs = [solution.received_direction(channels, pid, client) for pid in undesired]
+    print(
+        f"  client {client}: undesired packets {undesired} alignment residual "
+        f"{align_error(dirs[0], dirs[1]):.2e}"
+    )
+
+report = decode_rate_level(solution, channels, noise_power=1e-3)
+print("  per-client SINR:", {
+    r.packet_id: f"{10 * np.log10(r.sinr):.1f} dB" for r in report.results
+})
+print(f"  sum rate: {report.total_rate:.2f} bit/s/Hz "
+      f"(vs at most 2 packets without IAC)")
+
+# --------------------------------------------------------------------- #
+# Part 2: M = 3.  Lemma 5.1 says max(2M-2, floor(3M/2)) = 4 packets.
+# --------------------------------------------------------------------- #
+print("\n=== M = 3: the general Lemma-5.1 construction (Fig. 7) ===")
+m = 3
+print(f"  Lemma 5.1: downlink_max_packets({m}) = {downlink_max_packets(m)}")
+aps3 = (0, 1)           # M - 1 APs
+clients3 = (10, 11)     # two clients
+channels3 = ChannelSet(
+    {(a, k): rayleigh_channel(m, m, rng) for a in aps3 for k in clients3}
+)
+solution3 = solve_downlink_general(channels3, aps=aps3, clients=clients3, rng=rng)
+print(f"  packets delivered concurrently: {len(solution3.packets)}")
+
+for k in clients3:
+    undesired = [p.packet_id for p in solution3.packets if p.rx != k]
+    dirs = [solution3.received_direction(channels3, pid, k) for pid in undesired]
+    print(
+        f"  client {k}: packets {undesired} aligned with residual "
+        f"{align_error(dirs[0], dirs[1]):.2e}"
+    )
+
+report3 = decode_rate_level(solution3, channels3, noise_power=1e-3)
+print("  per-packet SINR:", {
+    r.packet_id: f"{10 * np.log10(r.sinr):.1f} dB" for r in report3.results
+})
+print(f"  sum rate: {report3.total_rate:.2f} bit/s/Hz with 3-antenna nodes")

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: three concurrent uplink packets with 2-antenna nodes.
+
+This is the paper's motivating example (Fig. 2 / Fig. 4b): two 2-antenna
+clients upload three packets at once to two Ethernet-connected 2-antenna
+APs -- one more packet than either AP could decode alone.
+
+The script runs the scenario twice:
+
+1. at *rate level* -- solve the alignment equations and compute each
+   packet's post-projection SINR and the achievable sum rate (Eq. 9);
+2. at *signal level* -- push real bits through modulation, the fading
+   channel with carrier frequency offsets, projection, cancellation over
+   the simulated Ethernet, demodulation and CRC checks.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ChannelSet,
+    Packet,
+    SignalConfig,
+    decode_rate_level,
+    run_session,
+    solve_uplink_three_packets,
+)
+from repro.phy.channel import rayleigh_channel
+
+rng = np.random.default_rng(2009)
+
+# --------------------------------------------------------------------- #
+# 1. The wireless environment: independent Rayleigh channels between the
+#    two clients (nodes 0, 1) and the two APs (also indexed 0, 1).
+# --------------------------------------------------------------------- #
+channels = ChannelSet(
+    {(client, ap): rayleigh_channel(2, 2, rng) for client in (0, 1) for ap in (0, 1)}
+)
+
+# --------------------------------------------------------------------- #
+# 2. Solve the alignment: client 0 sends packets 0 and 1, client 1 sends
+#    packet 2, with packets 1 and 2 aligned at AP 0 (Eq. 2).
+# --------------------------------------------------------------------- #
+solution = solve_uplink_three_packets(channels, rng=rng)
+print("Decode schedule (earlier stages are cancelled for later ones):")
+for stage in solution.schedule:
+    print(f"  AP {stage.rx} decodes packets {list(stage.packet_ids)}")
+
+# --------------------------------------------------------------------- #
+# 3. Rate level: per-packet SINR and the paper's rate metric.
+# --------------------------------------------------------------------- #
+report = decode_rate_level(solution, channels, noise_power=1e-3)
+print("\nRate-level results (noise power 1e-3):")
+for result in report.results:
+    print(
+        f"  packet {result.packet_id}: SINR {10 * np.log10(result.sinr):5.1f} dB "
+        f"at AP {result.rx} after cancelling {result.cancelled} packet(s)"
+    )
+print(f"  sum rate: {report.total_rate:.2f} bit/s/Hz for 3 concurrent packets")
+
+# --------------------------------------------------------------------- #
+# 4. Signal level: real bits, CFOs, channel estimation, CRC checks.
+# --------------------------------------------------------------------- #
+payloads = {i: Packet.random(rng, 400, src=i, seq=i) for i in range(3)}
+config = SignalConfig(
+    modulation="bpsk",
+    noise_power=1e-3,
+    cfo_spread=1e-4,          # distinct oscillator offsets per node (§6a)
+    estimate_channels=True,   # least-squares estimates, not genie channels
+)
+session = run_session(solution, channels, payloads, config, rng=rng)
+
+print("\nSignal-level results:")
+for outcome in session.outcomes:
+    status = "delivered" if outcome.delivered else "LOST"
+    print(
+        f"  packet {outcome.packet_id}: {status}, measured SNR "
+        f"{outcome.snr_db:5.1f} dB (cancelled {outcome.cancelled} first)"
+    )
+print(f"  Ethernet bytes for cancellation: {session.ethernet_bytes}")
+assert session.all_delivered, "expected all three packets to decode"
+print("\nThree packets decoded with two 2-antenna APs -- more than the")
+print("antennas-per-AP limit of point-to-point MIMO.")

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Four concurrent uplink packets: the Fig. 5 construction, end to end.
+
+Three 2-antenna clients upload four packets to three 2-antenna APs.  The
+encoding vectors solve Eqs. 3-4 (the eigenvector solution of footnote 4):
+
+* packets 1, 2 and 3 arrive *aligned on a single line* at AP 0, which
+  therefore decodes packet 0 and ships it over the Ethernet;
+* packets 2 and 3 arrive aligned at AP 1, which cancels packet 0 and
+  decodes packet 1;
+* AP 2 cancels packets 0 and 1 and zero-forces packets 2 and 3.
+
+The script verifies each geometric claim numerically, then runs the full
+signal-level pipeline with QPSK + the 802.11 convolutional code and
+unsynchronised transmitters.
+
+Run:  python examples/uplink_four_packets.py
+"""
+
+import numpy as np
+
+from repro import (
+    ChannelSet,
+    Packet,
+    SignalConfig,
+    decode_rate_level,
+    run_session,
+    solve_uplink_four_packets,
+)
+from repro.phy.channel import rayleigh_channel
+from repro.utils.linalg import align_error
+
+rng = np.random.default_rng(42)
+
+clients, aps = (0, 1, 2), (0, 1, 2)
+channels = ChannelSet(
+    {(c, a): rayleigh_channel(2, 2, rng) for c in clients for a in aps}
+)
+solution = solve_uplink_four_packets(channels, clients=clients, aps=aps, rng=rng)
+
+# ---- verify the alignment geometry (Eqs. 3 and 4) --------------------- #
+d = lambda pid, ap: solution.received_direction(channels, pid, ap)
+print("Alignment residuals (0 = perfectly aligned):")
+print(f"  at AP0, packets 1~2: {align_error(d(1, 0), d(2, 0)):.2e}")
+print(f"  at AP0, packets 2~3: {align_error(d(2, 0), d(3, 0)):.2e}")
+print(f"  at AP1, packets 2~3: {align_error(d(2, 1), d(3, 1)):.2e}")
+print(f"  at AP2, packets 2~3: {align_error(d(2, 2), d(3, 2)):.2e}  (NOT aligned -- by design)")
+
+# ---- rate level -------------------------------------------------------- #
+report = decode_rate_level(solution, channels, noise_power=1e-3)
+print("\nPer-packet SINR (dB):")
+for result in report.results:
+    print(
+        f"  packet {result.packet_id} at AP {result.rx}: "
+        f"{10 * np.log10(result.sinr):5.1f} dB"
+    )
+print(f"Sum rate: {report.total_rate:.2f} bit/s/Hz for FOUR packets on 2-antenna hardware")
+
+# ---- signal level: QPSK + convolutional FEC, no synchronisation ------- #
+payloads = {i: Packet.random(rng, 300, src=solution.packet(i).tx, seq=i) for i in range(4)}
+config = SignalConfig(
+    modulation="qpsk",
+    fec="conv",
+    noise_power=1e-3,
+    cfo_spread=5e-5,
+    max_timing_offset=16,   # transmitters are not symbol-synchronised (§6c)
+    estimate_channels=True,
+)
+session = run_session(solution, channels, payloads, config, rng=rng)
+print("\nSignal-level delivery:")
+for outcome in session.outcomes:
+    print(
+        f"  packet {outcome.packet_id}: "
+        f"{'ok' if outcome.delivered else 'LOST'} "
+        f"(SNR {outcome.snr_db:5.1f} dB, {outcome.cancelled} cancelled first)"
+    )
+print(f"Ethernet bytes: {session.ethernet_bytes} "
+      f"({len(session.decoded)} decoded packets shared between APs)")
+assert session.delivery_count == 4

@@ -1,0 +1,72 @@
+"""repro: a reproduction of *Interference Alignment and Cancellation*
+(Gollakota, Perli, Katabi -- SIGCOMM 2009).
+
+IAC lets Ethernet-connected MIMO access points decode more concurrent
+packets than any one AP has antennas, by combining transmitter-side
+interference alignment with wired-backplane interference cancellation.
+
+Package layout
+--------------
+``repro.core``
+    The IAC algorithms: alignment solvers, cancellation, decode schedules,
+    the sample-level pipeline and the DoF lemmas.
+``repro.phy``
+    The PHY substrate: modulation, FEC, packets, the flat-fading MIMO
+    channel model, channel estimation and reciprocity calibration.
+``repro.mac``
+    The PCF-based MAC with the three concurrency algorithms.
+``repro.net``
+    Nodes and the Ethernet hub backplane.
+``repro.baselines``
+    802.11-MIMO (eigenmode + best AP) and the TDMA comparison discipline.
+``repro.sim``
+    The synthetic 20-node testbed and per-figure experiment runners.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.core import ChannelSet, solve_uplink_three_packets, decode_rate_level
+>>> from repro.phy.channel import rayleigh_channel
+>>> rng = np.random.default_rng(0)
+>>> channels = ChannelSet({(c, a): rayleigh_channel(2, 2, rng)
+...                        for c in (0, 1) for a in (0, 1)})
+>>> solution = solve_uplink_three_packets(channels, rng=rng)
+>>> report = decode_rate_level(solution, channels, noise_power=1e-3)
+>>> report.total_rate > 0
+True
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    AlignmentSolution,
+    ChannelSet,
+    DecodeStage,
+    PacketSpec,
+    SignalConfig,
+    decode_rate_level,
+    run_session,
+    solve_downlink_general,
+    solve_downlink_three_packets,
+    solve_uplink_four_packets,
+    solve_uplink_general,
+    solve_uplink_three_packets,
+)
+from repro.phy.packet import Packet
+
+__all__ = [
+    "AlignmentSolution",
+    "ChannelSet",
+    "DecodeStage",
+    "Packet",
+    "PacketSpec",
+    "SignalConfig",
+    "__version__",
+    "decode_rate_level",
+    "run_session",
+    "solve_downlink_general",
+    "solve_downlink_three_packets",
+    "solve_uplink_four_packets",
+    "solve_uplink_general",
+    "solve_uplink_three_packets",
+]

@@ -1,0 +1,19 @@
+"""Baselines the paper compares IAC against."""
+
+from repro.baselines.dot11_mimo import (
+    Dot11Link,
+    best_ap_link,
+    per_client_rates,
+    round_robin_rate,
+)
+from repro.baselines.tdma import TDMAComparison, alternate, compare_schemes
+
+__all__ = [
+    "Dot11Link",
+    "TDMAComparison",
+    "alternate",
+    "best_ap_link",
+    "compare_schemes",
+    "per_client_rates",
+    "round_robin_rate",
+]

@@ -1,0 +1,59 @@
+"""The simplified TDMA MAC used for the paper's measurements (§10e).
+
+"We use a simplified TDMA MAC for both IAC and 802.11-MIMO.  The MAC
+assigns the same number of transmission timeslots to the two schemes."
+This module implements that comparison discipline: a scheme is a function
+from a slot index to a per-slot sum rate, and the harness runs both schemes
+for the same number of slots and reports the average rates and their ratio
+(the *gain*, Eq. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+import numpy as np
+
+#: A scheme under TDMA: slot index -> achieved sum rate in that slot.
+SlotRateFn = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class TDMAComparison:
+    """Average rates of two schemes over an equal slot budget."""
+
+    rate_iac: float
+    rate_dot11: float
+    n_slots: int
+
+    @property
+    def gain(self) -> float:
+        """Eq. 10: the ratio of average transfer rates."""
+        if self.rate_dot11 <= 0:
+            raise ZeroDivisionError("baseline rate is zero")
+        return self.rate_iac / self.rate_dot11
+
+
+def compare_schemes(
+    iac_slot_rate: SlotRateFn,
+    dot11_slot_rate: SlotRateFn,
+    n_slots: int,
+) -> TDMAComparison:
+    """Run both schemes for ``n_slots`` each and average their rates."""
+    if n_slots < 1:
+        raise ValueError("need at least one slot")
+    iac = float(np.mean([iac_slot_rate(t) for t in range(n_slots)]))
+    dot11 = float(np.mean([dot11_slot_rate(t) for t in range(n_slots)]))
+    return TDMAComparison(rate_iac=iac, rate_dot11=dot11, n_slots=n_slots)
+
+
+def alternate(rates: List[float]) -> SlotRateFn:
+    """A scheme that cycles through fixed per-configuration rates.
+
+    Models round-robin disciplines: e.g. 802.11-MIMO alternating between
+    clients, or IAC rotating which client uploads two packets (§10.1).
+    """
+    if not rates:
+        raise ValueError("need at least one rate")
+    return lambda slot: rates[slot % len(rates)]

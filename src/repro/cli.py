@@ -1,0 +1,199 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro fig12 [--trials N] [--seed S]
+    python -m repro fig13a | fig13b | fig14
+    python -m repro fig15 [--slots N] [--direction uplink|downlink]
+    python -m repro fig16
+    python -m repro fig17
+    python -m repro lemmas
+    python -m repro overhead
+
+Each subcommand prints the experiment's paper-vs-measured summary; see
+``EXPERIMENTS.md`` for what "measured" means on the synthetic testbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.dof import downlink_max_packets, uplink_max_packets
+from repro.mac.frames import DataPollMetadata, GroupEntry
+from repro.sim.clustered import ClusteredConfig, ClusteredNetwork
+from repro.sim.experiment import (
+    diversity_trial,
+    downlink_3x3_trial,
+    large_network_experiment,
+    reciprocity_experiment,
+    run_scatter,
+    uplink_2x2_trial,
+    uplink_3x3_trial,
+)
+from repro.sim.metrics import format_cdf_table
+from repro.sim.plotting import ascii_cdf, ascii_scatter
+from repro.sim.testbed import Testbed, TestbedConfig
+
+_SCATTER = {
+    "fig12": (uplink_2x2_trial, 2, 2, "2-client/2-AP uplink", "1.5x"),
+    "fig13a": (uplink_3x3_trial, 3, 3, "3-client/3-AP uplink", "1.8x"),
+    "fig13b": (downlink_3x3_trial, 3, 3, "3-client/3-AP downlink", "1.4x"),
+    "fig14": (diversity_trial, 1, 2, "1-client/2-AP diversity", "1.2x"),
+}
+
+
+def _testbed(seed: int) -> Testbed:
+    return Testbed(TestbedConfig(n_nodes=20, seed=seed))
+
+
+def _cmd_scatter(name: str, args) -> int:
+    trial, n_clients, n_aps, description, paper = _SCATTER[name]
+    testbed = _testbed(args.testbed_seed)
+    scatter = run_scatter(
+        trial, testbed, n_trials=args.trials, n_clients=n_clients, n_aps=n_aps,
+        seed=args.seed, label=name,
+    )
+    print(f"{name}: {description}")
+    print(f"  trials        : {args.trials}")
+    print(f"  mean gain     : {scatter.mean_gain:.2f}x (paper: {paper})")
+    dot11 = np.array([p.dot11 for p in scatter.points])
+    print(f"  baseline range: {dot11.min():.1f}-{dot11.max():.1f} b/s/Hz")
+    print()
+    print(ascii_scatter(scatter))
+    print("\n  802.11 rate   IAC rate   gain")
+    for p in sorted(scatter.points, key=lambda p: p.dot11):
+        print(f"  {p.dot11:10.2f} {p.iac:10.2f} {p.gain:6.2f}")
+    return 0
+
+
+def _cmd_fig15(args) -> int:
+    testbed = _testbed(args.testbed_seed)
+    directions = [args.direction] if args.direction else ["uplink", "downlink"]
+    paper = {
+        ("uplink", "brute"): 2.32, ("uplink", "fifo"): 1.9, ("uplink", "best2"): 2.08,
+        ("downlink", "brute"): 1.58, ("downlink", "fifo"): 1.23, ("downlink", "best2"): 1.52,
+    }
+    for direction in directions:
+        print(f"fig15 ({direction}): 17 clients, 3 APs, {args.slots} slots")
+        cdfs = []
+        for algorithm in ("brute", "fifo", "best2"):
+            cdf = large_network_experiment(
+                testbed, algorithm, direction, n_slots=args.slots,
+                n_clients=17, seed=args.seed,
+            )
+            cdfs.append(cdf)
+            print(
+                f"  {algorithm:>6s}: mean {cdf.mean_gain:.2f}x "
+                f"(paper {paper[(direction, algorithm)]}x), "
+                f"worst client {cdf.min_gain:.2f}x"
+            )
+        print()
+        print(format_cdf_table(cdfs, n_rows=8))
+        print()
+        print(ascii_cdf(cdfs))
+        print()
+    return 0
+
+
+def _cmd_fig16(args) -> int:
+    testbed = _testbed(args.testbed_seed)
+    errors = reciprocity_experiment(testbed, n_pairs=17, n_moves=5, seed=args.seed)
+    print("fig16: reciprocity fractional error per client-AP pair")
+    for i, err in enumerate(errors, 1):
+        print(f"  client {i:2d}: {err:.3f} {'#' * int(err * 100)}")
+    print(f"  mean {np.mean(errors):.3f} (paper: ~0.05-0.2)")
+    return 0
+
+
+def _cmd_fig17(args) -> int:
+    print("fig17: clustered ad-hoc networks (bottleneck inter-cluster links)")
+    gains = []
+    for seed in range(args.trials):
+        net = ClusteredNetwork(ClusteredConfig(nodes_per_cluster=3, seed=seed))
+        dot11 = net.flow_throughput("dot11")
+        iac = net.flow_throughput("iac")
+        gains.append(iac / dot11)
+        print(f"  topology {seed}: 802.11 {dot11:.2f}, IAC {iac:.2f}, gain {iac / dot11:.2f}x")
+    print(f"  mean gain {np.mean(gains):.2f}x (paper: 'IAC can double the throughput')")
+    return 0
+
+
+def _cmd_lemmas(args) -> int:
+    print("Lemmas 5.1/5.2: concurrent packets vs antennas")
+    print("  M   uplink (2M)   downlink max(2M-2, floor(3M/2))")
+    for m in range(2, 9):
+        print(f"  {m}   {uplink_max_packets(m):11d}   {downlink_max_packets(m):8d}")
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    entries = tuple(
+        GroupEntry(client_id=i, ap_id=i, encoding=(0j, 0j), decoding=(0j, 0j))
+        for i in range(3)
+    )
+    meta = DataPollMetadata(frame_id=1, n_aps=3, entries=entries)
+    print("MAC metadata overhead (paper §7.1(e)):")
+    print(f"  DATA+Poll metadata: {meta.nbytes()} bytes for 3 client-AP pairs")
+    for payload in (100, 500, 1440, 1500):
+        print(f"  @ {payload:4d}-byte payloads: {meta.metadata_overhead(payload) * 100:5.2f}%")
+    print("  (paper: 1-2% at 1440 bytes)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from 'Interference Alignment and "
+        "Cancellation' (SIGCOMM 2009).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--seed", type=int, default=0, help="experiment seed")
+        p.add_argument(
+            "--testbed-seed", type=int, default=2009, help="testbed channel seed"
+        )
+
+    for name in _SCATTER:
+        p = sub.add_parser(name, help=f"{_SCATTER[name][3]} scatter experiment")
+        p.add_argument("--trials", type=int, default=40)
+        common(p)
+
+    p15 = sub.add_parser("fig15", help="concurrency-algorithm gain CDFs")
+    p15.add_argument("--slots", type=int, default=400)
+    p15.add_argument("--direction", choices=["uplink", "downlink"], default=None)
+    common(p15)
+
+    p16 = sub.add_parser("fig16", help="reciprocity calibration error")
+    common(p16)
+
+    p17 = sub.add_parser("fig17", help="clustered ad-hoc networks")
+    p17.add_argument("--trials", type=int, default=8)
+    common(p17)
+
+    pl = sub.add_parser("lemmas", help="print the DoF table (Lemmas 5.1/5.2)")
+    common(pl)
+
+    po = sub.add_parser("overhead", help="MAC metadata overhead")
+    common(po)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command in _SCATTER:
+        return _cmd_scatter(args.command, args)
+    return {
+        "fig15": _cmd_fig15,
+        "fig16": _cmd_fig16,
+        "fig17": _cmd_fig17,
+        "lemmas": _cmd_lemmas,
+        "overhead": _cmd_overhead,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

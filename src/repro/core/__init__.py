@@ -1,0 +1,64 @@
+"""IAC core: the paper's primary contribution.
+
+* :mod:`~repro.core.plans` -- packets, channels, solutions, schedules.
+* :mod:`~repro.core.alignment` -- closed-form alignment solvers for the
+  paper's 2-antenna constructions (Eqs. 2-7).
+* :mod:`~repro.core.general` -- general-M alignment via minimum-leakage
+  alternating minimisation (Lemmas 5.1/5.2 constructions).
+* :mod:`~repro.core.cancellation` -- reconstruct-and-subtract interference
+  cancellation.
+* :mod:`~repro.core.decoder` -- fast rate-level decoding (per-packet SINR,
+  Eq. 9 rates).
+* :mod:`~repro.core.session` -- sample-accurate signal-level pipeline.
+* :mod:`~repro.core.dof` -- multiplexing-gain lemmas and feasibility counts.
+"""
+
+from repro.core.alignment import (
+    solve_downlink_three_packets,
+    solve_downlink_two_clients,
+    solve_uplink_four_packets,
+    solve_uplink_three_packets,
+    solve_uplink_two_packets,
+)
+from repro.core.decoder import DecodeReport, PacketResult, decode_rate_level, effective_gains
+from repro.core.dof import (
+    downlink_aps_needed,
+    downlink_max_packets,
+    uplink_aps_needed,
+    uplink_max_packets,
+)
+from repro.core.general import (
+    GeneralAlignmentProblem,
+    SubspaceConstraint,
+    solve_downlink_general,
+    solve_uplink_general,
+)
+from repro.core.plans import AlignmentSolution, ChannelSet, DecodeStage, PacketSpec
+from repro.core.session import SessionReport, SignalConfig, run_session
+
+__all__ = [
+    "AlignmentSolution",
+    "ChannelSet",
+    "DecodeReport",
+    "DecodeStage",
+    "GeneralAlignmentProblem",
+    "PacketResult",
+    "PacketSpec",
+    "SessionReport",
+    "SignalConfig",
+    "SubspaceConstraint",
+    "decode_rate_level",
+    "downlink_aps_needed",
+    "downlink_max_packets",
+    "effective_gains",
+    "run_session",
+    "solve_downlink_general",
+    "solve_downlink_three_packets",
+    "solve_downlink_two_clients",
+    "solve_uplink_four_packets",
+    "solve_uplink_general",
+    "solve_uplink_three_packets",
+    "solve_uplink_two_packets",
+    "uplink_aps_needed",
+    "uplink_max_packets",
+]

@@ -1,0 +1,403 @@
+"""Closed-form interference alignment solvers for the paper's constructions.
+
+Each function returns an :class:`~repro.core.plans.AlignmentSolution` whose
+encoding vectors satisfy the paper's alignment equations exactly:
+
+* :func:`solve_uplink_two_packets` -- classic 2-packet point-to-point MIMO
+  (Fig. 3; no alignment needed, included for completeness and baselines).
+* :func:`solve_uplink_three_packets` -- 2 clients, 2 APs, 3 packets (Eq. 2).
+* :func:`solve_uplink_four_packets` -- 3 clients, 3 APs, 4 packets
+  (Eqs. 3-4; eigenvector solution of footnote 4).
+* :func:`solve_downlink_three_packets` -- 3 APs, 3 clients (Eqs. 5-7).
+* :func:`solve_downlink_two_clients` -- the general 2M-2 downlink
+  construction behind Lemma 5.1 (Fig. 7): M-1 APs, 2 clients, each AP sends
+  one packet to each client, and at every client the undesired packets are
+  aligned onto a single direction.
+
+Node index convention: channels are ``ChannelSet.h(tx, rx)``.  On the uplink
+``tx`` indexes clients and ``rx`` indexes APs; on the downlink the reverse.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.plans import AlignmentSolution, ChannelSet, DecodeStage, PacketSpec
+from repro.utils.linalg import align_error, normalize, random_unit_vector
+from repro.utils.rng import default_rng
+
+#: Alignment equations are solved exactly; this is the residual tolerance
+#: used by the internal sanity checks.
+_CHECK_ATOL = 1e-8
+
+
+def _invert(h: np.ndarray, what: str) -> np.ndarray:
+    """Invert a channel matrix, with a domain-specific error message.
+
+    Channel matrices are "typically invertible because the antennas are
+    chosen to be more than half a wavelength apart" (paper footnote 3);
+    a singular matrix means the input is not really a MIMO channel.
+    """
+    try:
+        return np.linalg.inv(h)
+    except np.linalg.LinAlgError as exc:
+        raise ValueError(f"channel matrix {what} is singular; not a MIMO channel") from exc
+
+
+def _pick_eigvec(a: np.ndarray, rng: np.random.Generator, index: Optional[int] = None) -> np.ndarray:
+    """Return a unit eigenvector of ``a``.
+
+    ``index`` selects deterministically (sorted by |eigenvalue| descending);
+    otherwise a uniformly random eigenvector is taken -- any eigenvector
+    satisfies the alignment equations, and randomising avoids systematically
+    favouring well- or ill-conditioned alignments across experiments.
+    """
+    values, vectors = np.linalg.eig(a)
+    order = np.argsort(-np.abs(values))
+    if index is None:
+        index = int(rng.integers(0, values.size))
+    return normalize(vectors[:, order[index % values.size]])
+
+
+def solve_uplink_two_packets(channels: ChannelSet, client: int = 0, ap: int = 0) -> AlignmentSolution:
+    """Standard MIMO: one client sends two packets to one AP (Fig. 3).
+
+    No alignment is required; packets are transmitted one per antenna and
+    the AP zero-forces.  Exists so the IAC machinery covers the degenerate
+    single-pair case uniformly.
+    """
+    h = channels.h(client, ap)
+    m = h.shape[1]
+    if m < 2:
+        raise ValueError("two concurrent packets need at least two antennas")
+    packets = [PacketSpec(0, client, ap), PacketSpec(1, client, ap)]
+    e0 = np.zeros(m, dtype=complex)
+    e0[0] = 1.0
+    e1 = np.zeros(m, dtype=complex)
+    e1[1] = 1.0
+    return AlignmentSolution(
+        packets=packets,
+        encoding={0: e0, 1: e1},
+        schedule=[DecodeStage(rx=ap, packet_ids=(0, 1))],
+        cooperative=True,
+    )
+
+
+def _best_free_vector(h: np.ndarray, interference_direction: np.ndarray) -> np.ndarray:
+    """Encoding vector maximising received energy clear of the interference.
+
+    The alignment equations leave some encoding vectors free (e.g. ``v1`` in
+    Eq. 2).  A random choice is valid but can land the desired packet close
+    to the aligned interference, wasting SNR; the energy-optimal choice is
+    the dominant right singular vector of ``(I - d d^H) H`` where ``d`` is
+    the aligned interference direction at the decoding AP.
+    """
+    d = normalize(np.asarray(interference_direction, dtype=complex).ravel())
+    m = d.size
+    projector = np.eye(m, dtype=complex) - np.outer(d, np.conj(d))
+    _, _, vh = np.linalg.svd(projector @ np.asarray(h, dtype=complex))
+    return normalize(np.conj(vh[0]))
+
+
+def _score(solution: AlignmentSolution, channels: ChannelSet, noise_power: float) -> float:
+    """Estimated group throughput (the leader AP's ranking metric, §7.2)."""
+    from repro.core.decoder import decode_rate_level  # deferred: avoids import cycle
+
+    return decode_rate_level(solution, channels, noise_power).total_rate
+
+
+def solve_uplink_three_packets(
+    channels: ChannelSet,
+    clients: Sequence[int] = (0, 1),
+    aps: Sequence[int] = (0, 1),
+    rng=None,
+    optimize_free: bool = True,
+    n_candidates: int = 8,
+    noise_power: float = 1.0,
+) -> AlignmentSolution:
+    """Three concurrent uplink packets over 2 clients and 2 APs (§4b).
+
+    Client ``clients[0]`` transmits packets 0 and 1; client ``clients[1]``
+    transmits packet 2.  Encoding vectors satisfy Eq. 2,
+
+        H(c0, a0) v1 = H(c1, a0) v2,
+
+    so packets 1 and 2 arrive aligned at the first AP.  The first AP decodes
+    packet 0 by projecting orthogonally to the aligned interference, ships
+    it over the Ethernet, and the second AP cancels it and zero-forces
+    packets 1 and 2.
+
+    ``v1`` is a free choice; any value satisfies the alignment equation but
+    different values leave the packets different post-projection SINRs.  As
+    the leader AP would, we draw ``n_candidates`` random values and keep the
+    solution whose estimated throughput (at ``noise_power``) is highest.
+    Set ``n_candidates=1`` for the paper's bare random choice.
+    """
+    rng = default_rng(rng)
+    c0, c1 = clients
+    a0, a1 = aps
+    h_c0_a0 = channels.h(c0, a0)
+    h_c1_a0 = channels.h(c1, a0)
+    m = h_c0_a0.shape[1]
+    if m < 2:
+        raise ValueError("IAC needs at least 2 antennas per node")
+
+    best: Optional[AlignmentSolution] = None
+    best_rate = float("-inf")
+    packets = [PacketSpec(0, c0, a0), PacketSpec(1, c0, a1), PacketSpec(2, c1, a1)]
+    schedule = [
+        DecodeStage(rx=a0, packet_ids=(0,)),
+        DecodeStage(rx=a1, packet_ids=(1, 2)),
+    ]
+    for _candidate in range(max(1, n_candidates)):
+        v1 = random_unit_vector(m, rng)
+        # Eq. 2: v2 = H(c1,a0)^-1 H(c0,a0) v1 aligns packets 1 and 2 at a0.
+        v2 = normalize(_invert(h_c1_a0, f"H({c1},{a0})") @ (h_c0_a0 @ v1))
+        # v0 is unconstrained: random, or energy-optimal against the
+        # aligned interference at the AP that decodes packet 0.
+        if optimize_free:
+            v0 = _best_free_vector(h_c0_a0, h_c0_a0 @ v1)
+        else:
+            v0 = random_unit_vector(m, rng)
+        assert align_error(h_c0_a0 @ v1, h_c1_a0 @ v2) < _CHECK_ATOL
+        candidate = AlignmentSolution(
+            packets=packets,
+            encoding={0: v0, 1: v1, 2: v2},
+            schedule=schedule,
+            cooperative=True,
+        )
+        if n_candidates <= 1:
+            return candidate
+        rate = _score(candidate, channels, noise_power)
+        if rate > best_rate:
+            best, best_rate = candidate, rate
+    assert best is not None
+    return best
+
+
+def solve_uplink_four_packets(
+    channels: ChannelSet,
+    clients: Sequence[int] = (0, 1, 2),
+    aps: Sequence[int] = (0, 1, 2),
+    rng=None,
+    eig_index: Optional[int] = None,
+    optimize_free: bool = True,
+    noise_power: float = 1.0,
+) -> AlignmentSolution:
+    """Four concurrent uplink packets over 3 clients and 3 APs (§4c, Fig. 5).
+
+    Client 0 transmits packets 0 and 1, client 1 packet 2, client 2 packet 3.
+    The encoding vectors solve Eqs. 3-4:
+
+        H(c0,a0) v1 = H(c1,a0) v2 = H(c2,a0) v3     (3 aligned at AP 0)
+        H(c1,a1) v2 = H(c2,a1) v3                   (2 aligned at AP 1)
+
+    via the eigenvector solution of footnote 4:
+    ``v3 = eig(H(c2,a1)^-1 H(c1,a1) H(c1,a0)^-1 H(c2,a0))``.
+
+    Decode order: AP 0 takes packet 0 (three interferers aligned on one
+    line), AP 1 cancels packet 0 and takes packet 1 (two interferers
+    aligned), AP 2 cancels packets 0-1 and zero-forces packets 2 and 3.
+
+    Any eigenvector of the loop matrix satisfies the alignment equations;
+    with ``eig_index=None`` every eigenvector is tried and the solution
+    with the best estimated throughput (at ``noise_power``) is returned,
+    as the leader AP's estimator would choose.
+    """
+    rng = default_rng(rng)
+    c0, c1, c2 = clients
+    a0, a1, a2 = aps
+    h = channels.h
+
+    a_mat = (
+        _invert(h(c2, a1), f"H({c2},{a1})")
+        @ h(c1, a1)
+        @ _invert(h(c1, a0), f"H({c1},{a0})")
+        @ h(c2, a0)
+    )
+    m = a_mat.shape[0]
+    packets = [
+        PacketSpec(0, c0, a0),
+        PacketSpec(1, c0, a1),
+        PacketSpec(2, c1, a2),
+        PacketSpec(3, c2, a2),
+    ]
+    schedule = [
+        DecodeStage(rx=a0, packet_ids=(0,)),
+        DecodeStage(rx=a1, packet_ids=(1,)),
+        DecodeStage(rx=a2, packet_ids=(2, 3)),
+    ]
+    indices = range(m) if eig_index is None else [eig_index]
+    best: Optional[AlignmentSolution] = None
+    best_rate = float("-inf")
+    for index in indices:
+        v3 = _pick_eigvec(a_mat, rng, index=index)
+        shared = h(c2, a0) @ v3  # the common aligned direction at AP 0
+        v1 = normalize(_invert(h(c0, a0), f"H({c0},{a0})") @ shared)
+        v2 = normalize(_invert(h(c1, a0), f"H({c1},{a0})") @ shared)
+        # v0 is unconstrained: random, or energy-optimal against the
+        # aligned interference line at AP 0.
+        if optimize_free:
+            v0 = _best_free_vector(h(c0, a0), shared)
+        else:
+            v0 = random_unit_vector(h(c0, a0).shape[1], rng)
+
+        assert align_error(h(c0, a0) @ v1, h(c1, a0) @ v2) < _CHECK_ATOL
+        assert align_error(h(c1, a0) @ v2, h(c2, a0) @ v3) < _CHECK_ATOL
+        assert align_error(h(c1, a1) @ v2, h(c2, a1) @ v3) < _CHECK_ATOL
+
+        candidate = AlignmentSolution(
+            packets=packets,
+            encoding={0: v0, 1: v1, 2: v2, 3: v3},
+            schedule=schedule,
+            cooperative=True,
+        )
+        if len(indices) == 1:
+            return candidate
+        rate = _score(candidate, channels, noise_power)
+        if rate > best_rate:
+            best, best_rate = candidate, rate
+    assert best is not None
+    return best
+
+
+def solve_downlink_three_packets(
+    channels: ChannelSet,
+    aps: Sequence[int] = (0, 1, 2),
+    clients: Sequence[int] = (0, 1, 2),
+    rng=None,
+    eig_index: Optional[int] = None,
+    noise_power: float = 1.0,
+) -> AlignmentSolution:
+    """Three concurrent downlink packets over 3 APs and 3 clients (§4d).
+
+    AP ``i`` transmits packet ``i`` to client ``i``.  Encoding vectors solve
+    Eqs. 5-7 so each client sees its two undesired packets aligned:
+
+        H(a1,k0) v1 = H(a2,k0) v2
+        H(a0,k1) v0 = H(a2,k1) v2
+        H(a0,k2) v0 = H(a1,k2) v1
+
+    Clients decode independently (no wired cooperation): every stage is a
+    separate receiver projecting orthogonally to its aligned interference.
+    """
+    rng = default_rng(rng)
+    a0, a1, a2 = aps
+    k0, k1, k2 = clients
+    h = channels.h
+
+    # Express v1, v2 in terms of v0, then close the loop at client 0:
+    #   v1 = H(a1,k2)^-1 H(a0,k2) v0          (Eq. 7)
+    #   v2 = H(a2,k1)^-1 H(a0,k1) v0          (Eq. 6)
+    #   H(a1,k0) v1 = H(a2,k0) v2             (Eq. 5)
+    # => [H(a2,k0) H(a2,k1)^-1 H(a0,k1)]^-1 H(a1,k0) H(a1,k2)^-1 H(a0,k2) v0 = v0
+    left = h(a2, k0) @ _invert(h(a2, k1), f"H({a2},{k1})") @ h(a0, k1)
+    right = h(a1, k0) @ _invert(h(a1, k2), f"H({a1},{k2})") @ h(a0, k2)
+    loop = _invert(left, "downlink loop") @ right
+    m = loop.shape[0]
+    packets = [
+        PacketSpec(0, a0, k0),
+        PacketSpec(1, a1, k1),
+        PacketSpec(2, a2, k2),
+    ]
+    schedule = [
+        DecodeStage(rx=k0, packet_ids=(0,)),
+        DecodeStage(rx=k1, packet_ids=(1,)),
+        DecodeStage(rx=k2, packet_ids=(2,)),
+    ]
+    # Any eigenvector of the loop matrix works; score them all and keep the
+    # best estimated throughput (the leader AP computes the vectors and can
+    # rank the options for free, §7.2).
+    indices = range(m) if eig_index is None else [eig_index]
+    best: Optional[AlignmentSolution] = None
+    best_rate = float("-inf")
+    for index in indices:
+        v0 = _pick_eigvec(loop, rng, index=index)
+        v1 = normalize(_invert(h(a1, k2), f"H({a1},{k2})") @ h(a0, k2) @ v0)
+        v2 = normalize(_invert(h(a2, k1), f"H({a2},{k1})") @ h(a0, k1) @ v0)
+
+        assert align_error(h(a1, k0) @ v1, h(a2, k0) @ v2) < _CHECK_ATOL
+        assert align_error(h(a0, k1) @ v0, h(a2, k1) @ v2) < _CHECK_ATOL
+        assert align_error(h(a0, k2) @ v0, h(a1, k2) @ v1) < _CHECK_ATOL
+
+        candidate = AlignmentSolution(
+            packets=packets,
+            encoding={0: v0, 1: v1, 2: v2},
+            schedule=schedule,
+            cooperative=False,
+        )
+        if len(indices) == 1:
+            return candidate
+        rate = _score(candidate, channels, noise_power)
+        if rate > best_rate:
+            best, best_rate = candidate, rate
+    assert best is not None
+    return best
+
+
+def solve_downlink_two_clients(
+    channels: ChannelSet,
+    aps: Sequence[int],
+    clients: Sequence[int] = (0, 1),
+    rng=None,
+) -> AlignmentSolution:
+    """General 2(M-1)-packet downlink: M-1 APs, 2 clients (Lemma 5.1, Fig. 7).
+
+    Every AP transmits one packet to each of the two clients.  At client 0
+    all packets destined to client 1 are aligned onto one direction (and
+    vice versa), so each client sees M-1 desired packets plus one aligned
+    interference line inside its M-dimensional receive space.
+
+    Packet numbering: packet ``2*i`` is AP ``aps[i]``'s packet for client 0,
+    packet ``2*i + 1`` its packet for client 1.
+    """
+    rng = default_rng(rng)
+    if len(clients) != 2:
+        raise ValueError("this construction uses exactly two clients")
+    k0, k1 = clients
+    n_aps = len(aps)
+    if n_aps < 1:
+        raise ValueError("need at least one AP")
+    h = channels.h
+    m = h(aps[0], k0).shape[0]
+    if n_aps > 1 and m < 2:
+        raise ValueError("alignment needs at least 2 antennas")
+
+    encoding = {}
+    packets = []
+    # Packets for client 1 must align at client 0; anchor on the first AP.
+    anchor1 = random_unit_vector(h(aps[0], k0).shape[1], rng)
+    shared_at_k0 = h(aps[0], k0) @ anchor1
+    # Packets for client 0 must align at client 1.
+    anchor0 = random_unit_vector(h(aps[0], k1).shape[1], rng)
+    shared_at_k1 = h(aps[0], k1) @ anchor0
+
+    for i, ap in enumerate(aps):
+        pid0, pid1 = 2 * i, 2 * i + 1
+        packets.append(PacketSpec(pid0, ap, k0))
+        packets.append(PacketSpec(pid1, ap, k1))
+        if i == 0:
+            encoding[pid0] = anchor0
+            encoding[pid1] = anchor1
+        else:
+            # Align this AP's client-1 packet with the anchor at client 0,
+            # and its client-0 packet with the anchor at client 1.
+            encoding[pid1] = normalize(_invert(h(ap, k0), f"H({ap},{k0})") @ shared_at_k0)
+            encoding[pid0] = normalize(_invert(h(ap, k1), f"H({ap},{k1})") @ shared_at_k1)
+
+    for i, ap in enumerate(aps[1:], start=1):
+        assert align_error(h(ap, k0) @ encoding[2 * i + 1], shared_at_k0) < _CHECK_ATOL
+        assert align_error(h(ap, k1) @ encoding[2 * i], shared_at_k1) < _CHECK_ATOL
+
+    schedule = [
+        DecodeStage(rx=k0, packet_ids=tuple(2 * i for i in range(n_aps))),
+        DecodeStage(rx=k1, packet_ids=tuple(2 * i + 1 for i in range(n_aps))),
+    ]
+    return AlignmentSolution(
+        packets=packets,
+        encoding=encoding,
+        schedule=schedule,
+        cooperative=False,
+    )

@@ -1,0 +1,188 @@
+"""Interference cancellation: reconstructing and subtracting known packets.
+
+IAC uses only the *subtraction* step of interference cancellation (paper
+§6): once an AP learns a decoded packet over the Ethernet, it re-modulates
+the bits, re-applies the encoding vector, channel estimate and carrier
+frequency offset, and subtracts the reconstructed contribution from its
+received samples.  "Once the receiver knows the bits and estimates the
+channel function from the preamble, it can reconstruct the corresponding
+continuous signal ... and subtract it from its received version"
+(footnote 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.channel.model import apply_cfo
+
+
+@dataclass
+class Reconstruction:
+    """Everything a receiver needs to reconstruct one packet's signal.
+
+    Attributes
+    ----------
+    samples:
+        The packet's baseband sample stream (re-modulated from the decoded
+        bits; exact because decoding was CRC-verified).
+    encoding:
+        The packet's encoding vector (broadcast by the leader AP, §7.1).
+    amplitude:
+        Transmit amplitude (power split at the transmitter).
+    channel:
+        ``(n_rx, n_tx)`` channel estimate from the packet's transmitter to
+        *this* receiver.
+    cfo:
+        Estimated normalised carrier frequency offset of the transmitter
+        relative to this receiver.
+    sample_offset:
+        The stream's starting index within the receiver's sample window.
+    """
+
+    samples: np.ndarray
+    encoding: np.ndarray
+    amplitude: float
+    channel: np.ndarray
+    cfo: float = 0.0
+    sample_offset: int = 0
+
+    def received_contribution(self, window_len: int) -> np.ndarray:
+        """The packet's contribution to an ``(n_rx, window_len)`` window."""
+        tx = self.amplitude * np.outer(
+            np.asarray(self.encoding, dtype=complex),
+            np.asarray(self.samples, dtype=complex),
+        )
+        faded = np.asarray(self.channel, dtype=complex) @ tx
+        faded = apply_cfo(faded, self.cfo, start=self.sample_offset)
+        n_rx = faded.shape[0]
+        out = np.zeros((n_rx, window_len), dtype=complex)
+        n = min(faded.shape[1], window_len - self.sample_offset)
+        if n > 0:
+            out[:, self.sample_offset : self.sample_offset + n] = faded[:, :n]
+        return out
+
+
+def subtract(received: np.ndarray, reconstruction: Reconstruction) -> np.ndarray:
+    """Subtract a reconstructed packet from a received sample window."""
+    received = np.atleast_2d(np.asarray(received, dtype=complex))
+    return received - reconstruction.received_contribution(received.shape[1])
+
+
+def subtract_refined(received: np.ndarray, reconstruction: Reconstruction) -> np.ndarray:
+    """Subtract with per-antenna refitting of residual CFO and gain.
+
+    A coarse reconstruction built from training-phase estimates drifts in
+    phase over a long packet (the CFO estimate is only finitely accurate).
+    The paper's receiver instead re-derives the interferer's waveform from
+    the received signal itself at cancellation time (footnote 5).  We model
+    that by fitting, per receive antenna over the whole packet, just two
+    parameters -- a residual frequency offset and a complex gain -- between
+    the coarse reconstruction and the received signal, then subtracting the
+    corrected reconstruction.  Restricting the fit to two degrees of freedom
+    per antenna keeps the leakage of *other* concurrent packets into the fit
+    negligible (their samples decorrelate from this packet's over the full
+    window).
+    """
+    received = np.atleast_2d(np.asarray(received, dtype=complex))
+    window_len = received.shape[1]
+    recon = reconstruction.received_contribution(window_len)
+    out = received.copy()
+    for a in range(received.shape[0]):
+        ref = recon[a]
+        power = np.abs(ref) ** 2
+        active = power > 1e-20
+        if np.count_nonzero(active) < 2:
+            continue
+        # The product sequence c(t) = conj(recon) * received isolates the
+        # residual rotation: c(t) ~ |recon|^2 * g * exp(j 2 pi df t) plus
+        # cross terms from concurrent packets.  Raw per-sample phase
+        # increments are swamped by those cross terms, so we average the
+        # products over blocks (suppressing interference by 1/sqrt(block))
+        # and fit a straight line to the unwrapped block phases.
+        product = np.zeros(window_len, dtype=complex)
+        product[active] = np.conj(ref[active]) * received[a, active]
+        idx = np.flatnonzero(active)
+        block = 128
+        centers = []
+        phases = []
+        for start in range(0, idx.size, block):
+            chunk = idx[start : start + block]
+            if chunk.size < block // 2:
+                continue
+            total = complex(np.sum(product[chunk]))
+            if abs(total) < 1e-20:
+                continue
+            centers.append(float(np.mean(chunk)))
+            phases.append(float(np.angle(total)))
+        if len(phases) >= 2:
+            unwrapped = np.unwrap(np.array(phases))
+            slope, _ = np.polyfit(np.array(centers), unwrapped, 1)
+            residual_cfo = float(slope) / (2 * np.pi)
+        else:
+            residual_cfo = 0.0
+        rotation = np.exp(2j * np.pi * residual_cfo * np.arange(window_len))
+
+        # The phase fit can be spurious on waveforms with strongly varying
+        # envelope (e.g. OFDM): validate it by the energy it explains, and
+        # fall back to the unrotated reconstruction when it explains less.
+        def _fit(candidate: np.ndarray):
+            denom = float(np.sum(np.abs(candidate[active]) ** 2))
+            g = complex(
+                np.sum(np.conj(candidate[active]) * received[a, active]) / denom
+            )
+            explained = (abs(g) ** 2) * denom
+            return g, explained
+
+        rotated = ref * rotation
+        gain_rot, explained_rot = _fit(rotated)
+        gain_raw, explained_raw = _fit(ref)
+        if explained_rot >= explained_raw:
+            out[a] -= gain_rot * rotated
+        else:
+            out[a] -= gain_raw * ref
+    return out
+
+
+def residual_power_fraction(
+    h_true: np.ndarray,
+    h_estimate: np.ndarray,
+) -> float:
+    """Fraction of a packet's power that survives imperfect cancellation.
+
+    Cancellation with an erroneous channel estimate leaves a residual
+    ``(H - H_hat) v s``; for ``v`` isotropic the expected residual power
+    relative to the packet's received power is
+    ``||H - H_hat||_F^2 / ||H||_F^2``.  The rate-level decoder uses this to
+    model stale channel estimates without running the sample pipeline.
+    """
+    h_true = np.asarray(h_true, dtype=complex)
+    denom = float(np.linalg.norm(h_true) ** 2)
+    if denom == 0:
+        raise ValueError("true channel has zero power")
+    return float(np.linalg.norm(h_true - np.asarray(h_estimate, dtype=complex)) ** 2) / denom
+
+
+@dataclass
+class EthernetAnnotation:
+    """Metadata shipped with decoded packets on the backplane (§7.1(c)).
+
+    APs exchange decoded packets annotated with loss reports and channel
+    updates; this type models the annotation so the Ethernet substrate can
+    account for its bytes.
+    """
+
+    packet_id: int
+    decoder_ap: int
+    lost: bool = False
+    channel_update: Optional[np.ndarray] = None
+
+    def nbytes(self) -> int:
+        """Serialized size: ids/flags plus 8 bytes per complex entry."""
+        base = 8
+        if self.channel_update is not None:
+            base += 8 * int(np.asarray(self.channel_update).size)
+        return base

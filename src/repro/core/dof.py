@@ -1,0 +1,141 @@
+"""Degrees of freedom / multiplexing gain results (paper §5).
+
+Closed-form statements of Lemmas 5.1 and 5.2 plus the constraint-counting
+argument of §5 ("for a feasible solution, the constraints should stay fewer
+than the free variables in an encoding vector"), used by the analytical
+benchmarks and asserted against the constructive solvers in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+def uplink_max_packets(n_antennas: int) -> int:
+    """Lemma 5.2: IAC delivers 2M concurrent uplink packets.
+
+    Requires three or more APs and at least two clients.
+    """
+    if n_antennas < 1:
+        raise ValueError("antenna count must be positive")
+    return 2 * n_antennas
+
+
+def downlink_max_packets(n_antennas: int) -> int:
+    """Lemma 5.1: IAC delivers max(2M-2, floor(3M/2)) downlink packets."""
+    if n_antennas < 1:
+        raise ValueError("antenna count must be positive")
+    return max(2 * n_antennas - 2, (3 * n_antennas) // 2)
+
+
+def downlink_aps_needed(n_antennas: int) -> int:
+    """APs required for the Lemma 5.1 downlink rate (M-1 for M > 2)."""
+    if n_antennas < 1:
+        raise ValueError("antenna count must be positive")
+    if n_antennas == 2:
+        return 3  # the floor(3M/2) = 3-packet construction uses 3 APs
+    return n_antennas - 1
+
+
+def uplink_aps_needed(n_antennas: int) -> int:
+    """APs required for the Lemma 5.2 uplink rate (three, any M)."""
+    if n_antennas < 1:
+        raise ValueError("antenna count must be positive")
+    return 3
+
+
+def current_mimo_max_packets(n_antennas: int) -> int:
+    """The antennas-per-AP limit IAC overcomes: point-to-point MIMO delivers
+    at most M concurrent packets (paper §1)."""
+    return n_antennas
+
+
+def multiplexing_gain_ratio(n_antennas: int, direction: str) -> float:
+    """IAC's multiplexing gain relative to current MIMO LANs."""
+    base = current_mimo_max_packets(n_antennas)
+    if direction == "uplink":
+        return uplink_max_packets(n_antennas) / base
+    if direction == "downlink":
+        return downlink_max_packets(n_antennas) / base
+    raise ValueError("direction must be 'uplink' or 'downlink'")
+
+
+@dataclass(frozen=True)
+class FeasibilityCount:
+    """Constraint-vs-free-variable accounting for an alignment pattern.
+
+    Free variables: each encoding vector contributes ``M - 1`` complex
+    parameters (one lost to scale invariance).  A constraint that places
+    ``k`` received directions inside a ``d``-dimensional subspace of an
+    M-dimensional receive space consumes ``k (M - d)`` scalar conditions,
+    minus the ``d (M - d)`` parameters of freely choosing the subspace
+    (its Grassmannian dimension).
+    """
+
+    free_variables: int
+    constraints: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.constraints <= self.free_variables
+
+
+def count_feasibility(
+    n_antennas: int,
+    n_packets: int,
+    constraint_specs: List[tuple],
+) -> FeasibilityCount:
+    """Count constraints vs free variables for an alignment pattern.
+
+    Parameters
+    ----------
+    n_antennas:
+        Antennas per node, M.
+    n_packets:
+        Number of encoding vectors.
+    constraint_specs:
+        List of ``(k, d)`` tuples: ``k`` directions confined to a ``d``-dim
+        subspace at some receiver.
+    """
+    if n_packets < 1:
+        raise ValueError("need at least one packet")
+    m = n_antennas
+    free = n_packets * (m - 1)
+    used = 0
+    for k, d in constraint_specs:
+        if not 0 < d < m:
+            raise ValueError("subspace dimension must be in (0, M)")
+        if k <= d:
+            continue  # vacuous: k directions always fit in k dims
+        used += k * (m - d) - d * (m - d)
+    return FeasibilityCount(free_variables=free, constraints=used)
+
+
+def uplink_feasibility(n_antennas: int) -> FeasibilityCount:
+    """Constraint count for the Lemma 5.2 uplink construction."""
+    m = n_antennas
+    return count_feasibility(
+        m,
+        2 * m,
+        [
+            (2 * m - 1, m - 1),  # all-but-one packed at AP 0
+            (m, 1),  # seconds on a line at AP 1
+        ],
+    )
+
+
+def downlink_feasibility(n_antennas: int) -> FeasibilityCount:
+    """Constraint count for the Lemma 5.1 two-client downlink construction."""
+    m = n_antennas
+    if m == 2:
+        # Three-packet construction: three pairwise alignments of 2 vectors.
+        return count_feasibility(m, 3, [(2, 1), (2, 1), (2, 1)])
+    return count_feasibility(
+        m,
+        2 * (m - 1),
+        [
+            (m - 1, 1),  # client 1's packets aligned at client 0
+            (m - 1, 1),  # client 0's packets aligned at client 1
+        ],
+    )

@@ -1,0 +1,327 @@
+"""General M-antenna interference alignment (Lemmas 5.1 and 5.2).
+
+The paper's 2-antenna constructions have closed forms (see
+:mod:`repro.core.alignment`); beyond that, alignment requirements become
+coupled subspace constraints ("every alignment imposes new constraints on
+the encoding vectors", §5).  This module provides:
+
+* :class:`SubspaceConstraint` / :class:`GeneralAlignmentProblem` -- a
+  declarative description of an alignment pattern ("these packets' received
+  directions at this receiver must lie in a ``dim``-dimensional subspace")
+  plus an alternating-minimisation solver that drives the total interference
+  *leakage* outside the constraint subspaces to zero.  The approach is the
+  classic minimum-leakage interference alignment iteration: given encoding
+  vectors, the best subspace for each constraint is the span of the top
+  singular vectors of the received directions; given subspaces, the best
+  encoding vector for each packet is the bottom eigenvector of its summed
+  leakage quadratic form.
+* :func:`solve_uplink_general` -- the Lemma 5.2 construction: 2M concurrent
+  uplink packets with M antennas, M clients (two packets each) and 3 APs,
+  generalising Fig. 8.
+* :func:`solve_downlink_general` -- the Lemma 5.1 construction: the best of
+  the 2M-2 two-client scheme (closed form, M-1 APs) and the ⌊3M/2⌋-style
+  scheme (for M = 2 this is the 3-packet eigenvector solution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.alignment import (
+    solve_downlink_three_packets,
+    solve_downlink_two_clients,
+)
+from repro.core.plans import AlignmentSolution, ChannelSet, DecodeStage, PacketSpec
+from repro.utils.linalg import herm, normalize
+from repro.utils.rng import default_rng
+
+
+@dataclass(frozen=True)
+class SubspaceConstraint:
+    """Received directions of ``packet_ids`` at ``rx`` must fit in ``dim`` dims."""
+
+    rx: int
+    packet_ids: Tuple[int, ...]
+    dim: int
+
+    def __post_init__(self):
+        if self.dim < 1:
+            raise ValueError("constraint dimension must be >= 1")
+        if len(self.packet_ids) <= self.dim:
+            raise ValueError(
+                "constraint is vacuous: fewer packets than subspace dimensions"
+            )
+
+
+@dataclass
+class SolverDiagnostics:
+    """Convergence record of the alternating-minimisation solver."""
+
+    iterations: int
+    leakage: float
+    converged: bool
+    history: List[float] = field(default_factory=list)
+
+
+class GeneralAlignmentProblem:
+    """Minimum-leakage solver for a set of subspace alignment constraints.
+
+    Parameters
+    ----------
+    packets:
+        The concurrent packets (transmitters must appear in ``channels``).
+    channels:
+        Channel matrices from each packet's transmitter to each constrained
+        receiver.
+    constraints:
+        The alignment pattern to enforce.
+    """
+
+    def __init__(
+        self,
+        packets: Sequence[PacketSpec],
+        channels: ChannelSet,
+        constraints: Sequence[SubspaceConstraint],
+    ):
+        self.packets = list(packets)
+        self.channels = channels
+        self.constraints = list(constraints)
+        self._tx_of = {p.packet_id: p.tx for p in self.packets}
+        known = set(self._tx_of)
+        for c in self.constraints:
+            unknown = set(c.packet_ids) - known
+            if unknown:
+                raise ValueError(f"constraint references unknown packets {sorted(unknown)}")
+
+    def _subspace(self, constraint: SubspaceConstraint, encoding: Dict[int, np.ndarray]) -> np.ndarray:
+        """Best-fit subspace (orthonormal basis) for one constraint.
+
+        The span of the top ``dim`` left singular vectors of the matrix of
+        unit received directions -- the subspace minimising the summed
+        squared sine of the angles to it.
+        """
+        cols = []
+        for pid in constraint.packet_ids:
+            h = self.channels.h(self._tx_of[pid], constraint.rx)
+            d = h @ encoding[pid]
+            n = np.linalg.norm(d)
+            cols.append(d / n if n > 1e-15 else d)
+        mat = np.stack(cols, axis=1)
+        u, _, _ = np.linalg.svd(mat, full_matrices=False)
+        return u[:, : constraint.dim]
+
+    def leakage(self, encoding: Dict[int, np.ndarray]) -> float:
+        """Total normalised leakage: worst-case fraction of any constrained
+        packet's received power outside its constraint subspace."""
+        worst = 0.0
+        for c in self.constraints:
+            u = self._subspace(c, encoding)
+            p_out = np.eye(u.shape[0]) - u @ herm(u)
+            for pid in c.packet_ids:
+                h = self.channels.h(self._tx_of[pid], c.rx)
+                d = h @ encoding[pid]
+                power = float(np.real(np.vdot(d, d)))
+                if power < 1e-30:
+                    worst = max(worst, 1.0)
+                    continue
+                out = float(np.real(np.vdot(d, p_out @ d)))
+                worst = max(worst, out / power)
+        return worst
+
+    def solve(
+        self,
+        rng=None,
+        max_iterations: int = 400,
+        tolerance: float = 1e-10,
+        restarts: int = 4,
+        initial: Optional[Dict[int, np.ndarray]] = None,
+    ) -> Tuple[Dict[int, np.ndarray], SolverDiagnostics]:
+        """Run alternating minimisation, with random restarts.
+
+        Returns the best encoding found and its diagnostics.  ``initial``
+        seeds the first attempt (used to warm-start from a closed form).
+        """
+        rng = default_rng(rng)
+        best_encoding: Optional[Dict[int, np.ndarray]] = None
+        best_diag: Optional[SolverDiagnostics] = None
+        for attempt in range(max(1, restarts)):
+            if attempt == 0 and initial is not None:
+                encoding = {pid: normalize(v) for pid, v in initial.items()}
+            else:
+                encoding = {
+                    p.packet_id: normalize(
+                        rng.standard_normal(self.channels.tx_antennas(p.tx))
+                        + 1j * rng.standard_normal(self.channels.tx_antennas(p.tx))
+                    )
+                    for p in self.packets
+                }
+            diag = self._solve_once(encoding, max_iterations, tolerance)
+            if best_diag is None or diag.leakage < best_diag.leakage:
+                best_encoding = dict(encoding)
+                best_diag = diag
+            if best_diag.converged:
+                break
+        assert best_encoding is not None and best_diag is not None
+        return best_encoding, best_diag
+
+    def _solve_once(
+        self,
+        encoding: Dict[int, np.ndarray],
+        max_iterations: int,
+        tolerance: float,
+    ) -> SolverDiagnostics:
+        """One alternating-minimisation run; mutates ``encoding`` in place."""
+        history: List[float] = []
+        # Which constraints touch each packet (unconstrained packets keep
+        # their initial random vectors -- they only need generic positions).
+        touching: Dict[int, List[SubspaceConstraint]] = {}
+        for c in self.constraints:
+            for pid in c.packet_ids:
+                touching.setdefault(pid, []).append(c)
+
+        leak = self.leakage(encoding)
+        history.append(leak)
+        for iteration in range(max_iterations):
+            if leak < tolerance:
+                return SolverDiagnostics(iteration, leak, True, history)
+            subspaces = {id(c): self._subspace(c, encoding) for c in self.constraints}
+            for pid, cons in touching.items():
+                q = None
+                for c in cons:
+                    h = self.channels.h(self._tx_of[pid], c.rx)
+                    u = subspaces[id(c)]
+                    p_out = np.eye(u.shape[0]) - u @ herm(u)
+                    term = herm(h) @ p_out @ h
+                    q = term if q is None else q + term
+                # Leakage-minimising unit vector: bottom eigenvector of q.
+                values, vectors = np.linalg.eigh(q)
+                encoding[pid] = normalize(vectors[:, 0])
+            leak = self.leakage(encoding)
+            history.append(leak)
+        return SolverDiagnostics(max_iterations, leak, leak < tolerance, history)
+
+
+def solve_uplink_general(
+    channels: ChannelSet,
+    clients: Sequence[int],
+    aps: Sequence[int],
+    rng=None,
+    max_iterations: int = 400,
+    tolerance: float = 1e-9,
+) -> AlignmentSolution:
+    """Lemma 5.2 construction: 2M uplink packets, M clients, 3 APs.
+
+    Each of the M clients transmits two packets (generalising Fig. 8):
+    packet ``2*i`` ("first") and ``2*i + 1`` ("second") for client
+    ``clients[i]``.  The alignment pattern is:
+
+    * at AP 0 every packet except packet 0 lies in an (M-1)-dim subspace,
+      freeing packet 0;
+    * at AP 1 all "second" packets are aligned on a single line, freeing
+      the remaining M-1 "first" packets (after cancelling packet 0);
+    * AP 2 cancels all "first" packets and zero-forces the M "seconds".
+
+    The aligned-on-a-line set contains one packet per client, because two
+    same-client packets aligned anywhere would force identical encoding
+    vectors (the channel to the AP is invertible) and the packets would be
+    inseparable everywhere.  The same argument rules out the two-packets-
+    per-client layout for M = 2 (the all-but-one constraint at AP 0 is then
+    itself a line); that case is the paper's Fig. 5 construction with three
+    clients, handled by :func:`~repro.core.alignment.solve_uplink_four_packets`.
+    """
+    rng = default_rng(rng)
+    if len(aps) < 3:
+        raise ValueError("Lemma 5.2 needs three APs")
+    m = channels.rx_antennas(aps[0])
+    if m == 2:
+        if len(clients) < 3:
+            raise ValueError("M=2 uplink (4 packets) needs three clients (Fig. 5)")
+        from repro.core.alignment import solve_uplink_four_packets
+
+        return solve_uplink_four_packets(
+            channels, clients=clients[:3], aps=aps[:3], rng=rng
+        )
+    if len(clients) != m:
+        raise ValueError(
+            f"this construction uses one client per antenna (M={m}); "
+            f"got {len(clients)} clients"
+        )
+    a0, a1, a2 = aps[0], aps[1], aps[2]
+
+    packets = []
+    for i, c in enumerate(clients):
+        packets.append(PacketSpec(2 * i, c, a0 if i == 0 else a1))
+        packets.append(PacketSpec(2 * i + 1, c, a2))
+    all_ids = [p.packet_id for p in packets]
+    seconds = tuple(2 * i + 1 for i in range(m))
+
+    constraints = [
+        SubspaceConstraint(rx=a0, packet_ids=tuple(pid for pid in all_ids if pid != 0), dim=m - 1),
+        SubspaceConstraint(rx=a1, packet_ids=seconds, dim=1),
+    ]
+    problem = GeneralAlignmentProblem(packets, channels, constraints)
+
+    schedule = [
+        DecodeStage(rx=a0, packet_ids=(0,)),
+        DecodeStage(rx=a1, packet_ids=tuple(2 * i for i in range(1, m))),
+        DecodeStage(rx=a2, packet_ids=seconds),
+    ]
+
+    # Leakage minimisation can converge to degenerate minima (e.g. a
+    # client's two vectors collapsing parallel satisfies every subspace
+    # constraint but makes the packets inseparable).  Accept a solution only
+    # if every packet is actually decodable at near-zero noise; otherwise
+    # retry from a fresh random initialisation.
+    from repro.core.decoder import decode_rate_level  # deferred: avoids import cycle
+
+    best: Optional[AlignmentSolution] = None
+    best_sinr = -1.0
+    for _attempt in range(6):
+        encoding, diag = problem.solve(
+            rng=rng, max_iterations=max_iterations, tolerance=tolerance, restarts=1
+        )
+        candidate = AlignmentSolution(
+            packets=packets,
+            encoding=encoding,
+            schedule=schedule,
+            cooperative=True,
+            meta={
+                "leakage": diag.leakage,
+                "iterations": diag.iterations,
+                "converged": diag.converged,
+            },
+        )
+        min_sinr = decode_rate_level(candidate, channels, noise_power=1e-9).min_sinr
+        if diag.converged and min_sinr > 1e3:
+            return candidate
+        if min_sinr > best_sinr:
+            best, best_sinr = candidate, min_sinr
+    assert best is not None
+    return best
+
+
+def solve_downlink_general(
+    channels: ChannelSet,
+    aps: Sequence[int],
+    clients: Sequence[int],
+    rng=None,
+) -> AlignmentSolution:
+    """Lemma 5.1 construction: max(2M-2, ⌊3M/2⌋) downlink packets.
+
+    For M = 2 antennas the ⌊3M/2⌋ = 3-packet three-AP eigenvector solution
+    wins; for M >= 3 the two-client 2M-2 scheme with M-1 APs wins (they tie
+    at M = 3).  This dispatcher picks the better construction for the
+    antenna count and available nodes.
+    """
+    rng = default_rng(rng)
+    m = channels.rx_antennas(clients[0])
+    if m == 2:
+        if len(aps) < 3 or len(clients) < 3:
+            raise ValueError("M=2 downlink needs 3 APs and 3 clients")
+        return solve_downlink_three_packets(channels, aps=aps[:3], clients=clients[:3], rng=rng)
+    if len(aps) < m - 1 or len(clients) < 2:
+        raise ValueError(f"M={m} downlink needs {m - 1} APs and 2 clients")
+    return solve_downlink_two_clients(channels, aps=aps[: m - 1], clients=clients[:2], rng=rng)

@@ -1,0 +1,451 @@
+"""Signal-level IAC sessions: the sample-accurate pipeline.
+
+This module is the reproduction of the paper's GNU-Radio prototype.  It
+runs an :class:`~repro.core.plans.AlignmentSolution` end to end at the
+sample level:
+
+1. each packet's bits are FEC-encoded, modulated, and prefixed with a
+   packet-specific pseudo-noise preamble;
+2. each transmitter superimposes its packets' streams through their
+   encoding vectors (power split across its packets);
+3. the channel mixes all transmitters at each receiver, applying per-pair
+   carrier frequency offsets, optional per-transmitter timing offsets
+   (no symbol synchronisation, §6c), and AWGN;
+4. receivers follow the decode schedule: project onto the decoding vector,
+   locate the preamble, estimate and remove residual CFO and gain, track
+   phase, demodulate, FEC-decode and CRC-check;
+5. decoded packets travel over the (simulated) Ethernet to later stages,
+   which reconstruct and subtract them before decoding their own packets.
+
+Every measured quantity the paper reports -- per-packet SNR, achievable
+rate, Ethernet bytes -- is collected in the returned
+:class:`SessionReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.cancellation import Reconstruction, subtract, subtract_refined
+from repro.core.decoder import max_sinr_vector
+from repro.core.plans import AlignmentSolution, ChannelSet
+from repro.phy.bits import Scrambler
+from repro.phy.channel.estimation import estimate_cfo, estimate_channel
+from repro.phy.channel.model import Link, MIMOChannel, apply_cfo
+from repro.phy.fec import ConvolutionalCode, Hamming74
+from repro.phy.modulation import Modulator, get_modulator
+from repro.phy.modulation.ofdm import OFDM
+from repro.phy.packet import Packet
+from repro.phy.preamble import detect_preamble, pn_sequence, preamble_matrix
+from repro.utils.rng import default_rng
+
+
+@dataclass
+class SignalConfig:
+    """Knobs of the sample-level pipeline.
+
+    Attributes
+    ----------
+    modulation:
+        Scheme name (see :func:`repro.phy.modulation.get_modulator`).
+    fec:
+        ``None`` (uncoded), ``"conv"`` (802.11 rate-1/2 Viterbi) or
+        ``"hamming"``.
+    preamble_length:
+        Per-packet synchronisation preamble length in samples.
+    noise_power:
+        Receiver AWGN power per antenna.
+    cfo_spread:
+        Per-node oscillator offset drawn uniformly in ``+/- cfo_spread``
+        (normalised to the sample rate).  Pair CFO is the difference of the
+        two nodes' offsets.
+    max_timing_offset:
+        Per-transmitter start-time offset in samples, drawn uniformly in
+        ``[0, max_timing_offset]`` -- transmitters are *not* symbol
+        synchronised (§6c).
+    estimate_channels:
+        When True, receivers work from noisy least-squares channel estimates
+        obtained in a training phase (each transmitter sounds the channel
+        alone); when False they use genie channel knowledge.
+    phase_tracking:
+        Decision-directed phase tracking on the demodulated stream
+        (first-order PLL), needed for long payloads under residual CFO.
+    training_preamble_length:
+        Preamble length used in the training phase for channel estimation.
+    """
+
+    modulation: str = "bpsk"
+    fec: Optional[str] = None
+    preamble_length: int = 64
+    noise_power: float = 1e-3
+    cfo_spread: float = 0.0
+    max_timing_offset: int = 0
+    estimate_channels: bool = False
+    phase_tracking: bool = True
+    training_preamble_length: int = 128
+    refine_cancellation: bool = True
+
+    def modulator(self) -> Modulator:
+        return get_modulator(self.modulation)
+
+    def make_fec(self):
+        if self.fec is None:
+            return None
+        if self.fec == "conv":
+            return ConvolutionalCode()
+        if self.fec == "hamming":
+            return Hamming74()
+        raise ValueError(f"unknown fec {self.fec!r}; use None, 'conv' or 'hamming'")
+
+
+@dataclass
+class PacketOutcome:
+    """Result of decoding one packet at signal level."""
+
+    packet_id: int
+    rx: int
+    delivered: bool
+    snr_db: float
+    bit_errors_precrc: int = 0
+    cancelled: int = 0
+
+
+@dataclass
+class SessionReport:
+    """Aggregate outcome of one signal-level IAC round."""
+
+    outcomes: List[PacketOutcome] = field(default_factory=list)
+    ethernet_bytes: int = 0
+    decoded: Dict[int, Packet] = field(default_factory=dict)
+
+    @property
+    def all_delivered(self) -> bool:
+        return all(o.delivered for o in self.outcomes)
+
+    @property
+    def delivery_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.delivered)
+
+    def snr_db_of(self, packet_id: int) -> float:
+        for o in self.outcomes:
+            if o.packet_id == packet_id:
+                return o.snr_db
+        raise KeyError(f"packet {packet_id} not in report")
+
+    @property
+    def total_rate(self) -> float:
+        """Achievable rate (Eq. 9) from the measured per-packet SNRs."""
+        snrs = [10 ** (o.snr_db / 10.0) for o in self.outcomes if o.delivered]
+        return float(np.sum(np.log2(1.0 + np.asarray(snrs)))) if snrs else 0.0
+
+
+def _packet_preamble(packet_id: int, length: int) -> np.ndarray:
+    """Per-packet PN preamble (distinct seeds keep cross-correlation low)."""
+    return pn_sequence(length, seed=0xACED + 0x9E37 * (packet_id + 1))
+
+
+class _PhaseTracker:
+    """Second-order decision-directed PLL over constellation symbols.
+
+    Tracks both phase and residual frequency so that imperfect preamble CFO
+    estimates (inevitable for weak packets) do not accumulate into phase
+    run-away over long payloads.
+    """
+
+    def __init__(self, modulator: Modulator, bandwidth: float = 0.06, freq_gain: float = 0.002):
+        self._mod = modulator
+        self._alpha = bandwidth
+        self._beta = freq_gain
+        self._phase = 0.0
+        self._freq = 0.0
+
+    def track(self, symbols: np.ndarray) -> np.ndarray:
+        out = np.empty_like(symbols)
+        for i, raw in enumerate(symbols):
+            corrected = raw * np.exp(-1j * self._phase)
+            decision_bits = self._mod.demodulate(np.array([corrected]))
+            decision = self._mod.modulate(decision_bits)[0]
+            if abs(decision) > 1e-12 and abs(corrected) > 1e-12:
+                error = float(np.angle(corrected * np.conj(decision)))
+                self._phase += self._alpha * error
+                self._freq += self._beta * error
+            self._phase += self._freq
+            out[i] = corrected
+        return out
+
+
+def _packet_scrambler(packet_id: int) -> "Scrambler":
+    """Per-packet scrambler seed (as 802.11 randomises per frame).
+
+    Scrambling decorrelates concurrent packets' on-air bit streams --
+    frame headers and padding would otherwise correlate same-length
+    packets, which biases the cancellation refit and leaves residual
+    interference.
+    """
+    seed = ((0x5B * (packet_id + 1)) & 0x7F) or 0x1F
+    return Scrambler(seed=seed)
+
+
+def _encode_bits(packet: Packet, fec, packet_id: int) -> np.ndarray:
+    bits = packet.to_bits()
+    coded = bits if fec is None else fec.encode(bits)
+    return _packet_scrambler(packet_id).scramble(coded)
+
+
+def _decode_bits(bits: np.ndarray, fec, n_frame_bits: int, packet_id: int) -> np.ndarray:
+    if fec is None:
+        descrambled = _packet_scrambler(packet_id).descramble(bits[:n_frame_bits])
+        return descrambled
+    n_coded = fec.encoded_length(n_frame_bits)
+    descrambled = _packet_scrambler(packet_id).descramble(bits[:n_coded])
+    return fec.decode(descrambled)[:n_frame_bits]
+
+
+def run_session(
+    solution: AlignmentSolution,
+    channels: ChannelSet,
+    payloads: Dict[int, Packet],
+    config: SignalConfig,
+    rng=None,
+) -> SessionReport:
+    """Run one IAC transmission group through the sample-level pipeline.
+
+    Parameters
+    ----------
+    solution:
+        Encoding vectors and decode schedule (uplink or downlink).
+    channels:
+        True channels between every transmitter and receiver involved.
+    payloads:
+        ``packet_id -> Packet`` for every packet in the solution.
+    config:
+        Pipeline knobs (modulation, FEC, noise, CFO, offsets, ...).
+    rng:
+        Seed or generator for noise/CFO/offset draws.
+    """
+    rng = default_rng(rng)
+    modulator = config.modulator()
+    fec = config.make_fec()
+
+    missing = {p.packet_id for p in solution.packets} - set(payloads)
+    if missing:
+        raise ValueError(f"missing payloads for packets {sorted(missing)}")
+
+    tx_nodes = sorted({p.tx for p in solution.packets})
+    rx_nodes = sorted({stage.rx for stage in solution.schedule})
+
+    # Per-node oscillator offsets; pair CFO is the difference (so that one
+    # transmitter has a *consistent* offset to every receiver, which the
+    # cancellation step relies on).
+    osc: Dict[int, float] = {}
+    for node in set(tx_nodes) | set(rx_nodes):
+        osc[node] = float(rng.uniform(-config.cfo_spread, config.cfo_spread)) if config.cfo_spread else 0.0
+    timing: Dict[int, int] = {
+        tx: int(rng.integers(0, config.max_timing_offset + 1)) if config.max_timing_offset else 0
+        for tx in tx_nodes
+    }
+
+    # ------------------------------------------------------------------ #
+    # Build per-packet sample streams and per-transmitter antenna blocks.
+    # ------------------------------------------------------------------ #
+    frame_bits: Dict[int, np.ndarray] = {}
+    packet_samples: Dict[int, np.ndarray] = {}
+    payload_symbol_start: Dict[int, int] = {}
+    for p in solution.packets:
+        pkt = payloads[p.packet_id]
+        bits = _encode_bits(pkt, fec, p.packet_id)
+        frame_bits[p.packet_id] = pkt.to_bits()
+        symbols = modulator.modulate(bits)
+        preamble = _packet_preamble(p.packet_id, config.preamble_length)
+        packet_samples[p.packet_id] = np.concatenate([preamble, symbols])
+        payload_symbol_start[p.packet_id] = config.preamble_length
+
+    n_longest = max(s.size for s in packet_samples.values())
+    tx_blocks: Dict[int, np.ndarray] = {}
+    amplitudes: Dict[int, float] = {}
+    for tx in tx_nodes:
+        n_ant = channels.tx_antennas(tx)
+        block = np.zeros((n_ant, n_longest), dtype=complex)
+        for pid in solution.packets_of_tx(tx):
+            amp = solution.tx_amplitude(pid)
+            amplitudes[pid] = amp
+            v = solution.encoding[pid]
+            s = packet_samples[pid]
+            block[:, : s.size] += amp * np.outer(v, s)
+        tx_blocks[tx] = block
+
+    # ------------------------------------------------------------------ #
+    # Channel: every receiver hears every transmitter.
+    # ------------------------------------------------------------------ #
+    received: Dict[int, np.ndarray] = {}
+    for rx in rx_nodes:
+        links = [
+            Link(h=channels.h(tx, rx), cfo=osc[tx] - osc[rx], sample_offset=timing[tx])
+            for tx in tx_nodes
+        ]
+        medium = MIMOChannel(links, noise_power=config.noise_power, rng=rng)
+        received[rx] = medium.receive([tx_blocks[tx] for tx in tx_nodes])
+
+    # ------------------------------------------------------------------ #
+    # Training phase: each transmitter sounds the channel alone so each
+    # receiver can estimate H and the pair CFO (paper §8a).
+    # ------------------------------------------------------------------ #
+    believed: Dict[tuple, np.ndarray] = {}
+    cfo_est: Dict[tuple, float] = {}
+    for tx in tx_nodes:
+        n_ant = channels.tx_antennas(tx)
+        training = preamble_matrix(n_ant, config.training_preamble_length, seed=0xBEEF + tx)
+        for rx in rx_nodes:
+            if config.estimate_channels:
+                link = Link(h=channels.h(tx, rx), cfo=osc[tx] - osc[rx])
+                medium = MIMOChannel([link], noise_power=config.noise_power, rng=rng)
+                heard = medium.receive([training])
+                believed[(tx, rx)] = estimate_channel(heard, training)
+                # CFO from the first antenna's known sequence.
+                cfo_est[(tx, rx)] = estimate_cfo(heard[0:1], (channels.h(tx, rx) @ training)[0:1])
+            else:
+                believed[(tx, rx)] = channels.h(tx, rx)
+                cfo_est[(tx, rx)] = osc[tx] - osc[rx]
+
+    # ------------------------------------------------------------------ #
+    # Decode following the schedule.
+    # ------------------------------------------------------------------ #
+    report = SessionReport()
+    all_ids = [p.packet_id for p in solution.packets]
+    decoded_sofar: List[int] = []
+
+    for stage in solution.schedule:
+        rx = stage.rx
+        window = received[rx].copy()
+        window_len = window.shape[1]
+        cancelled_here: List[int] = []
+        if solution.cooperative:
+            # Reconstruct and subtract every packet decoded at earlier
+            # stages (shipped over the Ethernet as decoded bits).
+            for pid in decoded_sofar:
+                pkt = report.decoded.get(pid)
+                if pkt is None:
+                    continue  # earlier stage failed; nothing to cancel
+                tx = solution.tx_of(pid)
+                recon = Reconstruction(
+                    samples=packet_samples[pid],
+                    encoding=solution.encoding[pid],
+                    amplitude=amplitudes[pid],
+                    channel=believed[(tx, rx)],
+                    cfo=cfo_est[(tx, rx)],
+                    sample_offset=timing[tx],
+                )
+                if config.refine_cancellation:
+                    window = subtract_refined(window, recon)
+                else:
+                    window = subtract(window, recon)
+                report.ethernet_bytes += pkt.nbytes
+                cancelled_here.append(pid)
+
+        live = [pid for pid in all_ids if pid not in cancelled_here] if solution.cooperative else list(all_ids)
+
+        for pid in stage.packet_ids:
+            tx = solution.tx_of(pid)
+            desired = amplitudes[pid] * believed[(tx, rx)] @ solution.encoding[pid]
+            interference = [
+                amplitudes[o] * believed[(solution.tx_of(o), rx)] @ solution.encoding[o]
+                for o in live
+                if o != pid
+            ]
+            w = max_sinr_vector(desired, interference, config.noise_power)
+            projected = np.conj(w) @ window
+
+            outcome = _decode_stream(
+                projected=projected,
+                pid=pid,
+                rx=rx,
+                tx_timing=timing[tx],
+                packet_samples=packet_samples[pid],
+                frame_bits=frame_bits[pid],
+                modulator=modulator,
+                fec=fec,
+                config=config,
+                cancelled=len(cancelled_here),
+            )
+            report.outcomes.append(outcome)
+            if outcome.delivered:
+                report.decoded[pid] = payloads[pid]
+        decoded_sofar.extend(stage.packet_ids)
+    return report
+
+
+def _decode_stream(
+    projected: np.ndarray,
+    pid: int,
+    rx: int,
+    tx_timing: int,
+    packet_samples: np.ndarray,
+    frame_bits: np.ndarray,
+    modulator: Modulator,
+    fec,
+    config: SignalConfig,
+    cancelled: int,
+) -> PacketOutcome:
+    """Synchronise, equalise, demodulate and CRC-check one projected stream."""
+    preamble = _packet_preamble(pid, config.preamble_length)
+    n_total = packet_samples.size
+
+    # Locate the packet (transmitters are not time synchronised).
+    if config.max_timing_offset > 0:
+        start = detect_preamble(projected, preamble, threshold=0.35)
+        if start < 0:
+            return PacketOutcome(pid, rx, False, snr_db=float("-inf"), cancelled=cancelled)
+    else:
+        start = tx_timing
+    segment = projected[start : start + n_total]
+    if segment.size < n_total:
+        return PacketOutcome(pid, rx, False, snr_db=float("-inf"), cancelled=cancelled)
+
+    # Residual CFO and complex gain from the known preamble.
+    rx_preamble = segment[: config.preamble_length]
+    cfo = estimate_cfo(rx_preamble[None, :], preamble[None, :])
+    derotated = apply_cfo(segment, -cfo, start=0)
+    gain = np.vdot(preamble, derotated[: config.preamble_length]) / float(
+        np.vdot(preamble, preamble).real
+    )
+    if abs(gain) < 1e-12:
+        return PacketOutcome(pid, rx, False, snr_db=float("-inf"), cancelled=cancelled)
+    equalized = derotated / gain
+
+    symbols = equalized[config.preamble_length :]
+    # The decision-directed PLL assumes memoryless constellation symbols;
+    # OFDM samples are time-domain mixtures, so tracking is skipped there
+    # (per-subcarrier equalisation handles phase for OFDM instead).
+    if config.phase_tracking and not isinstance(modulator, OFDM):
+        symbols = _PhaseTracker(modulator).track(symbols)
+
+    # Measured SNR: error-vector magnitude against the known transmitted
+    # symbols (the experiment harness has ground truth, as in the paper's
+    # testbed measurements).
+    reference = packet_samples[config.preamble_length :]
+    err = symbols - reference
+    sig_power = float(np.mean(np.abs(reference) ** 2))
+    err_power = float(np.mean(np.abs(err) ** 2))
+    snr_db = 10 * np.log10(sig_power / err_power) if err_power > 0 else np.inf
+
+    bits = modulator.demodulate(symbols)
+    try:
+        decoded_bits = _decode_bits(bits, fec, frame_bits.size, pid)
+        pre_crc_errors = int(np.count_nonzero(decoded_bits != frame_bits))
+        Packet.from_bits(decoded_bits)
+        delivered = pre_crc_errors == 0
+    except (ValueError, IndexError):
+        decoded_bits = None
+        pre_crc_errors = -1
+        delivered = False
+    return PacketOutcome(
+        packet_id=pid,
+        rx=rx,
+        delivered=delivered,
+        snr_db=float(snr_db),
+        bit_errors_precrc=pre_crc_errors,
+        cancelled=cancelled,
+    )

@@ -1,0 +1,52 @@
+"""MAC layer: PCF extension, frames, queues and concurrency algorithms."""
+
+from repro.mac.association import (
+    AssociationTable,
+    ChannelUpdate,
+    LeaderAP,
+    SubordinateAP,
+    elect_leader,
+)
+from repro.mac.concurrency import (
+    BestOfTwo,
+    BruteForce,
+    ConcurrencySelector,
+    FifoGrouping,
+    make_selector,
+)
+from repro.mac.frames import (
+    Ack,
+    Beacon,
+    CFEnd,
+    DataPollMetadata,
+    Grant,
+    GroupEntry,
+    make_group_entries,
+)
+from repro.mac.pcf import PCFConfig, PCFCoordinator, PCFStats
+from repro.mac.queueing import QueuedPacket, TransmissionQueue
+
+__all__ = [
+    "Ack",
+    "AssociationTable",
+    "Beacon",
+    "BestOfTwo",
+    "BruteForce",
+    "CFEnd",
+    "ChannelUpdate",
+    "ConcurrencySelector",
+    "DataPollMetadata",
+    "FifoGrouping",
+    "Grant",
+    "GroupEntry",
+    "LeaderAP",
+    "PCFConfig",
+    "PCFCoordinator",
+    "PCFStats",
+    "QueuedPacket",
+    "SubordinateAP",
+    "TransmissionQueue",
+    "elect_leader",
+    "make_group_entries",
+    "make_selector",
+]

@@ -1,0 +1,164 @@
+"""Client association and channel-state signalling (paper §7.1, §8).
+
+Covers the control-plane pieces around the data path:
+
+* **Association**: "the first time a client broadcasts an association
+  message, all APs estimate the channel from that client to themselves"
+  (§8a).  The leader assigns the client id used in DATA+Poll frames.
+* **Channel updates**: "the subordinate APs need to tell the leader AP
+  whenever ... channel coefficients to a client change by more than a
+  threshold value" (§7.1(c)); updates ride as annotations on Ethernet
+  frames (byte-accounted here).
+* **Leader election**: deterministic lowest-id rule; "only the leader AP
+  makes decisions, while other APs are dumb transmitters/receivers".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.phy.channel.estimation import ChannelTracker
+from repro.phy.channel.model import rayleigh_channel
+
+
+def elect_leader(ap_ids: Sequence[int]) -> int:
+    """Deterministic leader election: the lowest AP id wins."""
+    if not ap_ids:
+        raise ValueError("no APs to elect from")
+    return min(ap_ids)
+
+
+@dataclass
+class AssociationRecord:
+    """State the leader keeps per associated client."""
+
+    client_id: int
+    association_id: int
+    #: Last known channel estimate per AP (ap_id -> matrix).
+    channels: Dict[int, np.ndarray] = field(default_factory=dict)
+
+
+class AssociationTable:
+    """The leader AP's registry of associated clients.
+
+    Association ids are small dense integers reused after disassociation,
+    since they index the DATA+Poll metadata entries (Fig. 10).
+    """
+
+    def __init__(self):
+        self._records: Dict[int, AssociationRecord] = {}
+        self._free_ids: List[int] = []
+        self._next_id = 0
+
+    def associate(self, client_id: int) -> AssociationRecord:
+        """Register a client; idempotent for already-associated clients."""
+        if client_id in self._records:
+            return self._records[client_id]
+        if self._free_ids:
+            assoc_id = self._free_ids.pop(0)
+        else:
+            assoc_id = self._next_id
+            self._next_id += 1
+        record = AssociationRecord(client_id=client_id, association_id=assoc_id)
+        self._records[client_id] = record
+        return record
+
+    def disassociate(self, client_id: int) -> None:
+        record = self._records.pop(client_id, None)
+        if record is None:
+            raise KeyError(f"client {client_id} is not associated")
+        self._free_ids.append(record.association_id)
+        self._free_ids.sort()
+
+    def record(self, client_id: int) -> AssociationRecord:
+        return self._records[client_id]
+
+    def __contains__(self, client_id: int) -> bool:
+        return client_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clients(self) -> List[int]:
+        return sorted(self._records)
+
+
+@dataclass
+class ChannelUpdate:
+    """A subordinate AP's channel-change report to the leader."""
+
+    ap_id: int
+    client_id: int
+    h: np.ndarray
+
+    def nbytes(self) -> int:
+        """Annotation size: ids plus 8 bytes per complex entry."""
+        return 4 + 8 * int(np.asarray(self.h).size)
+
+
+class SubordinateAP:
+    """A non-leader AP: tracks channels, reports significant drift.
+
+    Wraps a :class:`~repro.phy.channel.estimation.ChannelTracker`; every
+    overheard ack/data frame refreshes the estimate and a report is
+    emitted only when the smoothed estimate moved by more than the
+    threshold -- keeping the Ethernet annotation traffic small.
+    """
+
+    def __init__(self, ap_id: int, drift_threshold: float = 0.1):
+        self.ap_id = ap_id
+        self._tracker = ChannelTracker(drift_threshold=drift_threshold)
+
+    def observe(self, client_id: int, h_estimate: np.ndarray) -> Optional[ChannelUpdate]:
+        """Fold in a fresh estimate; return a report if drift is large."""
+        drifted = self._tracker.update(client_id, h_estimate)
+        if not drifted:
+            return None
+        return ChannelUpdate(
+            ap_id=self.ap_id, client_id=client_id, h=self._tracker.get(client_id)
+        )
+
+    def channel_to(self, client_id: int) -> np.ndarray:
+        return self._tracker.get(client_id)
+
+
+class LeaderAP:
+    """The leader: association registry plus the global channel map.
+
+    The concurrency algorithm reads :meth:`channel_map` to build the
+    :class:`~repro.core.plans.ChannelSet` for each candidate group.
+    """
+
+    def __init__(self, ap_id: int, ap_ids: Sequence[int]):
+        if ap_id != elect_leader(ap_ids):
+            raise ValueError(f"AP {ap_id} is not the elected leader of {sorted(ap_ids)}")
+        self.ap_id = ap_id
+        self.ap_ids = sorted(ap_ids)
+        self.table = AssociationTable()
+        self.update_bytes = 0
+
+    def handle_association(
+        self,
+        client_id: int,
+        estimates: Dict[int, np.ndarray],
+    ) -> AssociationRecord:
+        """Process an association broadcast heard by all APs (§8a)."""
+        record = self.table.associate(client_id)
+        missing = set(self.ap_ids) - set(estimates)
+        if missing:
+            raise ValueError(f"association must carry estimates from all APs; missing {sorted(missing)}")
+        record.channels.update({ap: np.asarray(h, dtype=complex) for ap, h in estimates.items()})
+        return record
+
+    def handle_update(self, update: ChannelUpdate) -> None:
+        """Apply a subordinate's drift report; account its bytes."""
+        if update.client_id not in self.table:
+            raise KeyError(f"update for unassociated client {update.client_id}")
+        self.table.record(update.client_id).channels[update.ap_id] = update.h
+        self.update_bytes += update.nbytes()
+
+    def channel_map(self, client_id: int) -> Dict[int, np.ndarray]:
+        return dict(self.table.record(client_id).channels)

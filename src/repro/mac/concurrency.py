@@ -1,0 +1,174 @@
+"""Transmission-group selection: brute force, FIFO, best-of-two (§7.2).
+
+Given the FIFO queue and a way to score candidate groups (the throughput
+estimator of §7.2, ``sum_i log(1 + |v_i^T H_i w_i|^2)``), the concurrency
+algorithm picks which clients transmit together.  All three variants share
+two rules from the paper:
+
+* the head-of-queue client is always in the group (no starvation at the
+  head, bounded delay);
+* groups contain distinct clients.
+
+They differ in how the companions are chosen:
+
+* :class:`BruteForce` -- best over *all* combinations of queued clients
+  (combinatorial; maximum throughput, poor fairness);
+* :class:`FifoGrouping` -- strictly by arrival order (fair, throughput
+  oblivious);
+* :class:`BestOfTwo` -- two random candidates per remaining position, pick
+  the best-scoring combination, plus credit counters that force chronically
+  unlucky clients into a group (IAC's choice).
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.mac.queueing import TransmissionQueue
+from repro.utils.rng import default_rng
+
+#: A group scorer: maps an ordered client tuple to estimated throughput.
+GroupEvaluator = Callable[[Tuple[int, ...]], float]
+
+
+class ConcurrencySelector(ABC):
+    """Strategy interface for picking one transmission group."""
+
+    #: Number of clients per group (3 for the 2-antenna testbed scenarios).
+    group_size: int
+
+    @abstractmethod
+    def select(self, queue: TransmissionQueue, evaluate: GroupEvaluator) -> Tuple[int, ...]:
+        """Return the ordered client ids of the next transmission group.
+
+        Fewer than ``group_size`` clients are returned when the queue holds
+        fewer distinct clients.
+        """
+
+
+def _head_and_others(queue: TransmissionQueue) -> Tuple[int, List[int]]:
+    clients = queue.clients_in_order()
+    if not clients:
+        raise ValueError("cannot form a group from an empty queue")
+    return clients[0], clients[1:]
+
+
+@dataclass
+class FifoGrouping(ConcurrencySelector):
+    """Combine packets strictly by arrival order.
+
+    "This approach is simple and gives each client a fair access to the
+    medium, but is oblivious to the throughput of a particular grouping."
+    """
+
+    group_size: int = 3
+
+    def select(self, queue: TransmissionQueue, evaluate: GroupEvaluator) -> Tuple[int, ...]:
+        head, others = _head_and_others(queue)
+        return tuple([head] + others[: self.group_size - 1])
+
+
+@dataclass
+class BruteForce(ConcurrencySelector):
+    """Exhaustive search over companion combinations.
+
+    "The brute force approach considers all combinations of clients with
+    queued packets ... and estimates the throughput of each combination."
+    The head packet stays in the group; companions and their order (the
+    order encodes the AP assignment) are optimised exhaustively.
+    """
+
+    group_size: int = 3
+
+    def select(self, queue: TransmissionQueue, evaluate: GroupEvaluator) -> Tuple[int, ...]:
+        head, others = _head_and_others(queue)
+        k = min(self.group_size - 1, len(others))
+        if k == 0:
+            return (head,)
+        best_group: Optional[Tuple[int, ...]] = None
+        best_rate = float("-inf")
+        for combo in itertools.permutations(others, k):
+            group = (head,) + combo
+            rate = evaluate(group)
+            if rate > best_rate:
+                best_rate, best_group = rate, group
+        assert best_group is not None
+        return best_group
+
+
+@dataclass
+class BestOfTwo(ConcurrencySelector):
+    """The power-of-two-choices selector with fairness credits (IAC's).
+
+    For each companion position, two random candidate clients are drawn;
+    all combinations of the candidates (4 groups for a 3-client group) are
+    scored and the best is used.  Every candidate that was considered but
+    not picked gains a credit; a client whose credits cross ``threshold``
+    is forced into the next group regardless of throughput, then reset.
+    """
+
+    group_size: int = 3
+    threshold: int = 8
+    rng: object = None
+    credits: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.rng = default_rng(self.rng)
+
+    def select(self, queue: TransmissionQueue, evaluate: GroupEvaluator) -> Tuple[int, ...]:
+        head, others = _head_and_others(queue)
+        n_companions = min(self.group_size - 1, len(others))
+        if n_companions == 0:
+            return (head,)
+
+        # Clients owed service come first, regardless of throughput.
+        forced = [c for c in others if self.credits.get(c, 0) >= self.threshold]
+        forced = forced[:n_companions]
+        free_positions = n_companions - len(forced)
+        pool = [c for c in others if c not in forced]
+
+        position_candidates: List[List[int]] = []
+        considered = set()
+        for _ in range(free_positions):
+            if not pool:
+                break
+            k = min(2, len(pool))
+            picks = [pool[i] for i in self.rng.choice(len(pool), size=k, replace=False)]
+            position_candidates.append(picks)
+            considered.update(picks)
+
+        best_group: Optional[Tuple[int, ...]] = None
+        best_rate = float("-inf")
+        combos = itertools.product(*position_candidates) if position_candidates else [()]
+        for combo in combos:
+            if len(set(combo)) != len(combo):
+                continue  # the same client cannot fill two positions
+            group = (head,) + tuple(forced) + tuple(combo)
+            rate = evaluate(group)
+            if rate > best_rate:
+                best_rate, best_group = rate, group
+        if best_group is None:
+            # All combos collided (tiny pools); fall back to arrival order.
+            best_group = (head,) + tuple(forced) + tuple(pool[:free_positions])
+
+        # Credit accounting: picked -> reset, considered-but-ignored -> +1.
+        for client in best_group:
+            self.credits[client] = 0
+        for client in considered - set(best_group):
+            self.credits[client] = self.credits.get(client, 0) + 1
+        return best_group
+
+
+def make_selector(name: str, group_size: int = 3, rng=None) -> ConcurrencySelector:
+    """Factory used by experiments: ``"fifo"``, ``"brute"`` or ``"best2"``."""
+    key = name.lower()
+    if key in ("fifo",):
+        return FifoGrouping(group_size=group_size)
+    if key in ("brute", "brute-force", "bruteforce"):
+        return BruteForce(group_size=group_size)
+    if key in ("best2", "best-of-two", "bestoftwo"):
+        return BestOfTwo(group_size=group_size, rng=rng)
+    raise ValueError(f"unknown selector {name!r}")

@@ -1,0 +1,227 @@
+"""IAC's extension of the 802.11 PCF mode (paper §7.1, Fig. 9).
+
+Time is divided into contention-free periods (CFPs), during which the
+leader AP walks through downlink and uplink transmission groups, and fixed
+length contention periods (CPs), during which nodes fall back to standard
+point-to-point MIMO.  This module is a slot-level protocol simulation with
+exact frame-byte accounting:
+
+* the CFP starts with a :class:`~repro.mac.frames.Beacon` carrying the ack
+  bitmap for the previous CFP's uplink receptions;
+* each downlink group is preceded by the leader's
+  :class:`~repro.mac.frames.DataPollMetadata` broadcast (Fig. 10) and
+  followed by synchronous client acks;
+* each uplink group is granted by a :class:`~repro.mac.frames.Grant`; APs
+  cannot ack synchronously (successive cancellation), so receptions are
+  reported in the next beacon's bitmap;
+* lost packets are re-queued: uplink clients re-request on the next poll,
+  downlink APs schedule a retransmission (§7.1(a));
+* "when congestion is low and queues are empty, the CFP naturally shrinks".
+
+Physical outcomes are delegated to a caller-supplied ``transmit`` callback
+so the protocol layer is independent of the PHY model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mac.concurrency import ConcurrencySelector
+from repro.mac.frames import Ack, Beacon, CFEnd, DataPollMetadata, Grant, GroupEntry
+from repro.mac.queueing import QueuedPacket, TransmissionQueue
+
+#: Physical transmission callback: (direction, ordered client ids) ->
+#: per-client measured SINR in dB.  Direction is "downlink" or "uplink".
+TransmitFn = Callable[[str, Tuple[int, ...]], Dict[int, float]]
+
+
+@dataclass
+class PCFConfig:
+    """Protocol parameters."""
+
+    group_size: int = 3
+    payload_bytes: int = 1440
+    n_antennas: int = 2
+    n_aps: int = 3
+    #: Packets whose measured SINR falls below this threshold are lost.
+    loss_snr_threshold_db: float = 3.0
+    #: Upper bound on groups per CFP per direction (a CFP serves each
+    #: pending client once, §7.1(a); this caps pathological backlogs).
+    max_groups_per_cfp: int = 32
+    #: Fixed contention-period length in slots.
+    cp_slots: int = 4
+
+
+@dataclass
+class PCFStats:
+    """Counters for throughput/overhead analysis."""
+
+    slots: int = 0
+    cfp_slots: int = 0
+    cp_slots: int = 0
+    metadata_bytes: int = 0
+    ack_bytes: int = 0
+    beacon_bytes: int = 0
+    payload_bytes_delivered: int = 0
+    packets_delivered: int = 0
+    packets_lost: int = 0
+    retransmissions: int = 0
+    per_client_delivered: Dict[int, int] = field(default_factory=dict)
+
+    def overhead_fraction(self) -> float:
+        """Control bytes relative to delivered payload bytes."""
+        control = self.metadata_bytes + self.ack_bytes + self.beacon_bytes
+        if self.payload_bytes_delivered == 0:
+            return float("inf")
+        return control / self.payload_bytes_delivered
+
+
+class PCFCoordinator:
+    """The leader AP's medium-arbitration logic.
+
+    Parameters
+    ----------
+    downlink / uplink:
+        Transmission queues for the two directions.
+    selector:
+        Concurrency algorithm (shared across directions, as in §7.2).
+    evaluate:
+        Group throughput estimator handed to the selector.
+    transmit:
+        Physical transmission callback returning per-client SINRs (dB).
+    config:
+        Protocol parameters.
+    """
+
+    def __init__(
+        self,
+        downlink: TransmissionQueue,
+        uplink: TransmissionQueue,
+        selector: ConcurrencySelector,
+        evaluate,
+        transmit: TransmitFn,
+        config: Optional[PCFConfig] = None,
+    ):
+        self.downlink = downlink
+        self.uplink = uplink
+        self.selector = selector
+        self.evaluate = evaluate
+        self.transmit = transmit
+        self.config = config or PCFConfig()
+        self.stats = PCFStats()
+        self._frame_id = 0
+        self._pending_uplink_acks: List[int] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Frame helpers
+    # ------------------------------------------------------------------ #
+
+    def _next_frame_id(self) -> int:
+        self._frame_id = (self._frame_id + 1) & 0xFFFF
+        return self._frame_id
+
+    def _metadata_for(self, group: Tuple[int, ...], cls) -> DataPollMetadata:
+        entries = tuple(
+            GroupEntry(
+                client_id=cid,
+                ap_id=i % self.config.n_aps,
+                encoding=(0j,) * self.config.n_antennas,
+                decoding=(0j,) * self.config.n_antennas,
+            )
+            for i, cid in enumerate(group)
+        )
+        return cls(frame_id=self._next_frame_id(), n_aps=self.config.n_aps, entries=entries)
+
+    # ------------------------------------------------------------------ #
+    # CFP / CP machinery
+    # ------------------------------------------------------------------ #
+
+    def _serve_group(self, direction: str, queue: TransmissionQueue) -> None:
+        group = self.selector.select(queue, self.evaluate)
+        packets = {cid: queue.pop_client(cid) for cid in group}
+        meta_cls = DataPollMetadata if direction == "downlink" else Grant
+        metadata = self._metadata_for(group, meta_cls)
+        self.stats.metadata_bytes += metadata.nbytes()
+
+        sinrs = self.transmit(direction, group)
+        for cid in group:
+            packet = packets[cid]
+            if packet is None:
+                continue
+            delivered = sinrs.get(cid, float("-inf")) >= self.config.loss_snr_threshold_db
+            if delivered:
+                self.stats.packets_delivered += 1
+                self.stats.payload_bytes_delivered += packet.size_bytes
+                self.stats.per_client_delivered[cid] = (
+                    self.stats.per_client_delivered.get(cid, 0) + 1
+                )
+                if direction == "downlink":
+                    self.stats.ack_bytes += Ack(client_id=cid, seq=packet.seq).nbytes()
+                else:
+                    self._pending_uplink_acks.append(cid)
+            else:
+                self.stats.packets_lost += 1
+                self.stats.retransmissions += 1
+                # Retransmissions keep priority at the head of the queue.
+                queue.push_front(
+                    QueuedPacket(
+                        client_id=cid,
+                        seq=packet.seq,
+                        size_bytes=packet.size_bytes,
+                        retries=packet.retries + 1,
+                    )
+                )
+        self.stats.cfp_slots += 1
+        self.stats.slots += 1
+
+    def run_cfp(self) -> None:
+        """Run one contention-free period: beacon, groups, CF-End."""
+        beacon = Beacon(
+            cfp_duration_slots=len(self.downlink) + len(self.uplink),
+            ack_bitmap=tuple(self._pending_uplink_acks),
+        )
+        self.stats.beacon_bytes += beacon.nbytes()
+        self._pending_uplink_acks = []
+
+        # A CFP serves each client pending *at its start* once (§7.1(a));
+        # packets lost during this CFP are retransmitted in the next one.
+        for direction, queue in (("downlink", self.downlink), ("uplink", self.uplink)):
+            budget = -(-len(queue) // self.config.group_size)
+            budget = min(budget, self.config.max_groups_per_cfp)
+            served = 0
+            while queue and served < budget:
+                self._serve_group(direction, queue)
+                served += 1
+        self.stats.beacon_bytes += CFEnd().nbytes()
+
+    def run_cp(self) -> None:
+        """Contention period: fixed length, standard MIMO (no IAC groups)."""
+        self.stats.cp_slots += self.config.cp_slots
+        self.stats.slots += self.config.cp_slots
+
+    def run_round(self) -> None:
+        """One beacon interval: a CFP followed by a CP."""
+        self.run_cfp()
+        self.run_cp()
+
+    def enqueue_downlink(self, client_id: int, size_bytes: Optional[int] = None) -> None:
+        self._seq += 1
+        self.downlink.push(
+            QueuedPacket(
+                client_id=client_id,
+                seq=self._seq,
+                size_bytes=size_bytes or self.config.payload_bytes,
+            )
+        )
+
+    def enqueue_uplink(self, client_id: int, size_bytes: Optional[int] = None) -> None:
+        self._seq += 1
+        self.uplink.push(
+            QueuedPacket(
+                client_id=client_id,
+                seq=self._seq,
+                size_bytes=size_bytes or self.config.payload_bytes,
+            )
+        )

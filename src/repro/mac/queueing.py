@@ -1,0 +1,75 @@
+"""Per-direction FIFO transmission queues (paper §7.2).
+
+The leader AP "maintains a FIFO queue for traffic pending for the downlink
+and a similar queue for uplink requests learned from DATA+Poll frames".
+Queue entries are client-tagged packets; the concurrency algorithm always
+takes the head-of-queue packet and chooses companions for it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class QueuedPacket:
+    """A pending packet: owning client plus bookkeeping."""
+
+    client_id: int
+    seq: int
+    size_bytes: int = 1500
+    retries: int = 0
+
+
+class TransmissionQueue:
+    """FIFO of pending packets with client-aware helpers.
+
+    Supports the operations the concurrency algorithms need: peeking the
+    head, listing the distinct clients with queued packets in arrival
+    order, and removing the first packet of a given client (when that
+    client is chosen into a transmission group).
+    """
+
+    def __init__(self, packets: Iterable[QueuedPacket] = ()):
+        self._queue: Deque[QueuedPacket] = deque(packets)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def push(self, packet: QueuedPacket) -> None:
+        self._queue.append(packet)
+
+    def push_front(self, packet: QueuedPacket) -> None:
+        """Requeue at the head (retransmissions keep their priority)."""
+        self._queue.appendleft(packet)
+
+    def head(self) -> QueuedPacket:
+        if not self._queue:
+            raise IndexError("queue is empty")
+        return self._queue[0]
+
+    def clients_in_order(self) -> List[int]:
+        """Distinct clients with queued packets, in arrival order."""
+        seen = set()
+        out = []
+        for p in self._queue:
+            if p.client_id not in seen:
+                seen.add(p.client_id)
+                out.append(p.client_id)
+        return out
+
+    def pop_client(self, client_id: int) -> Optional[QueuedPacket]:
+        """Remove and return the first packet of ``client_id`` (or None)."""
+        for i, p in enumerate(self._queue):
+            if p.client_id == client_id:
+                del self._queue[i]
+                return p
+        return None
+
+    def packets_of(self, client_id: int) -> List[QueuedPacket]:
+        return [p for p in self._queue if p.client_id == client_id]

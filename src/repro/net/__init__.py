@@ -1,0 +1,13 @@
+"""Wired-network substrate: nodes and the Ethernet hub backplane."""
+
+from repro.net.ethernet import EthernetHub, HubFrame, virtual_mimo_sample_bytes
+from repro.net.node import AccessPoint, Client, Node
+
+__all__ = [
+    "AccessPoint",
+    "Client",
+    "EthernetHub",
+    "HubFrame",
+    "Node",
+    "virtual_mimo_sample_bytes",
+]

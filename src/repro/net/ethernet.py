@@ -1,0 +1,92 @@
+"""The wired backplane connecting IAC access points.
+
+The paper connects the APs with a hub: "every decoded packet is broadcast
+only once to all APs and to the switch that forwards the packet to its
+wired/final destination" (§7.1(d)).  This module models that hub with byte
+accounting, so the benchmarks can verify two claims:
+
+* IAC's Ethernet traffic is comparable to the wireless throughput (each
+  decoded packet crosses the wire once);
+* virtual MIMO's raw-sample sharing would be orders of magnitude larger
+  (§2(a): ~8-bit samples at twice the bandwidth per antenna).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class HubFrame:
+    """One frame on the hub: payload bytes plus annotation bytes."""
+
+    src_port: int
+    payload_bytes: int
+    annotation_bytes: int = 0
+    kind: str = "decoded-packet"
+
+    @property
+    def total_bytes(self) -> int:
+        return self.payload_bytes + self.annotation_bytes
+
+
+class EthernetHub:
+    """Broadcast hub with per-port delivery callbacks and byte accounting.
+
+    Ports are registered with :meth:`attach`; a frame sent by one port is
+    delivered to every *other* port (hub semantics) and counted once
+    against the shared medium (a hub carries each frame once regardless of
+    the number of listeners).
+    """
+
+    def __init__(self):
+        self._listeners: Dict[int, Callable[[HubFrame], None]] = {}
+        self.frames: List[HubFrame] = []
+
+    def attach(self, port: int, on_frame: Optional[Callable[[HubFrame], None]] = None) -> None:
+        """Register a port; ``on_frame`` is invoked for frames from others."""
+        if port in self._listeners:
+            raise ValueError(f"port {port} already attached")
+        self._listeners[port] = on_frame if on_frame is not None else (lambda _f: None)
+
+    def broadcast(self, frame: HubFrame) -> None:
+        """Send a frame from ``frame.src_port`` to all other ports."""
+        if frame.src_port not in self._listeners:
+            raise KeyError(f"port {frame.src_port} is not attached")
+        self.frames.append(frame)
+        for port, callback in self._listeners.items():
+            if port != frame.src_port:
+                callback(frame)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes carried by the shared medium."""
+        return sum(f.total_bytes for f in self.frames)
+
+    def bytes_of_kind(self, kind: str) -> int:
+        return sum(f.total_bytes for f in self.frames if f.kind == kind)
+
+    def reset(self) -> None:
+        self.frames.clear()
+
+
+def virtual_mimo_sample_bytes(
+    n_aps: int,
+    n_antennas: int,
+    n_samples: int,
+    bits_per_sample: int = 8,
+) -> int:
+    """Ethernet bytes virtual MIMO would need to share raw signal samples.
+
+    "To capture a signal without loss of information one needs to sample it
+    at twice its bandwidth at each antenna, with each sample about 8-bit
+    long" (§2(a)) -- and each of the complex sample's two components
+    (I and Q) needs its own ``bits_per_sample`` quantisation.  All but one
+    AP must ship their samples for joint decoding.
+    """
+    if min(n_aps, n_antennas, n_samples) < 0:
+        raise ValueError("arguments must be non-negative")
+    senders = max(0, n_aps - 1)
+    bits = senders * n_antennas * n_samples * 2 * bits_per_sample
+    return bits // 8

@@ -1,0 +1,57 @@
+"""Nodes of an IAC network: access points and clients.
+
+Nodes are thin identity + capability records; the signal processing lives
+in :mod:`repro.core` and :mod:`repro.phy`.  APs carry a role flag (one AP
+is the *leader* that runs the concurrency algorithm and arbitrates the
+medium, §7) and an Ethernet port; clients carry association state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.phy.channel.reciprocity import RadioHardware
+
+
+@dataclass
+class Node:
+    """A radio node: identity plus antenna count and hardware chains."""
+
+    node_id: int
+    n_antennas: int = 2
+    hardware: Optional[RadioHardware] = None
+
+    def __post_init__(self):
+        if self.n_antennas < 1:
+            raise ValueError("nodes need at least one antenna")
+
+
+@dataclass
+class AccessPoint(Node):
+    """An AP: wired to the backplane, possibly the leader.
+
+    "Only the leader AP makes decisions, while other APs are dumb
+    transmitters/receivers" (§7.1(b)).
+    """
+
+    is_leader: bool = False
+    ethernet_port: Optional[int] = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.ethernet_port is None:
+            self.ethernet_port = self.node_id
+
+
+@dataclass
+class Client(Node):
+    """A client: associates with the AP set, gets an id for polling."""
+
+    associated: bool = False
+    #: Client id assigned at association, used in DATA+Poll frames (§7.1).
+    association_id: Optional[int] = None
+
+    def associate(self, association_id: int) -> None:
+        self.associated = True
+        self.association_id = association_id

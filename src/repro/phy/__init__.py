@@ -1,0 +1,22 @@
+"""Physical-layer substrate: everything below interference alignment.
+
+Subpackages
+-----------
+``modulation``
+    BPSK through 64-QAM and OFDM; pluggable into the IAC pipeline.
+``fec``
+    Convolutional (Viterbi) and Hamming codes plus interleaving.
+``channel``
+    Flat-fading MIMO channel model, estimation, reciprocity calibration.
+``mimo``
+    Precoding, projection/ZF/MMSE detection, eigenmode baseline, rates.
+
+Modules
+-------
+``bits``, ``crc``, ``packet``, ``preamble``
+    Bit plumbing, framing, and synchronisation sequences.
+"""
+
+from repro.phy.packet import DecodedPacket, Packet
+
+__all__ = ["DecodedPacket", "Packet"]

@@ -1,0 +1,91 @@
+"""Bit-level plumbing: packing, unpacking and scrambling.
+
+The PHY pipeline works on ``uint8`` arrays of 0/1 "bits".  Payload bytes are
+expanded MSB-first, matching how 802.11 frames are usually drawn in the
+standard and making test vectors easy to read.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Expand bytes into an MSB-first bit array of dtype uint8."""
+    if len(data) == 0:
+        return np.zeros(0, dtype=np.uint8)
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(arr)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack an MSB-first bit array back into bytes.
+
+    Raises
+    ------
+    ValueError
+        If the number of bits is not a multiple of 8.
+    """
+    bits = np.asarray(bits, dtype=np.uint8).ravel()
+    if bits.size % 8 != 0:
+        raise ValueError(f"bit count {bits.size} is not a whole number of bytes")
+    return np.packbits(bits).tobytes()
+
+
+def random_bits(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` uniform random bits."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return rng.integers(0, 2, size=n, dtype=np.uint8)
+
+
+def bit_errors(a: np.ndarray, b: np.ndarray) -> int:
+    """Count positions where two equal-length bit arrays differ."""
+    a = np.asarray(a, dtype=np.uint8).ravel()
+    b = np.asarray(b, dtype=np.uint8).ravel()
+    if a.size != b.size:
+        raise ValueError(f"length mismatch: {a.size} vs {b.size}")
+    return int(np.count_nonzero(a != b))
+
+
+def bit_error_rate(a: np.ndarray, b: np.ndarray) -> float:
+    """Return the fraction of differing bits (0 for two empty arrays)."""
+    a = np.asarray(a).ravel()
+    if a.size == 0:
+        return 0.0
+    return bit_errors(a, b) / a.size
+
+
+class Scrambler:
+    """Self-synchronising 7-bit LFSR scrambler (802.11 polynomial x^7+x^4+1).
+
+    Scrambling whitens long runs of identical payload bits so the modulated
+    waveform has no DC bias; descrambling with the same seed restores the
+    original bits.  The operation is an involution for a fixed seed:
+    ``descramble(scramble(b)) == b``.
+    """
+
+    #: Default non-zero initial LFSR state.
+    DEFAULT_SEED = 0b1011101
+
+    def __init__(self, seed: int = DEFAULT_SEED):
+        if not 1 <= seed <= 0x7F:
+            raise ValueError("seed must be a non-zero 7-bit value")
+        self.seed = seed
+
+    def _keystream(self, n: int) -> np.ndarray:
+        state = self.seed
+        out = np.empty(n, dtype=np.uint8)
+        for i in range(n):
+            bit = ((state >> 6) ^ (state >> 3)) & 1
+            out[i] = bit
+            state = ((state << 1) | bit) & 0x7F
+        return out
+
+    def scramble(self, bits: np.ndarray) -> np.ndarray:
+        """XOR ``bits`` with the LFSR keystream."""
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        return bits ^ self._keystream(bits.size)
+
+    # XOR with the same keystream undoes itself.
+    descramble = scramble

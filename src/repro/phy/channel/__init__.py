@@ -1,0 +1,54 @@
+"""Wireless channel substrate.
+
+Replaces the paper's USRP testbed with a flat-fading MIMO channel model
+(:mod:`~repro.phy.channel.model`), least-squares channel estimation
+(:mod:`~repro.phy.channel.estimation`) and reciprocity-based downlink
+inference with hardware calibration (:mod:`~repro.phy.channel.reciprocity`).
+"""
+
+from repro.phy.channel.estimation import (
+    ChannelEstimate,
+    ChannelTracker,
+    estimate_cfo,
+    estimate_channel,
+)
+from repro.phy.channel.model import (
+    Link,
+    MIMOChannel,
+    apply_cfo,
+    awgn,
+    noise_power_for_snr,
+    rayleigh_channel,
+)
+from repro.phy.channel.selective import MultiTapChannel, exponential_pdp
+from repro.phy.channel.reciprocity import (
+    RadioHardware,
+    ReciprocityCalibrator,
+    fractional_error,
+    observed_downlink,
+    observed_uplink,
+    predict_downlink,
+    solve_calibration,
+)
+
+__all__ = [
+    "ChannelEstimate",
+    "ChannelTracker",
+    "Link",
+    "MIMOChannel",
+    "MultiTapChannel",
+    "RadioHardware",
+    "ReciprocityCalibrator",
+    "apply_cfo",
+    "awgn",
+    "estimate_cfo",
+    "estimate_channel",
+    "exponential_pdp",
+    "fractional_error",
+    "noise_power_for_snr",
+    "observed_downlink",
+    "observed_uplink",
+    "predict_downlink",
+    "rayleigh_channel",
+    "solve_calibration",
+]

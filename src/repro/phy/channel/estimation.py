@@ -1,0 +1,146 @@
+"""Channel estimation from known preambles.
+
+The paper (§8a) estimates uplink channels with "standard MIMO channel
+estimation" on packets that are transmitted without concurrency (association
+messages, acks, contention-period data).  With the orthogonal per-antenna
+preambles of :mod:`repro.phy.preamble`, the least-squares estimate reduces
+to a correlation:
+
+    H_hat = Y P^H (P P^H)^{-1}
+
+where ``Y`` is the ``(n_rx, L)`` received preamble block and ``P`` the
+``(n_tx, L)`` transmitted preamble matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.linalg import herm
+
+
+def estimate_channel(received: np.ndarray, preamble: np.ndarray) -> np.ndarray:
+    """Least-squares MIMO channel estimate from a preamble burst.
+
+    Parameters
+    ----------
+    received:
+        ``(n_rx, L)`` received samples covering the preamble.
+    preamble:
+        ``(n_tx, L)`` known transmitted preamble matrix.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_rx, n_tx)`` channel estimate.
+    """
+    received = np.atleast_2d(np.asarray(received, dtype=complex))
+    preamble = np.atleast_2d(np.asarray(preamble, dtype=complex))
+    if received.shape[1] != preamble.shape[1]:
+        raise ValueError("received block and preamble length differ")
+    gram = preamble @ herm(preamble)
+    return received @ herm(preamble) @ np.linalg.inv(gram)
+
+
+def estimate_cfo(received: np.ndarray, transmitted: np.ndarray, block: int = 16) -> float:
+    """Estimate the normalised CFO between two repeats of a known sequence.
+
+    After wiping the data (``r[k] * conj(t[k]) ~ h * exp(j 2 pi cfo k)``),
+    the rotation phase is measured on block averages (suppressing noise by
+    ``1/sqrt(block)``) and the CFO is the least-squares slope of the
+    unwrapped block phases.  This is substantially more robust at low SNR
+    than per-sample phase increments.  Only the first receive antenna is
+    used; CFO is a per-oscillator property so all antennas on one node
+    share it.
+    """
+    rx = np.atleast_2d(np.asarray(received, dtype=complex))[0]
+    tx = np.atleast_2d(np.asarray(transmitted, dtype=complex))[0]
+    n = min(rx.size, tx.size)
+    if n < 2:
+        raise ValueError("need at least two samples to estimate CFO")
+    rot = rx[:n] * np.conj(tx[:n])
+    block = max(2, min(block, n // 2))
+    centers = []
+    phases = []
+    for start in range(0, n - block + 1, block):
+        total = complex(np.sum(rot[start : start + block]))
+        if abs(total) < 1e-30:
+            continue
+        centers.append(start + (block - 1) / 2.0)
+        phases.append(float(np.angle(total)))
+    if len(phases) < 2:
+        # Fall back to the two-halves estimator.
+        half = n // 2
+        first = complex(np.sum(rot[:half]))
+        second = complex(np.sum(rot[half : 2 * half]))
+        if abs(first) < 1e-30 or abs(second) < 1e-30:
+            return 0.0
+        return float(np.angle(second * np.conj(first)) / (2 * np.pi * half))
+    unwrapped = np.unwrap(np.array(phases))
+    slope, _ = np.polyfit(np.array(centers), unwrapped, 1)
+    return float(slope / (2 * np.pi))
+
+
+@dataclass
+class ChannelEstimate:
+    """A channel estimate with freshness metadata.
+
+    The leader AP must be told when "the channel's estimate has changed
+    by more than a threshold value" (paper §7.1(c)); ``age`` and
+    :meth:`drift_from` support that logic in the MAC layer.
+    """
+
+    h: np.ndarray
+    age: int = 0
+
+    def drift_from(self, other: "ChannelEstimate") -> float:
+        """Relative Frobenius-norm change against another estimate."""
+        denom = np.linalg.norm(other.h)
+        if denom == 0:
+            return float("inf")
+        return float(np.linalg.norm(self.h - other.h) / denom)
+
+    def tick(self) -> None:
+        """Advance the freshness clock by one slot."""
+        self.age += 1
+
+
+class ChannelTracker:
+    """Tracks per-link channel estimates with exponential smoothing.
+
+    APs re-estimate the channel from every ack a client transmits (§8a);
+    smoothing trades estimation noise against tracking speed.
+    """
+
+    def __init__(self, alpha: float = 0.7, drift_threshold: float = 0.1):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.drift_threshold = drift_threshold
+        self._estimates: dict = {}
+
+    def update(self, key, h_new: np.ndarray) -> bool:
+        """Fold in a fresh estimate; returns True when drift is significant.
+
+        A True return is the trigger for a subordinate AP to notify the
+        leader AP of a channel change (§7.1(c)).
+        """
+        h_new = np.asarray(h_new, dtype=complex)
+        current = self._estimates.get(key)
+        if current is None:
+            self._estimates[key] = ChannelEstimate(h=h_new)
+            return True
+        smoothed = self.alpha * h_new + (1 - self.alpha) * current.h
+        candidate = ChannelEstimate(h=smoothed)
+        drifted = candidate.drift_from(current) > self.drift_threshold
+        self._estimates[key] = candidate
+        return drifted
+
+    def get(self, key) -> np.ndarray:
+        """Return the current estimate for a link key."""
+        return self._estimates[key].h
+
+    def __contains__(self, key) -> bool:
+        return key in self._estimates

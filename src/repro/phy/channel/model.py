@@ -1,0 +1,174 @@
+"""Flat-fading MIMO channel model with carrier frequency offset and noise.
+
+This is the substrate standing in for the paper's USRP/RFX2400 testbed.  It
+models exactly the effects the paper's §6 discusses:
+
+* a *flat* (single-complex-tap per antenna pair) MIMO channel ``H``, the
+  regime in which the paper shows alignment needs no synchronisation;
+* per transmitter-receiver pair carrier frequency offset (CFO), which
+  rotates the received signal in the I-Q domain over time but must not
+  disturb alignment in the antenna-spatial domain (§6a) -- a property our
+  test-suite asserts;
+* additive white Gaussian noise at the receiver;
+* optional integer sample (timing) offsets per transmitter, modelling the
+  absence of symbol synchronisation between concurrent senders (§6c).
+
+Channels between different node pairs are independent Rayleigh draws, as in
+a rich-scattering indoor deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.db import db_to_linear
+from repro.utils.rng import default_rng
+
+
+def rayleigh_channel(
+    n_rx: int,
+    n_tx: int,
+    rng: np.random.Generator,
+    gain: float = 1.0,
+) -> np.ndarray:
+    """Draw an i.i.d. Rayleigh ``(n_rx, n_tx)`` channel matrix.
+
+    Entries are CN(0, gain): circularly-symmetric complex Gaussian with
+    variance ``gain`` (the average power gain of each antenna path).
+    """
+    scale = np.sqrt(gain / 2.0)
+    return scale * (rng.standard_normal((n_rx, n_tx)) + 1j * rng.standard_normal((n_rx, n_tx)))
+
+
+def awgn(shape, noise_power: float, rng: np.random.Generator) -> np.ndarray:
+    """Complex white Gaussian noise with total variance ``noise_power``."""
+    scale = np.sqrt(noise_power / 2.0)
+    return scale * (rng.standard_normal(shape) + 1j * rng.standard_normal(shape))
+
+
+def apply_cfo(samples: np.ndarray, cfo_norm: float, start: int = 0) -> np.ndarray:
+    """Rotate a sample stream by a normalised carrier frequency offset.
+
+    Parameters
+    ----------
+    samples:
+        ``(n_rx, n_samples)`` or ``(n_samples,)`` complex stream.
+    cfo_norm:
+        Frequency offset as a fraction of the sample rate
+        (``delta_f / f_s``); each successive sample rotates by
+        ``2 pi cfo_norm``.
+    start:
+        Absolute index of the first sample (so that streams subtracted
+        later, e.g. during cancellation, rotate coherently).
+    """
+    samples = np.asarray(samples, dtype=complex)
+    n = samples.shape[-1]
+    phase = np.exp(2j * np.pi * cfo_norm * (start + np.arange(n)))
+    return samples * phase
+
+
+@dataclass
+class Link:
+    """One directional radio link: channel matrix plus impairments.
+
+    Attributes
+    ----------
+    h:
+        ``(n_rx, n_tx)`` complex channel matrix.
+    cfo:
+        Normalised carrier frequency offset for this tx-rx pair.
+    sample_offset:
+        Integer timing offset of the transmitter relative to the receiver's
+        sample clock (no symbol synchronisation, §6c).
+    """
+
+    h: np.ndarray
+    cfo: float = 0.0
+    sample_offset: int = 0
+
+    @property
+    def n_rx(self) -> int:
+        return self.h.shape[0]
+
+    @property
+    def n_tx(self) -> int:
+        return self.h.shape[1]
+
+
+class MIMOChannel:
+    """The wireless medium between a set of transmitters and one receiver.
+
+    Combines concurrent transmissions, applies per-link CFO and timing
+    offsets, and adds receiver noise -- producing what one AP (or client)
+    hears when several nodes transmit at once (paper Fig. 4).
+    """
+
+    def __init__(
+        self,
+        links: Sequence[Link],
+        noise_power: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if not links:
+            raise ValueError("need at least one link")
+        n_rx = links[0].n_rx
+        if any(link.n_rx != n_rx for link in links):
+            raise ValueError("all links must share the receiver antenna count")
+        self.links = list(links)
+        self.noise_power = float(noise_power)
+        self.rng = default_rng(rng)
+
+    @property
+    def n_rx(self) -> int:
+        return self.links[0].n_rx
+
+    def receive(self, transmissions: Sequence[Optional[np.ndarray]]) -> np.ndarray:
+        """Mix concurrent transmissions into one received sample block.
+
+        Parameters
+        ----------
+        transmissions:
+            One ``(n_tx_i, n_samples_i)`` complex array per link (``None``
+            for a silent transmitter).  Streams may have different lengths
+            and different ``sample_offset``; the output covers the union.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_rx, total_samples)`` received block including noise.
+        """
+        if len(transmissions) != len(self.links):
+            raise ValueError("one transmission entry required per link")
+        total = 0
+        for link, tx in zip(self.links, transmissions):
+            if tx is None:
+                continue
+            tx = np.atleast_2d(np.asarray(tx, dtype=complex))
+            if tx.shape[0] != link.n_tx:
+                raise ValueError(
+                    f"transmission has {tx.shape[0]} antenna rows, link expects {link.n_tx}"
+                )
+            total = max(total, link.sample_offset + tx.shape[1])
+        if total == 0:
+            return np.zeros((self.n_rx, 0), dtype=complex)
+
+        received = np.zeros((self.n_rx, total), dtype=complex)
+        for link, tx in zip(self.links, transmissions):
+            if tx is None:
+                continue
+            tx = np.atleast_2d(np.asarray(tx, dtype=complex))
+            n = tx.shape[1]
+            faded = link.h @ tx
+            faded = apply_cfo(faded, link.cfo, start=link.sample_offset)
+            received[:, link.sample_offset : link.sample_offset + n] += faded
+        if self.noise_power > 0:
+            received += awgn(received.shape, self.noise_power, self.rng)
+        return received
+
+
+def noise_power_for_snr(snr_db: float, signal_power: float = 1.0) -> float:
+    """Noise power that yields ``snr_db`` for a given received signal power."""
+    return signal_power / db_to_linear(snr_db)

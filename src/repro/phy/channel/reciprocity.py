@@ -1,0 +1,165 @@
+"""Channel reciprocity and calibration (paper §8b, Eq. 8; evaluated Fig. 16).
+
+On the downlink the APs infer the client-bound channel from the uplink
+channel instead of asking clients to feed estimates back.  Raw reciprocity
+says the over-the-air channel from A to B is the transpose of B to A, but
+each node's transmit and receive hardware chains add their own per-antenna
+gain and phase, so calibration is required:
+
+    (H_down)^T = C_client_rx  H_up  C_ap_tx            (Eq. 8)
+
+where the ``C`` matrices are constant diagonal matrices.  They are estimated
+once per client-AP pair and keep working as the client moves, because the
+hardware chains do not depend on the propagation environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+
+
+def random_hardware_chain(
+    n_antennas: int,
+    rng: np.random.Generator,
+    gain_spread_db: float = 3.0,
+    phase_spread: float = np.pi,
+) -> np.ndarray:
+    """Draw a diagonal hardware-chain matrix (per-antenna gain + delay).
+
+    Gains are log-uniform within ``+/- gain_spread_db`` and phases uniform
+    within ``+/- phase_spread``, modelling component tolerances in RF
+    up/down conversion chains.
+    """
+    gains_db = rng.uniform(-gain_spread_db, gain_spread_db, size=n_antennas)
+    phases = rng.uniform(-phase_spread, phase_spread, size=n_antennas)
+    return np.diag(10 ** (gains_db / 20.0) * np.exp(1j * phases))
+
+
+@dataclass
+class RadioHardware:
+    """A node's transmit and receive chain distortions.
+
+    The *over-the-air* channel ``H_air`` is reciprocal; what nodes measure is
+    ``C_rx H_air C_tx`` for the respective direction's chains.
+    """
+
+    c_tx: np.ndarray
+    c_rx: np.ndarray
+
+    @classmethod
+    def random(cls, n_antennas: int, rng=None) -> "RadioHardware":
+        rng = default_rng(rng)
+        return cls(
+            c_tx=random_hardware_chain(n_antennas, rng),
+            c_rx=random_hardware_chain(n_antennas, rng),
+        )
+
+
+def observed_uplink(h_air: np.ndarray, client: RadioHardware, ap: RadioHardware) -> np.ndarray:
+    """Measured client->AP channel including both ends' hardware chains."""
+    return ap.c_rx @ h_air @ client.c_tx
+
+
+def observed_downlink(h_air: np.ndarray, client: RadioHardware, ap: RadioHardware) -> np.ndarray:
+    """Measured AP->client channel; the over-the-air part is ``h_air^T``."""
+    return client.c_rx @ h_air.T @ ap.c_tx
+
+
+def solve_calibration(
+    h_up: np.ndarray,
+    h_down: np.ndarray,
+    refine_iterations: int = 8,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve Eq. 8 for the diagonal calibration matrices.
+
+    Given one simultaneous measurement of the uplink and downlink channels,
+    find diagonal ``C_left`` (client-rx side) and ``C_right`` (AP-tx side)
+    with ``h_down^T = C_left @ h_up @ C_right``.
+
+    The factorisation has a scalar ambiguity (``C_left * a``, ``C_right / a``
+    give the same product); we fix it by normalising ``C_right[0, 0] = 1``.
+    The initial guess comes from the element-wise ratio
+    ``R[i, j] = h_down^T[i, j] / h_up[i, j] = c_left[i] * c_right[j]``;
+    because measurement noise is amplified wherever ``|h_up[i, j]|`` is
+    small, the guess is then refined by weighted alternating least squares
+    (weights ``|h_up[i, j]|^2``), which keeps the calibration accurate even
+    when one channel entry faded during the calibration measurement.
+    """
+    h_up = np.asarray(h_up, dtype=complex)
+    h_down = np.asarray(h_down, dtype=complex)
+    target = h_down.T
+    if target.shape != h_up.shape:
+        raise ValueError("uplink and transposed downlink shapes differ")
+    ratio = target / h_up
+    # c_left[i] * c_right[j] = ratio[i, j]; with c_right[0] = 1:
+    c_left = ratio[:, 0].copy()
+    c_right = ratio[0, :] / ratio[0, 0]
+
+    weights = np.abs(h_up) ** 2
+    for _ in range(max(0, refine_iterations)):
+        # Fix c_right, solve each c_left[i] by weighted LS over its row.
+        model = h_up * c_right[None, :]
+        c_left = np.sum(weights * np.conj(model) * target, axis=1) / np.sum(
+            weights * np.abs(model) ** 2, axis=1
+        )
+        # Fix c_left, solve each c_right[j] over its column.
+        model = c_left[:, None] * h_up
+        c_right = np.sum(weights * np.conj(model) * target, axis=0) / np.sum(
+            weights * np.abs(model) ** 2, axis=0
+        )
+    # Re-anchor the scalar ambiguity.
+    scale = c_right[0]
+    c_right = c_right / scale
+    c_left = c_left * scale
+    return np.diag(c_left), np.diag(c_right)
+
+
+def predict_downlink(
+    h_up: np.ndarray,
+    c_left: np.ndarray,
+    c_right: np.ndarray,
+) -> np.ndarray:
+    """Predict the downlink channel from an uplink measurement (Eq. 8)."""
+    return (np.asarray(c_left) @ np.asarray(h_up, dtype=complex) @ np.asarray(c_right)).T
+
+
+def fractional_error(h_true: np.ndarray, h_estimate: np.ndarray) -> float:
+    """The paper's Fig. 16 error metric: ||H_true - H_est|| / ||H_true||."""
+    h_true = np.asarray(h_true, dtype=complex)
+    denom = np.linalg.norm(h_true)
+    if denom == 0:
+        raise ValueError("true channel has zero norm")
+    return float(np.linalg.norm(h_true - np.asarray(h_estimate, dtype=complex)) / denom)
+
+
+class ReciprocityCalibrator:
+    """Per client-AP pair calibration workflow (paper §8b).
+
+    Usage mirrors the Fig. 16 experiment: :meth:`calibrate` once from a
+    paired uplink/downlink measurement, then :meth:`downlink_from_uplink`
+    forever after, even as the client moves and the propagation channel
+    changes.
+    """
+
+    def __init__(self):
+        self._c_left: Optional[np.ndarray] = None
+        self._c_right: Optional[np.ndarray] = None
+
+    @property
+    def calibrated(self) -> bool:
+        return self._c_left is not None
+
+    def calibrate(self, h_up: np.ndarray, h_down: np.ndarray) -> None:
+        """Compute and store calibration matrices from one paired measurement."""
+        self._c_left, self._c_right = solve_calibration(h_up, h_down)
+
+    def downlink_from_uplink(self, h_up: np.ndarray) -> np.ndarray:
+        """Infer the downlink channel from a fresh uplink estimate."""
+        if not self.calibrated:
+            raise RuntimeError("calibrate() must be called before prediction")
+        return predict_downlink(h_up, self._c_left, self._c_right)

@@ -1,0 +1,144 @@
+"""Frequency-selective (multi-tap) MIMO channels.
+
+The paper's USRP1 channels were narrow enough to be flat ("accurately
+modeled with a single complex number", §6c), which is the regime where
+alignment needs no synchronisation.  For wider channels the paper
+*conjectures* that alignment can be done independently per OFDM
+subcarrier.  This module provides the substrate to test that conjecture:
+
+* :class:`MultiTapChannel` -- an FIR MIMO channel ``y[t] = sum_k H_k x[t-k]``
+  with a configurable power-delay profile;
+* :meth:`MultiTapChannel.frequency_response` -- the per-subcarrier channel
+  matrices ``H(f) = sum_k H_k exp(-j 2 pi f k / N)`` an OFDM system sees;
+* :func:`exponential_pdp` -- the standard exponentially-decaying
+  power-delay profile, parameterised by delay spread.
+
+The §6c experiment itself lives in :mod:`repro.core.ofdm_alignment` and
+``benchmarks/bench_ablation_ofdm.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.phy.channel.model import rayleigh_channel
+from repro.utils.rng import default_rng
+
+
+def exponential_pdp(n_taps: int, delay_spread: float) -> np.ndarray:
+    """Exponentially-decaying power-delay profile, normalised to unit sum.
+
+    ``delay_spread`` is the RMS delay spread in samples; ``delay_spread=0``
+    returns a single-tap (flat) profile.
+    """
+    if n_taps < 1:
+        raise ValueError("need at least one tap")
+    if delay_spread < 0:
+        raise ValueError("delay spread must be non-negative")
+    if delay_spread == 0 or n_taps == 1:
+        profile = np.zeros(n_taps)
+        profile[0] = 1.0
+        return profile
+    taps = np.arange(n_taps)
+    profile = np.exp(-taps / delay_spread)
+    return profile / profile.sum()
+
+
+@dataclass(frozen=True)
+class MultiTapChannel:
+    """A time-dispersive MIMO channel: one matrix per delay tap.
+
+    Attributes
+    ----------
+    taps:
+        Tuple of ``(n_rx, n_tx)`` complex matrices, tap 0 first.
+    """
+
+    taps: tuple
+
+    def __post_init__(self):
+        if not self.taps:
+            raise ValueError("need at least one tap")
+        shape = self.taps[0].shape
+        if any(t.shape != shape for t in self.taps):
+            raise ValueError("all taps must share the same antenna shape")
+
+    @property
+    def n_rx(self) -> int:
+        return self.taps[0].shape[0]
+
+    @property
+    def n_tx(self) -> int:
+        return self.taps[0].shape[1]
+
+    @property
+    def n_taps(self) -> int:
+        return len(self.taps)
+
+    @classmethod
+    def random(
+        cls,
+        n_rx: int,
+        n_tx: int,
+        pdp: Sequence[float],
+        rng=None,
+        gain: float = 1.0,
+    ) -> "MultiTapChannel":
+        """Draw independent Rayleigh taps weighted by a power-delay profile."""
+        rng = default_rng(rng)
+        taps = tuple(
+            rayleigh_channel(n_rx, n_tx, rng, gain=gain * float(p)) if p > 0
+            else np.zeros((n_rx, n_tx), dtype=complex)
+            for p in pdp
+        )
+        return cls(taps=taps)
+
+    def apply(self, tx: np.ndarray) -> np.ndarray:
+        """Convolve an ``(n_tx, n)`` block through the channel.
+
+        Output has ``n + n_taps - 1`` samples (full convolution tail).
+        """
+        tx = np.atleast_2d(np.asarray(tx, dtype=complex))
+        if tx.shape[0] != self.n_tx:
+            raise ValueError(f"expected {self.n_tx} antenna rows, got {tx.shape[0]}")
+        n = tx.shape[1]
+        out = np.zeros((self.n_rx, n + self.n_taps - 1), dtype=complex)
+        for k, h in enumerate(self.taps):
+            out[:, k : k + n] += h @ tx
+        return out
+
+    def frequency_response(self, n_fft: int) -> List[np.ndarray]:
+        """Per-bin channel matrices ``H(f)`` for an ``n_fft``-point OFDM system.
+
+        With a cyclic prefix at least ``n_taps - 1`` samples long, each OFDM
+        subcarrier ``f`` sees the flat matrix channel ``H(f)`` -- which is
+        exactly what makes per-subcarrier alignment possible.
+        """
+        if n_fft < self.n_taps:
+            raise ValueError("FFT shorter than the channel impulse response")
+        response = []
+        for f in range(n_fft):
+            h = np.zeros((self.n_rx, self.n_tx), dtype=complex)
+            for k, tap in enumerate(self.taps):
+                h = h + tap * np.exp(-2j * np.pi * f * k / n_fft)
+            response.append(h)
+        return response
+
+    def coherence_bandwidth_bins(self, n_fft: int, threshold: float = 0.9) -> int:
+        """Bins over which the channel stays correlated above ``threshold``.
+
+        The paper's conjecture leans on "nearby subcarriers typically have
+        similar frequency response"; this quantifies 'nearby'.
+        """
+        response = self.frequency_response(n_fft)
+        h0 = response[0].ravel()
+        h0n = h0 / np.linalg.norm(h0)
+        for f in range(1, n_fft):
+            hf = response[f].ravel()
+            corr = abs(np.vdot(h0n, hf / np.linalg.norm(hf)))
+            if corr < threshold:
+                return f
+        return n_fft

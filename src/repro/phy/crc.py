@@ -1,0 +1,75 @@
+"""CRC-32 as used by 802.11 frames (reflected, polynomial 0x04C11DB7).
+
+Implemented table-driven and numpy-free in the hot loop per byte; this is the
+same algorithm as ``zlib.crc32`` and the two are cross-checked in the test
+suite, but we keep our own implementation so the frame format has no hidden
+dependency and so intermediate states are inspectable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POLY_REFLECTED = 0xEDB88320
+
+
+def _build_table() -> list:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY_REFLECTED
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, initial: int = 0) -> int:
+    """Return the CRC-32 of ``data``.
+
+    ``initial`` lets callers chain CRCs across fragments:
+    ``crc32(a + b) == crc32(b, crc32(a))``.
+    """
+    crc = initial ^ 0xFFFFFFFF
+    for byte in bytes(data):
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def append_crc(payload: bytes) -> bytes:
+    """Return ``payload`` with its 4-byte little-endian CRC appended."""
+    return bytes(payload) + crc32(payload).to_bytes(4, "little")
+
+
+def check_crc(frame: bytes) -> bool:
+    """Validate a frame produced by :func:`append_crc`."""
+    if len(frame) < 4:
+        return False
+    payload, trailer = frame[:-4], frame[-4:]
+    return crc32(payload) == int.from_bytes(trailer, "little")
+
+
+def strip_crc(frame: bytes) -> bytes:
+    """Return the payload of a CRC-valid frame.
+
+    Raises
+    ------
+    ValueError
+        If the CRC does not verify.
+    """
+    if not check_crc(frame):
+        raise ValueError("CRC check failed")
+    return frame[:-4]
+
+
+def crc_bits(bits: np.ndarray) -> np.ndarray:
+    """CRC over a bit array, returned as 32 bits (for bit-domain pipelines)."""
+    from repro.phy.bits import bits_to_bytes, bytes_to_bits
+
+    value = crc32(bits_to_bytes(bits))
+    return bytes_to_bits(value.to_bytes(4, "little"))

@@ -1,0 +1,17 @@
+"""Forward error correction.
+
+IAC subtracts interference *before* the signal reaches modulation/FEC, so
+any code drops in unchanged (paper §1).  Provided codes:
+
+* :class:`~repro.phy.fec.convolutional.ConvolutionalCode` -- 802.11-style
+  rate-1/2 K=7 with Viterbi decoding.
+* :class:`~repro.phy.fec.hamming.Hamming74` -- light single-error-correcting
+  block code.
+* :class:`~repro.phy.fec.interleaver.BlockInterleaver` -- burst spreading.
+"""
+
+from repro.phy.fec.convolutional import ConvolutionalCode
+from repro.phy.fec.hamming import Hamming74
+from repro.phy.fec.interleaver import BlockInterleaver
+
+__all__ = ["ConvolutionalCode", "Hamming74", "BlockInterleaver"]

@@ -1,0 +1,203 @@
+"""Rate-1/n convolutional codes with Viterbi decoding.
+
+The default generators (133, 171 octal, constraint length 7) are the 802.11
+industry-standard rate-1/2 pair.  IAC is transparent to FEC (paper §1, §4):
+the code runs above the alignment machinery, so the IAC pipeline accepts any
+:class:`ConvolutionalCode` (or none).
+
+The encoder is zero-terminated: ``K - 1`` tail bits flush the shift register
+so the decoder's final state is known, which measurably improves the last
+few bits' reliability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _octal(value: int) -> int:
+    """Interpret a decimal-written literal as octal (e.g. 133 -> 0o133)."""
+    return int(str(value), 8)
+
+
+class ConvolutionalCode:
+    """Binary convolutional encoder + hard-decision Viterbi decoder.
+
+    Parameters
+    ----------
+    generators:
+        Generator polynomials written in octal-as-decimal (802.11 default
+        ``(133, 171)``).
+    constraint_length:
+        Encoder memory + 1 (default 7).
+
+    Notes
+    -----
+    State convention: the state is the newest ``K-1`` input bits with the
+    *newest* bit in the most-significant position, i.e. on input ``b`` the
+    register becomes ``(b << (K-1)) | state`` and the next state is that
+    register shifted right by one.  Under this convention each trellis state
+    has exactly two predecessors and the input bit that led to a state is the
+    state's own most significant bit, which makes the Viterbi recursion fully
+    vectorisable over states.
+    """
+
+    def __init__(self, generators=(133, 171), constraint_length: int = 7):
+        if constraint_length < 2:
+            raise ValueError("constraint_length must be >= 2")
+        self.constraint_length = constraint_length
+        self.generators = tuple(_octal(g) for g in generators)
+        self.rate_inverse = len(self.generators)
+        if self.rate_inverse < 2:
+            raise ValueError("need at least two generator polynomials")
+        self.n_states = 1 << (constraint_length - 1)
+        for g in self.generators:
+            if g >= (1 << constraint_length):
+                raise ValueError("generator polynomial wider than constraint length")
+        self._build_trellis()
+
+    def _build_trellis(self):
+        """Precompute next-state and packed-output tables for (state, bit)."""
+        k = self.constraint_length
+        n_states = self.n_states
+        self._next_state = np.zeros((n_states, 2), dtype=np.int64)
+        # Outputs packed as an integer, generator 0 in the MSB.
+        self._out_packed = np.zeros((n_states, 2), dtype=np.int64)
+        self._out_bits = np.zeros((n_states, 2, self.rate_inverse), dtype=np.uint8)
+        for state in range(n_states):
+            for bit in (0, 1):
+                register = (bit << (k - 1)) | state
+                self._next_state[state, bit] = register >> 1
+                packed = 0
+                for gi, g in enumerate(self.generators):
+                    out = bin(register & g).count("1") & 1
+                    self._out_bits[state, bit, gi] = out
+                    packed = (packed << 1) | out
+                self._out_packed[state, bit] = packed
+        # Predecessor structure: destination d was reached with input bit
+        # d >> (K-2); its two predecessors differ in their oldest bit.
+        states = np.arange(n_states, dtype=np.int64)
+        self._bit_of_dest = states >> (k - 2)
+        low = states & ((1 << (k - 2)) - 1) if k > 2 else np.zeros_like(states)
+        self._pred = np.stack([low << 1, (low << 1) | 1], axis=1)  # (n_states, 2)
+        self._pred_out = np.stack(
+            [
+                self._out_packed[self._pred[:, 0], self._bit_of_dest],
+                self._out_packed[self._pred[:, 1], self._bit_of_dest],
+            ],
+            axis=1,
+        )
+        # Popcount table for branch metrics over packed outputs.
+        self._popcount = np.array(
+            [bin(x).count("1") for x in range(1 << self.rate_inverse)], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode ``bits`` (zero-terminated) into coded bits."""
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        tail = np.zeros(self.constraint_length - 1, dtype=np.uint8)
+        stream = np.concatenate([bits, tail])
+        out = np.empty((stream.size, self.rate_inverse), dtype=np.uint8)
+        state = 0
+        for i, bit in enumerate(stream):
+            out[i] = self._out_bits[state, bit]
+            state = self._next_state[state, bit]
+        return out.ravel()
+
+    def encoded_length(self, n_bits: int) -> int:
+        """Coded bits produced for ``n_bits`` of payload."""
+        return (n_bits + self.constraint_length - 1) * self.rate_inverse
+
+    # ------------------------------------------------------------------ #
+    # Viterbi decoding
+    # ------------------------------------------------------------------ #
+
+    def decode(self, coded: np.ndarray) -> np.ndarray:
+        """Hard-decision Viterbi decode; returns the original payload bits.
+
+        The trellis starts and ends in state 0 (zero termination).
+        """
+        coded = np.asarray(coded, dtype=np.uint8).ravel()
+        r = self.rate_inverse
+        if coded.size % r != 0:
+            raise ValueError("coded length is not a multiple of the inverse rate")
+        n_steps = coded.size // r
+        if n_steps < self.constraint_length - 1:
+            raise ValueError("coded stream shorter than the termination tail")
+        # Pack each r-bit observation into an integer for table lookups.
+        weights = 1 << np.arange(r - 1, -1, -1)
+        observed = (coded.reshape(n_steps, r).astype(np.int64) @ weights).astype(np.int64)
+
+        n_states = self.n_states
+        inf = np.iinfo(np.int64).max // 4
+        metric = np.full(n_states, inf, dtype=np.int64)
+        metric[0] = 0
+        # survivors[t, d] = which of the two predecessors won at step t.
+        survivors = np.empty((n_steps, n_states), dtype=np.uint8)
+
+        for t in range(n_steps):
+            branch0 = self._popcount[self._pred_out[:, 0] ^ observed[t]]
+            branch1 = self._popcount[self._pred_out[:, 1] ^ observed[t]]
+            cand0 = metric[self._pred[:, 0]] + branch0
+            cand1 = metric[self._pred[:, 1]] + branch1
+            choose1 = cand1 < cand0
+            survivors[t] = choose1
+            metric = np.where(choose1, cand1, cand0)
+
+        # Traceback from the zero state (termination guarantees it).
+        state = 0
+        decoded = np.empty(n_steps, dtype=np.uint8)
+        for t in range(n_steps - 1, -1, -1):
+            decoded[t] = self._bit_of_dest[state]
+            state = self._pred[state, survivors[t, state]]
+        # Drop the flush tail.
+        return decoded[: n_steps - (self.constraint_length - 1)]
+
+    def decode_soft(self, llrs: np.ndarray) -> np.ndarray:
+        """Soft-decision Viterbi decode from per-coded-bit LLRs.
+
+        ``llrs[i] = log P(coded bit i = 0) / P(coded bit i = 1)`` (the
+        convention of the modulators' ``soft_bits``).  Soft decisions are
+        worth roughly 2 dB over hard decisions on an AWGN channel.
+        """
+        llrs = np.asarray(llrs, dtype=float).ravel()
+        r = self.rate_inverse
+        if llrs.size % r != 0:
+            raise ValueError("LLR count is not a multiple of the inverse rate")
+        n_steps = llrs.size // r
+        if n_steps < self.constraint_length - 1:
+            raise ValueError("LLR stream shorter than the termination tail")
+        observations = llrs.reshape(n_steps, r)
+
+        n_states = self.n_states
+        # Expected output bits per (destination, predecessor-choice):
+        # shape (n_states, 2, r), as +/-1 signs for the metric.
+        signs = np.empty((n_states, 2, r), dtype=float)
+        for choice in (0, 1):
+            bits = self._out_bits[self._pred[:, choice], self._bit_of_dest]
+            signs[:, choice, :] = 2.0 * bits - 1.0  # bit 1 -> +1, bit 0 -> -1
+
+        inf = np.inf
+        metric = np.full(n_states, inf)
+        metric[0] = 0.0
+        survivors = np.empty((n_steps, n_states), dtype=np.uint8)
+        for t in range(n_steps):
+            # Branch cost: sum_g (2 b - 1) * llr_g -- negative when the
+            # expected bits agree with the evidence.
+            branch = signs @ observations[t]  # (n_states, 2)
+            cand0 = metric[self._pred[:, 0]] + branch[:, 0]
+            cand1 = metric[self._pred[:, 1]] + branch[:, 1]
+            choose1 = cand1 < cand0
+            survivors[t] = choose1
+            metric = np.where(choose1, cand1, cand0)
+
+        state = 0
+        decoded = np.empty(n_steps, dtype=np.uint8)
+        for t in range(n_steps - 1, -1, -1):
+            decoded[t] = self._bit_of_dest[state]
+            state = self._pred[state, survivors[t, state]]
+        return decoded[: n_steps - (self.constraint_length - 1)]

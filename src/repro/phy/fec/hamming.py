@@ -1,0 +1,63 @@
+"""Hamming(7,4) block code with single-error correction.
+
+A lightweight alternative to the convolutional code, used in tests and
+examples to demonstrate IAC's FEC transparency (paper §1: "IAC works with
+various modulations and FEC codes").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Generator in systematic form [I | P]; data bits first.
+_P = np.array(
+    [
+        [1, 1, 0],
+        [1, 0, 1],
+        [0, 1, 1],
+        [1, 1, 1],
+    ],
+    dtype=np.uint8,
+)
+_G = np.concatenate([np.eye(4, dtype=np.uint8), _P], axis=1)  # (4, 7)
+_H = np.concatenate([_P.T, np.eye(3, dtype=np.uint8)], axis=1)  # (3, 7)
+
+# Map each of the 8 syndromes to the single-bit error position (or -1).
+_SYNDROME_TO_POS = np.full(8, -1, dtype=np.int64)
+for _pos in range(7):
+    _e = np.zeros(7, dtype=np.uint8)
+    _e[_pos] = 1
+    _s = (_H @ _e) % 2
+    _SYNDROME_TO_POS[int(_s[0]) * 4 + int(_s[1]) * 2 + int(_s[2])] = _pos
+
+
+class Hamming74:
+    """Systematic Hamming(7,4): corrects any single bit error per block."""
+
+    k = 4
+    n = 7
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode bits (zero-padded to a multiple of 4) into 7-bit blocks."""
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        pad = (-bits.size) % self.k
+        if pad:
+            bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+        blocks = bits.reshape(-1, self.k)
+        return ((blocks @ _G) % 2).astype(np.uint8).ravel()
+
+    def encoded_length(self, n_bits: int) -> int:
+        return (-(-n_bits // self.k)) * self.n
+
+    def decode(self, coded: np.ndarray) -> np.ndarray:
+        """Decode 7-bit blocks, correcting up to one error per block."""
+        coded = np.asarray(coded, dtype=np.uint8).ravel()
+        if coded.size % self.n != 0:
+            raise ValueError("coded length is not a multiple of 7")
+        blocks = coded.reshape(-1, self.n).copy()
+        syndromes = (blocks @ _H.T) % 2
+        syndrome_index = syndromes[:, 0] * 4 + syndromes[:, 1] * 2 + syndromes[:, 2]
+        error_pos = _SYNDROME_TO_POS[syndrome_index]
+        rows = np.nonzero(error_pos >= 0)[0]
+        blocks[rows, error_pos[rows]] ^= 1
+        return blocks[:, : self.k].ravel()

@@ -1,0 +1,52 @@
+"""Block interleaver.
+
+Convolutional codes fail on bursty errors; interleaving spreads a burst
+across the codeword so the Viterbi decoder sees quasi-independent errors.
+Bursts arise in IAC when interference cancellation briefly degrades (e.g.
+a stale channel estimate), so the full pipeline interleaves after FEC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BlockInterleaver:
+    """Row-in/column-out block interleaver with implicit zero padding.
+
+    Writing fills an ``(n_rows, n_cols)`` matrix row-major; reading walks it
+    column-major.  ``deinterleave`` inverts exactly, including the padding.
+    """
+
+    def __init__(self, n_rows: int = 16, n_cols: int = 24):
+        if n_rows < 1 or n_cols < 1:
+            raise ValueError("interleaver dimensions must be positive")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.block = n_rows * n_cols
+
+    def _permutation(self) -> np.ndarray:
+        idx = np.arange(self.block).reshape(self.n_rows, self.n_cols)
+        return idx.T.ravel()
+
+    def interleave(self, bits: np.ndarray) -> np.ndarray:
+        """Permute bits blockwise; output is padded to whole blocks."""
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        pad = (-bits.size) % self.block
+        if pad:
+            bits = np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+        perm = self._permutation()
+        return bits.reshape(-1, self.block)[:, perm].ravel()
+
+    def deinterleave(self, bits: np.ndarray, original_length: int | None = None) -> np.ndarray:
+        """Invert :meth:`interleave`; optionally trim to the original length."""
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        if bits.size % self.block != 0:
+            raise ValueError("input is not a whole number of interleaver blocks")
+        perm = self._permutation()
+        inverse = np.empty_like(perm)
+        inverse[perm] = np.arange(self.block)
+        out = bits.reshape(-1, self.block)[:, inverse].ravel()
+        if original_length is not None:
+            out = out[:original_length]
+        return out

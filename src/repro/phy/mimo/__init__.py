@@ -1,0 +1,54 @@
+"""MIMO signal processing: precoding, detection, eigenmode baseline, rates."""
+
+from repro.phy.mimo.capacity import (
+    estimated_group_rate,
+    jain_fairness,
+    multiplexing_slope,
+    rate_from_snrs,
+    rate_from_snrs_db,
+)
+from repro.phy.mimo.detection import (
+    decoding_vector,
+    equalize,
+    mmse_matrix,
+    post_projection_sinr,
+    project,
+    zero_forcing_matrix,
+)
+from repro.phy.mimo.eigenmode import Eigenmodes, best_ap_rate, eigenmode_link, waterfill
+from repro.phy.mimo.mcs import (
+    DEFAULT_TABLE,
+    MCS,
+    adapt_rates,
+    effective_throughput,
+    select_mcs,
+    shannon_gap_db,
+)
+from repro.phy.mimo.precoding import EncodedStream, antenna_selection_vectors, precode
+
+__all__ = [
+    "DEFAULT_TABLE",
+    "MCS",
+    "EncodedStream",
+    "Eigenmodes",
+    "antenna_selection_vectors",
+    "adapt_rates",
+    "best_ap_rate",
+    "decoding_vector",
+    "effective_throughput",
+    "eigenmode_link",
+    "equalize",
+    "estimated_group_rate",
+    "jain_fairness",
+    "mmse_matrix",
+    "multiplexing_slope",
+    "post_projection_sinr",
+    "precode",
+    "project",
+    "rate_from_snrs",
+    "rate_from_snrs_db",
+    "select_mcs",
+    "shannon_gap_db",
+    "waterfill",
+    "zero_forcing_matrix",
+]

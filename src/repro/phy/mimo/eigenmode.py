@@ -1,0 +1,135 @@
+"""Eigenmode (SVD) beamforming with waterfilling power allocation.
+
+This is the 802.11-MIMO baseline of the paper's evaluation: "QUALCOMM's
+eigenmode enforcing [2] ... an approach that is proven optimal for
+point-to-point MIMO [29]" (§10d).  With full channel knowledge at both ends,
+the channel ``H = U S V^H`` is diagonalised by transmitting along the right
+singular vectors and receiving along the left ones; power is waterfilled
+over the resulting parallel subchannels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Eigenmodes:
+    """A point-to-point MIMO link decomposed into parallel subchannels.
+
+    Attributes
+    ----------
+    tx_vectors:
+        Columns of ``V``: per-stream transmit (encoding) vectors.
+    rx_vectors:
+        Columns of ``U``: per-stream receive (decoding) vectors.
+    gains:
+        Singular values ``s_i`` (amplitude gains of each subchannel).
+    powers:
+        Waterfilled power allocation per stream (sums to the power budget).
+    noise_power:
+        Noise power the allocation was computed for.
+    """
+
+    tx_vectors: np.ndarray
+    rx_vectors: np.ndarray
+    gains: np.ndarray
+    powers: np.ndarray
+    noise_power: float
+
+    @property
+    def n_streams(self) -> int:
+        return int(np.count_nonzero(self.powers > 0))
+
+    def stream_snrs(self) -> np.ndarray:
+        """Post-detection SNR of each active stream."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return self.powers * self.gains**2 / self.noise_power
+
+    def rate(self) -> float:
+        """Achievable sum rate in bit/s/Hz (Eq. 9 over the eigenmodes)."""
+        return float(np.sum(np.log2(1.0 + self.stream_snrs())))
+
+
+def waterfill(gains: np.ndarray, noise_power: float, total_power: float) -> np.ndarray:
+    """Waterfilling over parallel channels with amplitude gains ``gains``.
+
+    Maximises ``sum log2(1 + p_i g_i^2 / N0)`` subject to ``sum p_i <= P``.
+    Uses the exact iterative removal of channels whose level falls below
+    their inverse gain.
+    """
+    gains = np.asarray(gains, dtype=float).ravel()
+    if total_power < 0 or noise_power <= 0:
+        raise ValueError("total_power must be >= 0 and noise_power > 0")
+    powers = np.zeros_like(gains)
+    active = gains > 1e-15
+    inv = np.zeros_like(gains)
+    inv[active] = noise_power / gains[active] ** 2
+    while np.any(active):
+        level = (total_power + np.sum(inv[active])) / np.count_nonzero(active)
+        alloc = level - inv
+        if np.all(alloc[active] >= -1e-15):
+            powers[active] = np.maximum(alloc[active], 0.0)
+            break
+        # Drop the worst channel and re-solve.
+        worst = np.argmin(np.where(active, alloc, np.inf))
+        active[worst] = False
+    return powers
+
+
+def eigenmode_link(
+    h: np.ndarray,
+    noise_power: float,
+    total_power: float = 1.0,
+    max_streams: int | None = None,
+) -> Eigenmodes:
+    """Decompose a channel into waterfilled eigenmodes.
+
+    Parameters
+    ----------
+    h:
+        ``(n_rx, n_tx)`` channel matrix.
+    noise_power:
+        Receiver noise power per antenna.
+    total_power:
+        Transmit power budget shared by all streams.
+    max_streams:
+        Optionally cap the number of spatial streams (e.g. to compare
+        against an IAC configuration with a fixed packet count).
+    """
+    h = np.asarray(h, dtype=complex)
+    u, s, vh = np.linalg.svd(h)
+    k = min(h.shape)
+    if max_streams is not None:
+        k = min(k, max_streams)
+    gains = s[:k]
+    powers = waterfill(gains, noise_power, total_power)
+    return Eigenmodes(
+        tx_vectors=vh.conj().T[:, :k],
+        rx_vectors=u[:, :k],
+        gains=gains,
+        powers=powers,
+        noise_power=noise_power,
+    )
+
+
+def best_ap_rate(
+    channels: List[np.ndarray],
+    noise_power: float,
+    total_power: float = 1.0,
+    max_streams: int | None = None,
+) -> float:
+    """Rate of a client that picks its best AP (802.11-MIMO diversity).
+
+    "If there are three APs, each 802.11-MIMO client communicates with the
+    AP to which it has the best SNR" (§10e): the baseline may not use extra
+    APs for concurrency but does use them for selection diversity.
+    """
+    if not channels:
+        raise ValueError("need at least one candidate channel")
+    return max(
+        eigenmode_link(h, noise_power, total_power, max_streams).rate() for h in channels
+    )

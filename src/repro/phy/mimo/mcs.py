@@ -1,0 +1,123 @@
+"""Modulation-and-coding-scheme (MCS) selection: rate adaptation.
+
+The paper measures achievable rates (Eq. 9) precisely because "GNU-Radios
+do not yet support rate adaptation" (§10(f)) -- a real product would map
+each packet's SNR to the densest modulation/coding that still decodes.
+This module supplies that missing piece so the signal-level pipeline can
+be driven like an actual 802.11 device:
+
+* an 802.11a/g-flavoured MCS table (BPSK 1/2 through 64-QAM 3/4), with
+  each entry's spectral efficiency and minimum operating SNR;
+* :func:`select_mcs` -- highest-throughput entry whose SNR requirement is
+  met (with a configurable margin);
+* :func:`effective_throughput` -- what a rate-adapting link extracts from
+  a measured SNR, the discrete counterpart of Eq. 9's ``log2(1 + SNR)``.
+
+The SNR thresholds are the standard AWGN operating points for ~10% packet
+error rate at 1500-byte frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MCS:
+    """One modulation-and-coding scheme.
+
+    Attributes
+    ----------
+    index:
+        Table position (denser schemes have higher indices).
+    modulation:
+        Name understood by :func:`repro.phy.modulation.get_modulator`.
+    code_rate:
+        FEC code rate (1.0 = uncoded).
+    bits_per_symbol:
+        Raw modulation bits per complex symbol.
+    min_snr_db:
+        Minimum post-detection SNR for reliable operation.
+    """
+
+    index: int
+    modulation: str
+    code_rate: float
+    bits_per_symbol: int
+    min_snr_db: float
+
+    @property
+    def efficiency(self) -> float:
+        """Spectral efficiency in bit/s/Hz (coded bits per symbol)."""
+        return self.bits_per_symbol * self.code_rate
+
+
+#: 802.11a/g-style table (modulation, code rate, min SNR for ~10% PER).
+DEFAULT_TABLE: List[MCS] = [
+    MCS(0, "bpsk", 0.5, 1, 4.0),
+    MCS(1, "bpsk", 0.75, 1, 5.5),
+    MCS(2, "qpsk", 0.5, 2, 7.0),
+    MCS(3, "qpsk", 0.75, 2, 9.0),
+    MCS(4, "qam16", 0.5, 4, 12.5),
+    MCS(5, "qam16", 0.75, 4, 16.0),
+    MCS(6, "qam64", 0.67, 6, 20.0),
+    MCS(7, "qam64", 0.75, 6, 22.0),
+]
+
+
+def select_mcs(
+    snr_db: float,
+    table: Optional[List[MCS]] = None,
+    margin_db: float = 0.0,
+) -> Optional[MCS]:
+    """Highest-efficiency scheme whose SNR requirement is met.
+
+    Returns ``None`` when even the most robust entry cannot operate
+    (the packet would be deferred or sent at a management rate).
+    ``margin_db`` backs off the thresholds, trading throughput for
+    robustness against SNR estimation error.
+    """
+    table = DEFAULT_TABLE if table is None else table
+    best: Optional[MCS] = None
+    for mcs in table:
+        if snr_db >= mcs.min_snr_db + margin_db:
+            if best is None or mcs.efficiency > best.efficiency:
+                best = mcs
+    return best
+
+
+def effective_throughput(
+    snr_db: float,
+    table: Optional[List[MCS]] = None,
+    margin_db: float = 0.0,
+) -> float:
+    """Spectral efficiency a rate-adapting link achieves at ``snr_db``.
+
+    The staircase counterpart of ``log2(1 + SNR)``: zero below the first
+    threshold, then jumps at each MCS switch point.
+    """
+    mcs = select_mcs(snr_db, table, margin_db)
+    return 0.0 if mcs is None else mcs.efficiency
+
+
+def shannon_gap_db(snr_db: float, table: Optional[List[MCS]] = None) -> float:
+    """How far the staircase sits from capacity at a given SNR.
+
+    Returns the extra SNR (dB) Shannon capacity would need to match the
+    selected MCS's efficiency -- a standard link-adaptation diagnostic.
+    """
+    eff = effective_throughput(snr_db, table)
+    if eff <= 0:
+        return float("inf")
+    needed_snr = 2.0**eff - 1.0
+    return float(snr_db - 10 * np.log10(needed_snr))
+
+
+def adapt_rates(snrs_db, table: Optional[List[MCS]] = None, margin_db: float = 0.0):
+    """Vectorised :func:`effective_throughput` over per-packet SNRs."""
+    return np.array(
+        [effective_throughput(float(s), table, margin_db) for s in np.atleast_1d(snrs_db)]
+    )

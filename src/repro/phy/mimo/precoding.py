@@ -1,0 +1,74 @@
+"""Transmit-side precoding: encoding vectors and power normalisation.
+
+"Instead of transmitting each packet on a single antenna, we multiply packet
+``p_i`` by a vector ``v_i`` and transmit the two elements of the resulting
+vector, one on each antenna" (paper §4b).  This module turns per-packet
+sample streams plus encoding vectors into per-antenna sample blocks, under a
+total transmit power constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.linalg import normalize
+
+
+@dataclass(frozen=True)
+class EncodedStream:
+    """A packet's samples bound to its encoding vector."""
+
+    samples: np.ndarray  # (n_samples,) complex
+    encoding: np.ndarray  # (n_tx,) complex, unit norm after precode()
+
+
+def precode(
+    streams: Sequence[EncodedStream],
+    n_tx: int,
+    total_power: float = 1.0,
+) -> np.ndarray:
+    """Superimpose encoded packet streams onto transmit antennas.
+
+    Each stream's encoding vector is normalised to unit norm and the set is
+    scaled so the node's *total* average transmit power is ``total_power``
+    (power is split equally across the node's concurrent packets, matching
+    the paper's power-constraint footnote in §4b).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_tx, n_samples)`` antenna block, where ``n_samples`` is the
+        longest stream (shorter streams are zero-padded at the tail).
+    """
+    if not streams:
+        return np.zeros((n_tx, 0), dtype=complex)
+    n_samples = max(s.samples.size for s in streams)
+    out = np.zeros((n_tx, n_samples), dtype=complex)
+    per_packet_power = total_power / len(streams)
+    for stream in streams:
+        v = normalize(np.asarray(stream.encoding, dtype=complex).ravel())
+        if v.size != n_tx:
+            raise ValueError(f"encoding vector has {v.size} entries, node has {n_tx} antennas")
+        scaled = np.sqrt(per_packet_power) * v
+        out[:, : stream.samples.size] += np.outer(scaled, stream.samples)
+    return out
+
+
+def antenna_selection_vectors(n_tx: int, packets: int) -> list:
+    """Per-antenna encoding vectors (packet i on antenna i).
+
+    This reproduces classic spatial multiplexing -- what a node does when it
+    is not aligning (paper Fig. 3): packet ``i``'s encoding vector is the
+    standard basis vector ``e_i``.
+    """
+    if packets > n_tx:
+        raise ValueError("cannot send more unaligned packets than antennas")
+    vectors = []
+    for i in range(packets):
+        e = np.zeros(n_tx, dtype=complex)
+        e[i] = 1.0
+        vectors.append(e)
+    return vectors

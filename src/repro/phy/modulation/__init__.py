@@ -1,0 +1,41 @@
+"""Modulation schemes.
+
+IAC treats modulation as a black box (paper §4, §6b); every scheme here
+implements :class:`~repro.phy.modulation.base.Modulator` and can be plugged
+into the IAC pipeline unchanged.  :func:`get_modulator` resolves schemes by
+name for configuration-driven experiments.
+"""
+
+from __future__ import annotations
+
+from repro.phy.modulation.base import Modulator
+from repro.phy.modulation.ofdm import OFDM
+from repro.phy.modulation.psk import BPSK, PSK8, QPSK
+from repro.phy.modulation.qam import QAM16, QAM64
+
+_REGISTRY = {
+    "bpsk": BPSK,
+    "qpsk": QPSK,
+    "8psk": PSK8,
+    "qam16": QAM16,
+    "qam64": QAM64,
+}
+
+
+def get_modulator(name: str) -> Modulator:
+    """Instantiate a modulator by name.
+
+    Names: ``bpsk``, ``qpsk``, ``8psk``, ``qam16``, ``qam64``, and
+    ``ofdm-<inner>`` for an OFDM wrapper with default parameters.
+    """
+    key = name.lower()
+    if key.startswith("ofdm-"):
+        inner = get_modulator(key[len("ofdm-") :])
+        return OFDM(inner)
+    try:
+        return _REGISTRY[key]()
+    except KeyError:
+        raise ValueError(f"unknown modulation scheme {name!r}; known: {sorted(_REGISTRY)} or ofdm-<inner>") from None
+
+
+__all__ = ["BPSK", "QPSK", "PSK8", "QAM16", "QAM64", "OFDM", "Modulator", "get_modulator"]

@@ -1,0 +1,56 @@
+"""Modulator interface.
+
+IAC "operates below existing modulation and coding and is transparent to
+both" (paper §4): the alignment/cancellation machinery treats the modulated
+sample stream as opaque complex numbers.  To demonstrate that transparency
+(and test it -- see §6b), every modulation scheme implements this small
+interface and the IAC pipeline is parameterised over it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Modulator(ABC):
+    """Maps bit arrays to complex baseband symbols and back."""
+
+    #: Bits carried per complex symbol.
+    bits_per_symbol: int
+
+    #: Human-readable scheme name ("bpsk", "qam16", ...).
+    name: str
+
+    @abstractmethod
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        """Map bits (uint8 0/1) to unit-average-power complex symbols."""
+
+    @abstractmethod
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        """Hard-decision demap complex symbols back to bits."""
+
+    def symbols_for_bits(self, n_bits: int) -> int:
+        """Number of symbols needed to carry ``n_bits`` (with padding)."""
+        return -(-n_bits // self.bits_per_symbol)
+
+    def pad_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Zero-pad bits to a whole number of symbols."""
+        bits = np.asarray(bits, dtype=np.uint8).ravel()
+        remainder = bits.size % self.bits_per_symbol
+        if remainder == 0:
+            return bits
+        pad = self.bits_per_symbol - remainder
+        return np.concatenate([bits, np.zeros(pad, dtype=np.uint8)])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"
+
+
+def check_bits(bits: np.ndarray) -> np.ndarray:
+    """Validate and canonicalise a bit array."""
+    bits = np.asarray(bits).ravel()
+    if bits.size and not np.all((bits == 0) | (bits == 1)):
+        raise ValueError("bit array must contain only 0s and 1s")
+    return bits.astype(np.uint8)

@@ -1,0 +1,88 @@
+"""OFDM wrapper around any single-carrier modulator.
+
+The paper conjectures (§6c) that on moderately frequency-selective channels
+one can run interference alignment independently per OFDM subcarrier.  The
+USRP1 channel was too narrow to test this; our simulated channel is not, so
+we provide a standard CP-OFDM layer and an experiment that validates the
+conjecture (see ``benchmarks/bench_ablation_ofdm.py``).
+
+The wrapper maps constellation symbols onto ``n_subcarriers`` data bins of
+an ``n_fft`` IFFT, adds a cyclic prefix, and inverts the process on receive.
+Time-domain output is normalised so average sample power equals the
+underlying constellation's average symbol power (unity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.modulation.base import Modulator, check_bits
+
+
+class OFDM(Modulator):
+    """Cyclic-prefix OFDM over an inner constellation mapper.
+
+    Parameters
+    ----------
+    inner:
+        Constellation mapper for each data subcarrier.
+    n_fft:
+        FFT size.
+    n_subcarriers:
+        Number of data subcarriers (centred, DC excluded).
+    cp_len:
+        Cyclic-prefix length in samples.
+    """
+
+    def __init__(self, inner: Modulator, n_fft: int = 64, n_subcarriers: int = 48, cp_len: int = 16):
+        if n_subcarriers >= n_fft:
+            raise ValueError("n_subcarriers must be smaller than n_fft")
+        if cp_len < 0 or cp_len >= n_fft:
+            raise ValueError("cp_len must be in [0, n_fft)")
+        self.inner = inner
+        self.n_fft = n_fft
+        self.n_subcarriers = n_subcarriers
+        self.cp_len = cp_len
+        self.name = f"ofdm-{inner.name}"
+        self.bits_per_symbol = inner.bits_per_symbol  # per data subcarrier
+        # Data bins: centred around DC, skipping bin 0 itself.
+        half = n_subcarriers // 2
+        negative = np.arange(n_fft - half, n_fft)
+        positive = np.arange(1, n_subcarriers - half + 1)
+        self._bins = np.concatenate([positive, negative])
+
+    @property
+    def samples_per_ofdm_symbol(self) -> int:
+        return self.n_fft + self.cp_len
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        bits = check_bits(bits)
+        constellation = self.inner.modulate(self.inner.pad_bits(bits))
+        # Pad constellation symbols to a whole number of OFDM symbols.
+        per_symbol = self.n_subcarriers
+        n_ofdm = -(-constellation.size // per_symbol)
+        padded = np.zeros(n_ofdm * per_symbol, dtype=complex)
+        padded[: constellation.size] = constellation
+        grid = padded.reshape(n_ofdm, per_symbol)
+
+        freq = np.zeros((n_ofdm, self.n_fft), dtype=complex)
+        freq[:, self._bins] = grid
+        # Scale so average time-domain sample power ~ average bin power.
+        time = np.fft.ifft(freq, axis=1) * np.sqrt(self.n_fft**2 / self.n_subcarriers)
+        with_cp = np.concatenate([time[:, -self.cp_len :], time], axis=1) if self.cp_len else time
+        return with_cp.ravel()
+
+    def demodulate(self, samples: np.ndarray) -> np.ndarray:
+        grid = self.demodulate_to_symbols(samples)
+        return self.inner.demodulate(grid.ravel())
+
+    def demodulate_to_symbols(self, samples: np.ndarray) -> np.ndarray:
+        """Return the per-subcarrier constellation symbols (n_ofdm, n_sc)."""
+        samples = np.asarray(samples, dtype=complex).ravel()
+        sym_len = self.samples_per_ofdm_symbol
+        n_ofdm = samples.size // sym_len
+        if n_ofdm * sym_len != samples.size:
+            raise ValueError("sample stream is not a whole number of OFDM symbols")
+        blocks = samples.reshape(n_ofdm, sym_len)[:, self.cp_len :]
+        freq = np.fft.fft(blocks, axis=1) / np.sqrt(self.n_fft**2 / self.n_subcarriers)
+        return freq[:, self._bins]

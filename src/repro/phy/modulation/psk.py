@@ -1,0 +1,109 @@
+"""Phase-shift keying modulators: BPSK, QPSK, 8-PSK.
+
+BPSK is the scheme the paper's GNU-Radio prototype uses ("the modulation
+scheme that 802.11 uses at low rates", §10b); QPSK and 8-PSK exist to
+demonstrate IAC's modulation transparency (§6b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.modulation.base import Modulator, check_bits
+
+
+class BPSK(Modulator):
+    """Binary PSK: bit 0 -> +1, bit 1 -> -1."""
+
+    bits_per_symbol = 1
+    name = "bpsk"
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        bits = check_bits(bits)
+        return (1.0 - 2.0 * bits.astype(float)).astype(complex)
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        return (symbols.real < 0).astype(np.uint8)
+
+    def soft_bits(self, symbols: np.ndarray, noise_power: float) -> np.ndarray:
+        """Exact per-bit LLRs, log P(bit=0)/P(bit=1), for AWGN."""
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        if noise_power <= 0:
+            raise ValueError("noise_power must be positive")
+        return 4.0 * symbols.real / noise_power
+
+
+class QPSK(Modulator):
+    """Gray-coded QPSK with unit average power.
+
+    Bit pair (b0, b1) maps to ((1-2*b0) + 1j*(1-2*b1)) / sqrt(2), so each
+    quadrature axis independently carries one bit and a single symbol error
+    to an adjacent decision region flips exactly one bit.
+    """
+
+    bits_per_symbol = 2
+    name = "qpsk"
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        bits = self.pad_bits(check_bits(bits)).astype(float)
+        pairs = bits.reshape(-1, 2)
+        i = 1.0 - 2.0 * pairs[:, 0]
+        q = 1.0 - 2.0 * pairs[:, 1]
+        return (i + 1j * q) / np.sqrt(2.0)
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        out = np.empty(symbols.size * 2, dtype=np.uint8)
+        out[0::2] = symbols.real < 0
+        out[1::2] = symbols.imag < 0
+        return out
+
+    def soft_bits(self, symbols: np.ndarray, noise_power: float) -> np.ndarray:
+        """Exact per-bit LLRs for AWGN (axes are independent BPSK at
+        amplitude 1/sqrt(2))."""
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        if noise_power <= 0:
+            raise ValueError("noise_power must be positive")
+        out = np.empty(symbols.size * 2, dtype=float)
+        scale = 4.0 / np.sqrt(2.0) / noise_power
+        out[0::2] = scale * symbols.real
+        out[1::2] = scale * symbols.imag
+        return out
+
+
+class PSK8(Modulator):
+    """Gray-coded 8-PSK.
+
+    Symbols lie on the unit circle at angles ``(2k+1) * pi/8``; the Gray map
+    ensures adjacent constellation points differ in one bit.
+    """
+
+    bits_per_symbol = 3
+    name = "8psk"
+
+    _GRAY = np.array([0, 1, 3, 2, 6, 7, 5, 4])
+
+    def __init__(self):
+        angles = (2 * np.arange(8) + 1) * np.pi / 8
+        points = np.exp(1j * angles)
+        # _constellation[gray_label] = point at that label's position.
+        self._constellation = np.empty(8, dtype=complex)
+        self._constellation[self._GRAY] = points
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        bits = self.pad_bits(check_bits(bits))
+        triples = bits.reshape(-1, 3)
+        labels = triples[:, 0] * 4 + triples[:, 1] * 2 + triples[:, 2]
+        return self._constellation[labels]
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        # Nearest constellation point by phase.
+        dists = np.abs(symbols[:, None] - self._constellation[None, :])
+        labels = np.argmin(dists, axis=1)
+        out = np.empty(symbols.size * 3, dtype=np.uint8)
+        out[0::3] = (labels >> 2) & 1
+        out[1::3] = (labels >> 1) & 1
+        out[2::3] = labels & 1
+        return out

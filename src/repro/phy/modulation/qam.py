@@ -1,0 +1,89 @@
+"""Square QAM modulators with Gray mapping (16-QAM, 64-QAM).
+
+Constellations are normalised to unit average power so SNR accounting is
+identical across schemes.  The per-axis Gray code means demodulation is a
+pair of independent PAM slicers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.modulation.base import Modulator, check_bits
+
+
+def _gray_to_binary(g: np.ndarray) -> np.ndarray:
+    """Invert a Gray code (vectorised, values up to 8 bits)."""
+    b = g.copy()
+    shift = 1
+    while shift < 8:
+        b ^= b >> shift
+        shift *= 2
+    return b
+
+
+def _binary_to_gray(b: np.ndarray) -> np.ndarray:
+    return b ^ (b >> 1)
+
+
+class _SquareQAM(Modulator):
+    """Shared implementation for square 2^(2k)-QAM."""
+
+    def __init__(self, bits_per_axis: int):
+        self._k = bits_per_axis
+        self.bits_per_symbol = 2 * bits_per_axis
+        self._levels = 1 << bits_per_axis
+        # PAM amplitudes -L+1, -L+3, ..., L-1 scaled to unit average power
+        # of the full 2-D constellation: E = 2 * (L^2 - 1) / 3 per symbol.
+        amplitudes = np.arange(-(self._levels - 1), self._levels, 2, dtype=float)
+        self._scale = np.sqrt(2.0 * (self._levels**2 - 1) / 3.0)
+        self._amplitudes = amplitudes / self._scale
+
+    def _bits_to_axis(self, bits: np.ndarray) -> np.ndarray:
+        """Map per-axis bit groups (MSB first) to PAM amplitudes via Gray."""
+        weights = 1 << np.arange(self._k - 1, -1, -1)
+        gray = bits.astype(np.int64) @ weights
+        index = _gray_to_binary(gray)
+        return self._amplitudes[index]
+
+    def _axis_to_bits(self, values: np.ndarray) -> np.ndarray:
+        """Slice PAM amplitudes back to per-axis Gray-coded bits."""
+        # Quantise to the nearest level index.
+        raw = (values * self._scale + (self._levels - 1)) / 2.0
+        index = np.clip(np.rint(raw).astype(np.int64), 0, self._levels - 1)
+        gray = _binary_to_gray(index)
+        out = np.empty((values.size, self._k), dtype=np.uint8)
+        for j in range(self._k):
+            out[:, j] = (gray >> (self._k - 1 - j)) & 1
+        return out
+
+    def modulate(self, bits: np.ndarray) -> np.ndarray:
+        bits = self.pad_bits(check_bits(bits))
+        groups = bits.reshape(-1, self.bits_per_symbol)
+        i = self._bits_to_axis(groups[:, : self._k])
+        q = self._bits_to_axis(groups[:, self._k :])
+        return i + 1j * q
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        symbols = np.asarray(symbols, dtype=complex).ravel()
+        i_bits = self._axis_to_bits(symbols.real)
+        q_bits = self._axis_to_bits(symbols.imag)
+        return np.concatenate([i_bits, q_bits], axis=1).ravel()
+
+
+class QAM16(_SquareQAM):
+    """Gray-coded 16-QAM, unit average power."""
+
+    name = "qam16"
+
+    def __init__(self):
+        super().__init__(bits_per_axis=2)
+
+
+class QAM64(_SquareQAM):
+    """Gray-coded 64-QAM, unit average power."""
+
+    name = "qam64"
+
+    def __init__(self):
+        super().__init__(bits_per_axis=3)

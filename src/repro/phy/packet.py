@@ -1,0 +1,143 @@
+"""Packets and PHY frames.
+
+A :class:`Packet` is the unit the MAC hands to the PHY: an opaque payload
+plus addressing metadata.  The PHY wraps it into a bit-level frame::
+
+    +--------+-----------------+------------------+---------+
+    | header | payload length  |     payload      |  CRC32  |
+    +--------+-----------------+------------------+---------+
+
+The header carries source/destination/flow identifiers so integration tests
+can verify end-to-end delivery through the full IAC pipeline, not just
+bit-exactness of the payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.bits import bits_to_bytes, bytes_to_bits
+from repro.phy.crc import append_crc, check_crc
+
+#: Fixed header layout: src (2B) | dst (2B) | seq (2B) | flags (1B) | len (2B)
+HEADER_BYTES = 9
+
+#: Payload size used throughout the paper's evaluation (1500-byte payload).
+DEFAULT_PAYLOAD_BYTES = 1500
+
+
+@dataclass(frozen=True)
+class Packet:
+    """An immutable MAC-level packet.
+
+    Attributes
+    ----------
+    payload:
+        Opaque payload bytes.
+    src / dst:
+        16-bit node identifiers (assigned at association, §7.1).
+    seq:
+        16-bit sequence number used for ack bookkeeping.
+    flags:
+        8-bit flag field (bit 0: uplink request piggyback, §7.1(b.2)).
+    """
+
+    payload: bytes
+    src: int = 0
+    dst: int = 0
+    seq: int = 0
+    flags: int = 0
+
+    def __post_init__(self):
+        for name, value, width in (
+            ("src", self.src, 16),
+            ("dst", self.dst, 16),
+            ("seq", self.seq, 16),
+            ("flags", self.flags, 8),
+        ):
+            if not 0 <= value < (1 << width):
+                raise ValueError(f"{name}={value} does not fit in {width} bits")
+            # Accept numpy integer inputs (node ids often come from arrays).
+            object.__setattr__(self, name, int(value))
+        if len(self.payload) >= (1 << 16):
+            raise ValueError("payload too large for 16-bit length field")
+
+    @property
+    def nbytes(self) -> int:
+        """Total frame size in bytes including header and CRC."""
+        return HEADER_BYTES + len(self.payload) + 4
+
+    def header_bytes(self) -> bytes:
+        return (
+            self.src.to_bytes(2, "big")
+            + self.dst.to_bytes(2, "big")
+            + self.seq.to_bytes(2, "big")
+            + self.flags.to_bytes(1, "big")
+            + len(self.payload).to_bytes(2, "big")
+        )
+
+    def to_frame(self) -> bytes:
+        """Serialise to a CRC-protected byte frame."""
+        return append_crc(self.header_bytes() + self.payload)
+
+    def to_bits(self) -> np.ndarray:
+        """Serialise to an MSB-first bit array (what the modulator consumes)."""
+        return bytes_to_bits(self.to_frame())
+
+    @classmethod
+    def from_frame(cls, frame: bytes) -> "Packet":
+        """Parse a byte frame; raises ``ValueError`` on CRC failure."""
+        if not check_crc(frame):
+            raise ValueError("CRC check failed")
+        body = frame[:-4]
+        if len(body) < HEADER_BYTES:
+            raise ValueError("frame shorter than header")
+        src = int.from_bytes(body[0:2], "big")
+        dst = int.from_bytes(body[2:4], "big")
+        seq = int.from_bytes(body[4:6], "big")
+        flags = body[6]
+        length = int.from_bytes(body[7:9], "big")
+        payload = body[HEADER_BYTES:]
+        if len(payload) != length:
+            raise ValueError(f"length field {length} != payload size {len(payload)}")
+        return cls(payload=payload, src=src, dst=dst, seq=seq, flags=flags)
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "Packet":
+        """Parse from a bit array; raises ``ValueError`` on CRC failure."""
+        return cls.from_frame(bits_to_bytes(bits))
+
+    @classmethod
+    def random(
+        cls,
+        rng: np.random.Generator,
+        payload_bytes: int = DEFAULT_PAYLOAD_BYTES,
+        **meta,
+    ) -> "Packet":
+        """Generate a packet with uniform random payload."""
+        payload = rng.integers(0, 256, size=payload_bytes, dtype=np.uint8).tobytes()
+        return cls(payload=payload, **meta)
+
+
+@dataclass
+class DecodedPacket:
+    """A packet recovered by a receiver, with reception metadata.
+
+    The measured SNR is what the paper's evaluation metric (Eq. 9) consumes;
+    ``decoder`` records which AP decoded it and ``cancelled`` how many
+    already-decoded packets were subtracted first.
+    """
+
+    packet: Optional[Packet]
+    snr_db: float
+    decoder: int = 0
+    cancelled: int = 0
+    crc_ok: bool = True
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.crc_ok and self.packet is not None

@@ -1,0 +1,41 @@
+"""Experiment harness: testbed generation, runners, metrics."""
+
+from repro.sim.clustered import ClusteredConfig, ClusteredNetwork
+from repro.sim.experiment import (
+    GroupRateCache,
+    diversity_trial,
+    downlink_3x3_trial,
+    large_network_experiment,
+    reciprocity_experiment,
+    run_scatter,
+    uplink_2x2_trial,
+    uplink_3x3_trial,
+)
+from repro.sim.metrics import GainCDF, RatePair, ScatterResult, format_cdf_table
+from repro.sim.plotting import ascii_bars, ascii_cdf, ascii_scatter
+from repro.sim.wlan import WLANConfig, WLANSimulation
+from repro.sim.testbed import Testbed, TestbedConfig
+
+__all__ = [
+    "ClusteredConfig",
+    "ClusteredNetwork",
+    "GainCDF",
+    "GroupRateCache",
+    "RatePair",
+    "ScatterResult",
+    "Testbed",
+    "TestbedConfig",
+    "WLANConfig",
+    "WLANSimulation",
+    "ascii_bars",
+    "ascii_cdf",
+    "ascii_scatter",
+    "diversity_trial",
+    "downlink_3x3_trial",
+    "format_cdf_table",
+    "large_network_experiment",
+    "reciprocity_experiment",
+    "run_scatter",
+    "uplink_2x2_trial",
+    "uplink_3x3_trial",
+]

@@ -1,0 +1,115 @@
+"""Measurement helpers for the experiment harness (paper §10(f)).
+
+The paper reports scatter plots of per-experiment (baseline rate, IAC rate)
+pairs, average gains, and CDFs of per-client gains.  These small containers
+carry those results from the runners to the benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RatePair:
+    """One scatter point: baseline and IAC average rates (bit/s/Hz)."""
+
+    dot11: float
+    iac: float
+
+    @property
+    def gain(self) -> float:
+        if self.dot11 <= 0:
+            raise ZeroDivisionError("baseline rate is zero")
+        return self.iac / self.dot11
+
+
+@dataclass
+class ScatterResult:
+    """A collection of scatter points (one figure's worth of data)."""
+
+    points: List[RatePair] = field(default_factory=list)
+    label: str = ""
+
+    def add(self, dot11: float, iac: float) -> None:
+        self.points.append(RatePair(dot11=dot11, iac=iac))
+
+    @property
+    def gains(self) -> np.ndarray:
+        return np.array([p.gain for p in self.points])
+
+    @property
+    def mean_gain(self) -> float:
+        """Ratio of the average rates (the paper's headline numbers)."""
+        dot11 = np.array([p.dot11 for p in self.points])
+        iac = np.array([p.iac for p in self.points])
+        return float(np.mean(iac) / np.mean(dot11))
+
+    @property
+    def mean_of_gains(self) -> float:
+        """Mean of per-point gains (sensitive to low-rate points)."""
+        return float(np.mean(self.gains))
+
+    def summary(self) -> str:
+        dot11 = np.array([p.dot11 for p in self.points])
+        iac = np.array([p.iac for p in self.points])
+        return (
+            f"{self.label}: n={len(self.points)} "
+            f"dot11={dot11.mean():.2f} b/s/Hz iac={iac.mean():.2f} b/s/Hz "
+            f"gain={self.mean_gain:.2f}x"
+        )
+
+
+@dataclass
+class GainCDF:
+    """Per-client gain distribution (Fig. 15)."""
+
+    gains: Dict[int, float] = field(default_factory=dict)
+    label: str = ""
+
+    def cdf_points(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Sorted gains and cumulative fractions, ready to print/plot."""
+        values = np.sort(np.array(list(self.gains.values())))
+        fractions = np.arange(1, values.size + 1) / values.size
+        return values, fractions
+
+    @property
+    def mean_gain(self) -> float:
+        return float(np.mean(list(self.gains.values())))
+
+    @property
+    def min_gain(self) -> float:
+        return float(np.min(list(self.gains.values())))
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of clients whose gain is below ``threshold``.
+
+        ``fraction_below(1.0)`` is the paper's fairness indicator: clients
+        that would have been better off under 802.11-MIMO.
+        """
+        values = np.array(list(self.gains.values()))
+        return float(np.mean(values < threshold))
+
+    def summary(self) -> str:
+        return (
+            f"{self.label}: mean={self.mean_gain:.2f}x min={self.min_gain:.2f}x "
+            f"below-1x={self.fraction_below(1.0) * 100:.0f}%"
+        )
+
+
+def format_cdf_table(cdfs: Sequence[GainCDF], n_rows: int = 10) -> str:
+    """Render CDFs side by side as the textual analogue of Fig. 15."""
+    lines = ["gain-quantile  " + "  ".join(f"{c.label:>14s}" for c in cdfs)]
+    quantiles = np.linspace(0.05, 1.0, n_rows)
+    for q in quantiles:
+        row = [f"{q * 100:>3.0f}%         "]
+        for c in cdfs:
+            values, fractions = c.cdf_points()
+            idx = np.searchsorted(fractions, q)
+            idx = min(idx, values.size - 1)
+            row.append(f"{values[idx]:>14.2f}")
+        lines.append("  ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Text rendering of the paper's figures (scatter plots and CDFs).
+
+The benchmark harness prints numbers; these helpers draw them, so a
+terminal user can *see* Fig. 12's point cloud sitting between the Gain=1
+and Gain=2 reference lines the way the paper draws it.  Pure-text output
+keeps the repository dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.metrics import GainCDF, ScatterResult
+
+
+def ascii_scatter(
+    result: ScatterResult,
+    width: int = 58,
+    height: int = 20,
+    x_label: str = "802.11-MIMO rate [b/s/Hz]",
+    y_label: str = "IAC rate",
+    gain_lines: Sequence[float] = (1.0, 2.0),
+) -> str:
+    """Render a ScatterResult the way the paper's Figs. 12-14 are drawn.
+
+    ``*`` marks experiment points; ``.`` and ``:`` trace the Gain=1 and
+    Gain=2 reference lines.
+    """
+    if not result.points:
+        raise ValueError("nothing to plot")
+    xs = np.array([p.dot11 for p in result.points])
+    ys = np.array([p.iac for p in result.points])
+    x_max = float(xs.max()) * 1.05
+    y_max = max(float(ys.max()), x_max * max(gain_lines)) * 1.05
+    x_min, y_min = 0.0, 0.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, ch: str, keep: str = "*"):
+        if not (x_min <= x <= x_max and y_min <= y <= y_max):
+            return
+        col = int((x - x_min) / (x_max - x_min) * (width - 1))
+        row = height - 1 - int((y - y_min) / (y_max - y_min) * (height - 1))
+        if grid[row][col] != keep:
+            grid[row][col] = ch
+
+    marks = ".:+x"
+    for gi, gain in enumerate(gain_lines):
+        ch = marks[gi % len(marks)]
+        for col in range(width):
+            x = x_min + (x_max - x_min) * col / (width - 1)
+            put(x, gain * x, ch)
+    for x, y in zip(xs, ys):
+        put(float(x), float(y), "*", keep="")
+
+    lines = [f"{result.label or 'scatter'}  (gain lines: " +
+             ", ".join(f"{marks[i % len(marks)]}={g:g}x" for i, g in enumerate(gain_lines)) + ")"]
+    for row_index, row in enumerate(grid):
+        y_tick = y_max * (height - 1 - row_index) / (height - 1)
+        prefix = f"{y_tick:6.1f} |" if row_index % 4 == 0 else "       |"
+        lines.append(prefix + "".join(row))
+    lines.append("       +" + "-" * width)
+    lines.append(f"        0{'':{width - 12}}{x_max:6.1f}")
+    lines.append(f"        {x_label}   (y: {y_label})")
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    cdfs: Sequence[GainCDF],
+    width: int = 58,
+    height: int = 16,
+    x_max: Optional[float] = None,
+) -> str:
+    """Render gain CDFs the way Fig. 15 is drawn (one mark per curve)."""
+    if not cdfs:
+        raise ValueError("nothing to plot")
+    marks = "*o+x"
+    if x_max is None:
+        x_max = max(max(c.gains.values()) for c in cdfs) * 1.05
+
+    grid = [[" "] * width for _ in range(height)]
+    for ci, cdf in enumerate(cdfs):
+        values, fractions = cdf.cdf_points()
+        ch = marks[ci % len(marks)]
+        for v, f in zip(values, fractions):
+            if v > x_max:
+                v = x_max
+            col = int(v / x_max * (width - 1))
+            row = height - 1 - int(f * (height - 1))
+            grid[row][col] = ch
+
+    legend = "  ".join(
+        f"{marks[i % len(marks)]}={c.label}" for i, c in enumerate(cdfs)
+    )
+    lines = [f"CDF of client gains   ({legend})"]
+    for row_index, row in enumerate(grid):
+        frac = (height - 1 - row_index) / (height - 1)
+        prefix = f"{frac:5.2f} |" if row_index % 4 == 0 else "      |"
+        lines.append(prefix + "".join(row))
+    lines.append("      +" + "-" * width)
+    lines.append(f"       0{'':{width - 10}}{x_max:5.1f}")
+    lines.append("       client gain over 802.11-MIMO")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Simple horizontal bar chart for summary comparisons."""
+    if len(labels) != len(values) or not labels:
+        raise ValueError("labels and values must pair up and be non-empty")
+    peak = max(values)
+    if peak <= 0:
+        raise ValueError("need at least one positive value")
+    label_width = max(len(lbl) for lbl in labels)
+    lines = []
+    for lbl, val in zip(labels, values):
+        bar = "#" * max(1, int(val / peak * width))
+        lines.append(f"{lbl:<{label_width}}  {bar} {val:.2f}{unit}")
+    return "\n".join(lines)

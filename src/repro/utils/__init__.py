@@ -1,0 +1,49 @@
+"""Shared numerical utilities for the IAC reproduction.
+
+The submodules here are deliberately small and dependency-free (numpy only):
+
+``linalg``
+    Complex vector/subspace helpers used by the alignment solvers and the
+    projection-based decoders (orthogonal complements, projections, subspace
+    angles, alignment residuals).
+``db``
+    Decibel/linear conversions used throughout the PHY and the experiment
+    harness.
+``rng``
+    Seeded random-number helpers so every experiment in the paper-reproduction
+    suite is deterministic and repeatable.
+"""
+
+from repro.utils.db import db_to_linear, linear_to_db, db_to_power, power_to_db
+from repro.utils.linalg import (
+    align_error,
+    herm,
+    is_aligned,
+    normalize,
+    nullspace,
+    orthogonal_complement,
+    project_onto,
+    projection_matrix,
+    subspace_angle,
+    unit_vector,
+)
+from repro.utils.rng import default_rng, spawn_rngs
+
+__all__ = [
+    "align_error",
+    "db_to_linear",
+    "db_to_power",
+    "default_rng",
+    "herm",
+    "is_aligned",
+    "linear_to_db",
+    "normalize",
+    "nullspace",
+    "orthogonal_complement",
+    "power_to_db",
+    "project_onto",
+    "projection_matrix",
+    "spawn_rngs",
+    "subspace_angle",
+    "unit_vector",
+]

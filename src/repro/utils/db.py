@@ -1,0 +1,50 @@
+"""Decibel conversions.
+
+Two families are provided because amplitude and power quantities convert
+differently:
+
+* ``db_to_linear`` / ``linear_to_db`` -- for *power* ratios (SNR, gain):
+  ``x_db = 10 log10(x)``.
+* ``db_to_amplitude`` / ``amplitude_to_db`` -- for *amplitude* ratios:
+  ``x_db = 20 log10(x)``.
+
+``db_to_power`` / ``power_to_db`` are explicit aliases of the power forms so
+call sites read unambiguously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def db_to_linear(db):
+    """Convert a power quantity from dB to linear scale."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 10.0)
+
+
+def linear_to_db(linear):
+    """Convert a linear power ratio to dB.
+
+    Non-positive inputs map to ``-inf`` rather than raising, because
+    measured interference-free SINRs can be exactly zero.
+    """
+    linear = np.asarray(linear, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(linear)
+
+
+def db_to_amplitude(db):
+    """Convert an amplitude quantity from dB to linear scale."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 20.0)
+
+
+def amplitude_to_db(amplitude):
+    """Convert a linear amplitude ratio to dB."""
+    amplitude = np.asarray(amplitude, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 20.0 * np.log10(amplitude)
+
+
+# Explicit aliases: "power" in the name removes any 10-vs-20 ambiguity.
+db_to_power = db_to_linear
+power_to_db = linear_to_db

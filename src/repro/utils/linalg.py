@@ -1,0 +1,204 @@
+"""Complex linear-algebra helpers for interference alignment.
+
+All of IAC's signal processing happens in the "antenna-spatial domain"
+(paper, §6): transmitted packets are complex scalars riding on complex
+M-dimensional direction vectors.  This module provides the primitive
+operations the rest of the library is written in terms of:
+
+* normalising encoding vectors to unit power,
+* finding vectors orthogonal to (aligned) interference,
+* measuring how well two received directions are aligned, and
+* extracting null spaces / orthogonal complements of interference subspaces.
+
+Everything here operates on ``numpy`` complex arrays and is pure (no state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Numerical tolerance used when deciding that two directions coincide.
+DEFAULT_ATOL = 1e-9
+
+
+def herm(a: np.ndarray) -> np.ndarray:
+    """Return the Hermitian (conjugate) transpose of ``a``."""
+    return np.conjugate(np.swapaxes(np.asarray(a), -1, -2))
+
+
+def normalize(v: np.ndarray) -> np.ndarray:
+    """Return ``v`` scaled to unit Euclidean norm.
+
+    Encoding vectors are normalised so every packet is transmitted with unit
+    power regardless of the alignment solution (paper, footnote 2).
+
+    Raises
+    ------
+    ValueError
+        If ``v`` is (numerically) the zero vector.
+    """
+    v = np.asarray(v, dtype=complex)
+    norm = np.linalg.norm(v)
+    if norm < DEFAULT_ATOL:
+        raise ValueError("cannot normalize a zero vector")
+    return v / norm
+
+
+def unit_vector(dim: int, index: int) -> np.ndarray:
+    """Return the standard basis vector ``e_index`` in ``dim`` dimensions.
+
+    Transmitting packet ``p`` on antenna ``i`` alone is equivalent to using
+    the encoding vector ``e_i`` (paper, §4b).
+    """
+    if not 0 <= index < dim:
+        raise ValueError(f"index {index} out of range for dimension {dim}")
+    e = np.zeros(dim, dtype=complex)
+    e[index] = 1.0
+    return e
+
+
+def projection_matrix(basis: np.ndarray) -> np.ndarray:
+    """Return the orthogonal projector onto the column span of ``basis``.
+
+    Parameters
+    ----------
+    basis:
+        ``(M, k)`` complex array whose columns span the target subspace.
+        Columns need not be orthonormal; a thin QR is taken internally.
+    """
+    basis = np.atleast_2d(np.asarray(basis, dtype=complex))
+    if basis.ndim != 2:
+        raise ValueError("basis must be a 2-D array of column vectors")
+    q, _ = np.linalg.qr(basis)
+    return q @ herm(q)
+
+
+def project_onto(v: np.ndarray, basis: np.ndarray) -> np.ndarray:
+    """Project vector ``v`` onto the column span of ``basis``."""
+    return projection_matrix(basis) @ np.asarray(v, dtype=complex)
+
+
+def orthogonal_complement(basis: np.ndarray, dim: int | None = None) -> np.ndarray:
+    """Return an orthonormal basis of the orthogonal complement.
+
+    Given interference directions as the columns of ``basis`` this returns
+    the directions a receiver may project on to null that interference --
+    the "decoding vectors" of the paper (§4a).
+
+    Parameters
+    ----------
+    basis:
+        ``(M, k)`` array of column vectors, or a 1-D length-``M`` vector.
+    dim:
+        Ambient dimension ``M``; inferred from ``basis`` when omitted.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(M, M - rank)`` array with orthonormal columns, each orthogonal to
+        every column of ``basis``.  Empty second dimension if ``basis`` spans
+        the whole space.
+    """
+    basis = np.asarray(basis, dtype=complex)
+    if basis.ndim == 1:
+        basis = basis[:, None]
+    m = basis.shape[0] if dim is None else dim
+    if basis.shape[0] != m:
+        raise ValueError("basis row count does not match ambient dimension")
+    if basis.size == 0:
+        return np.eye(m, dtype=complex)
+    # SVD gives an orthonormal basis for the left null space.
+    u, s, _ = np.linalg.svd(basis, full_matrices=True)
+    rank = int(np.sum(s > DEFAULT_ATOL * max(basis.shape) * (s[0] if s.size else 1.0)))
+    return u[:, rank:]
+
+
+def nullspace(a: np.ndarray, rtol: float = 1e-10) -> np.ndarray:
+    """Return an orthonormal basis of the (right) null space of ``a``."""
+    a = np.atleast_2d(np.asarray(a, dtype=complex))
+    _, s, vh = np.linalg.svd(a)
+    tol = rtol * (s[0] if s.size else 1.0) * max(a.shape)
+    rank = int(np.sum(s > tol))
+    return herm(vh)[:, rank:]
+
+
+def subspace_angle(u: np.ndarray, v: np.ndarray) -> float:
+    """Return the principal angle (radians) between two subspaces.
+
+    For 1-D inputs this is the angle between the complex *lines* spanned by
+    the two vectors, which is the natural alignment measure: two received
+    directions are aligned exactly when the angle is zero, regardless of any
+    complex scaling (paper, §6a -- frequency offset only scales a direction
+    by ``exp(j 2 pi df t)`` and must not count as misalignment).
+    """
+    u = np.asarray(u, dtype=complex)
+    v = np.asarray(v, dtype=complex)
+    if u.ndim == 1:
+        u = u[:, None]
+    if v.ndim == 1:
+        v = v[:, None]
+    qu, _ = np.linalg.qr(u)
+    qv, _ = np.linalg.qr(v)
+    sigma = np.linalg.svd(herm(qu) @ qv, compute_uv=False)
+    # Clamp for numerical safety before acos.
+    smin = float(np.clip(sigma.min() if sigma.size else 0.0, -1.0, 1.0))
+    return float(np.arccos(smin))
+
+
+def align_error(u: np.ndarray, v: np.ndarray) -> float:
+    """Return a scale-invariant misalignment measure in ``[0, 1]``.
+
+    ``0`` means the complex lines spanned by ``u`` and ``v`` coincide;
+    ``1`` means they are orthogonal.  Computed as ``sin`` of the principal
+    angle, which is robust for near-aligned vectors.
+    """
+    u = normalize(np.asarray(u, dtype=complex).ravel())
+    v = normalize(np.asarray(v, dtype=complex).ravel())
+    # sin of the angle via the rejection norm: accurate near zero, where
+    # the sqrt(1 - |<u,v>|^2) form suffers catastrophic cancellation.
+    rejection = v - np.vdot(u, v) * u
+    return float(min(1.0, np.linalg.norm(rejection)))
+
+
+def is_aligned(u: np.ndarray, v: np.ndarray, atol: float = 1e-6) -> bool:
+    """Return True when ``u`` and ``v`` span the same complex line."""
+    return align_error(u, v) <= atol
+
+
+def random_unit_vector(dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw a complex unit vector uniformly from the sphere in ``C^dim``."""
+    v = rng.standard_normal(dim) + 1j * rng.standard_normal(dim)
+    return normalize(v)
+
+
+def steer(direction: np.ndarray, samples: np.ndarray) -> np.ndarray:
+    """Place a scalar sample stream on a spatial direction.
+
+    Returns an ``(M, n_samples)`` array: each antenna transmits the sample
+    stream scaled by the corresponding entry of ``direction``.  This is the
+    "multiply the packet by the encoding vector" operation of §4b.
+    """
+    direction = np.asarray(direction, dtype=complex).ravel()
+    samples = np.asarray(samples, dtype=complex).ravel()
+    return np.outer(direction, samples)
+
+
+def received_direction(channel: np.ndarray, encoding: np.ndarray) -> np.ndarray:
+    """Return the direction ``H v`` along which a packet arrives."""
+    return np.asarray(channel, dtype=complex) @ np.asarray(encoding, dtype=complex)
+
+
+def zero_forcing_rows(directions: np.ndarray) -> np.ndarray:
+    """Return decoding rows that separate the given received directions.
+
+    ``directions`` is ``(M, k)`` with ``k <= M`` linearly-independent columns
+    ``H_i v_i``.  Row ``i`` of the result responds with unit gain to column
+    ``i`` and zero to all others (the pseudo-inverse), which is how an AP
+    decodes multiple free packets after interference has been aligned away
+    or cancelled.
+    """
+    directions = np.atleast_2d(np.asarray(directions, dtype=complex))
+    m, k = directions.shape
+    if k > m:
+        raise ValueError(f"cannot zero-force {k} packets with {m} antennas")
+    return np.linalg.pinv(directions)

@@ -1,0 +1,92 @@
+"""Tests for the 802.11-MIMO baseline and TDMA comparison discipline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    alternate,
+    best_ap_link,
+    compare_schemes,
+    per_client_rates,
+    round_robin_rate,
+)
+from repro.core.plans import ChannelSet
+from repro.phy.channel.model import rayleigh_channel
+from repro.phy.mimo.eigenmode import eigenmode_link
+
+
+class TestBestAp:
+    def test_picks_stronger_ap(self, rng):
+        weak = rayleigh_channel(2, 2, rng)
+        strong = 10 * rayleigh_channel(2, 2, rng)
+        chans = ChannelSet({(0, 0): weak, (0, 1): strong})
+        link = best_ap_link(chans, client=0, aps=[0, 1], noise_power=0.1)
+        assert link.ap == 1
+
+    def test_rate_matches_eigenmode(self, rng):
+        h = rayleigh_channel(2, 2, rng)
+        chans = ChannelSet({(0, 0): h})
+        link = best_ap_link(chans, client=0, aps=[0], noise_power=0.1)
+        assert np.isclose(link.rate, eigenmode_link(h, 0.1).rate())
+
+    def test_downlink_direction(self, rng):
+        h = rayleigh_channel(2, 2, rng)
+        chans = ChannelSet({(7, 0): h})  # AP 7 -> client 0
+        link = best_ap_link(chans, client=0, aps=[7], noise_power=0.1, direction="downlink")
+        assert link.ap == 7
+
+    def test_no_aps_raises(self, rng):
+        chans = ChannelSet({(0, 0): rayleigh_channel(2, 2, rng)})
+        with pytest.raises(ValueError):
+            best_ap_link(chans, client=0, aps=[], noise_power=0.1)
+
+
+class TestRoundRobin:
+    def test_average_of_clients(self, rng):
+        chans = ChannelSet(
+            {(c, a): rayleigh_channel(2, 2, rng) for c in (0, 1) for a in (2,)}
+        )
+        avg = round_robin_rate(chans, clients=[0, 1], aps=[2], noise_power=0.1)
+        r0 = best_ap_link(chans, 0, [2], 0.1).rate
+        r1 = best_ap_link(chans, 1, [2], 0.1).rate
+        assert np.isclose(avg, (r0 + r1) / 2)
+
+    def test_per_client_rates_keys(self, rng):
+        chans = ChannelSet(
+            {(c, a): rayleigh_channel(2, 2, rng) for c in (0, 1) for a in (2, 3)}
+        )
+        rates = per_client_rates(chans, [0, 1], [2, 3], noise_power=0.1)
+        assert set(rates) == {0, 1}
+        assert all(r > 0 for r in rates.values())
+
+    def test_empty_clients_raise(self, rng):
+        chans = ChannelSet({(0, 0): rayleigh_channel(2, 2, rng)})
+        with pytest.raises(ValueError):
+            round_robin_rate(chans, [], [0], 0.1)
+
+
+class TestTdma:
+    def test_equal_slots_and_gain(self):
+        cmp = compare_schemes(lambda t: 3.0, lambda t: 2.0, n_slots=10)
+        assert np.isclose(cmp.gain, 1.5)
+        assert cmp.n_slots == 10
+
+    def test_alternate_cycles(self):
+        fn = alternate([1.0, 3.0])
+        assert fn(0) == 1.0 and fn(1) == 3.0 and fn(2) == 1.0
+
+    def test_alternating_scheme_averages(self):
+        cmp = compare_schemes(alternate([2.0, 4.0]), alternate([1.0]), n_slots=100)
+        assert np.isclose(cmp.rate_iac, 3.0)
+        assert np.isclose(cmp.gain, 3.0)
+
+    def test_zero_baseline_raises(self):
+        cmp = compare_schemes(lambda t: 1.0, lambda t: 0.0, n_slots=2)
+        with pytest.raises(ZeroDivisionError):
+            _ = cmp.gain
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_schemes(lambda t: 1.0, lambda t: 1.0, n_slots=0)
+        with pytest.raises(ValueError):
+            alternate([])

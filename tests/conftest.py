@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.plans import ChannelSet
+from repro.phy.channel.model import rayleigh_channel
+from repro.sim.testbed import Testbed, TestbedConfig
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; tests needing other seeds make their own."""
+    return np.random.default_rng(0xD1CE)
+
+
+@pytest.fixture
+def channels_2x2(rng):
+    """Channels for 2 clients x 2 APs, 2 antennas each (uplink keys)."""
+    return ChannelSet(
+        {(c, a): rayleigh_channel(2, 2, rng) for c in (0, 1) for a in (0, 1)}
+    )
+
+
+@pytest.fixture
+def channels_3x3(rng):
+    """Channels for 3 transmitters x 3 receivers, 2 antennas each."""
+    return ChannelSet(
+        {(t, r): rayleigh_channel(2, 2, rng) for t in (0, 1, 2) for r in (0, 1, 2)}
+    )
+
+
+@pytest.fixture(scope="session")
+def small_testbed():
+    """A 12-node testbed shared across tests (construction is not free)."""
+    return Testbed(TestbedConfig(n_nodes=12, seed=42))
+
+
+@pytest.fixture(scope="session")
+def full_testbed():
+    """The paper-sized 20-node testbed."""
+    return Testbed(TestbedConfig(n_nodes=20, seed=2009))

@@ -1,0 +1,207 @@
+"""Tests for the closed-form alignment solvers (paper §4, Eqs. 2-7).
+
+These tests check the *algebra* of each construction: the alignment
+equations hold exactly, the desired packets remain decodable, and the
+claimed properties of §6 (frequency-offset and modulation invariance of
+alignment) are true of the produced solutions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import (
+    solve_downlink_three_packets,
+    solve_downlink_two_clients,
+    solve_uplink_four_packets,
+    solve_uplink_three_packets,
+    solve_uplink_two_packets,
+)
+from repro.core.decoder import decode_rate_level
+from repro.core.plans import ChannelSet
+from repro.phy.channel.model import rayleigh_channel
+from repro.utils.linalg import align_error
+
+LOW_NOISE = 1e-9
+
+
+def _chanset(rng, txs, rxs, m=2):
+    return ChannelSet({(t, r): rayleigh_channel(m, m, rng) for t in txs for r in rxs})
+
+
+class TestUplinkTwoPackets:
+    def test_both_decodable(self, channels_2x2):
+        sol = solve_uplink_two_packets(channels_2x2)
+        report = decode_rate_level(sol, channels_2x2, LOW_NOISE)
+        assert report.min_sinr > 1e6  # interference-free up to noise
+
+    def test_single_antenna_rejected(self, rng):
+        chans = ChannelSet({(0, 0): rayleigh_channel(1, 1, rng)})
+        with pytest.raises(ValueError):
+            solve_uplink_two_packets(chans)
+
+
+class TestUplinkThreePackets:
+    def test_eq2_alignment_holds(self, channels_2x2, rng):
+        sol = solve_uplink_three_packets(channels_2x2, rng=rng)
+        d1 = sol.received_direction(channels_2x2, 1, 0)
+        d2 = sol.received_direction(channels_2x2, 2, 0)
+        assert align_error(d1, d2) < 1e-7
+
+    def test_not_aligned_at_second_ap(self, channels_2x2, rng):
+        """Aligning at AP0 must NOT align at AP1 (channels independent)."""
+        sol = solve_uplink_three_packets(channels_2x2, rng=rng)
+        d1 = sol.received_direction(channels_2x2, 1, 1)
+        d2 = sol.received_direction(channels_2x2, 2, 1)
+        assert align_error(d1, d2) > 1e-3
+
+    def test_all_three_decodable(self, channels_2x2, rng):
+        sol = solve_uplink_three_packets(channels_2x2, rng=rng)
+        report = decode_rate_level(sol, channels_2x2, LOW_NOISE)
+        assert len(report.results) == 3
+        assert report.min_sinr > 1e3
+
+    def test_schedule_structure(self, channels_2x2, rng):
+        sol = solve_uplink_three_packets(channels_2x2, rng=rng)
+        assert sol.cooperative
+        assert sol.schedule[0].packet_ids == (0,)
+        assert set(sol.schedule[1].packet_ids) == {1, 2}
+
+    def test_candidate_search_improves_rate(self, channels_2x2, rng):
+        bare = solve_uplink_three_packets(
+            channels_2x2, rng=np.random.default_rng(1), n_candidates=1, optimize_free=False
+        )
+        tuned = solve_uplink_three_packets(
+            channels_2x2, rng=np.random.default_rng(1), n_candidates=16
+        )
+        r_bare = decode_rate_level(bare, channels_2x2, 1.0).total_rate
+        r_tuned = decode_rate_level(tuned, channels_2x2, 1.0).total_rate
+        assert r_tuned >= r_bare - 1e-9
+
+    def test_custom_node_ids(self, rng):
+        chans = _chanset(rng, (5, 9), (3, 7))
+        sol = solve_uplink_three_packets(chans, clients=(5, 9), aps=(3, 7), rng=rng)
+        assert sol.packet(0).tx == 5
+        assert sol.packet(2).tx == 9
+        report = decode_rate_level(sol, chans, LOW_NOISE)
+        assert report.min_sinr > 1e3
+
+
+class TestUplinkFourPackets:
+    def test_eqs_3_and_4_hold(self, channels_3x3, rng):
+        sol = solve_uplink_four_packets(channels_3x3, rng=rng)
+        # Eq. 3: packets 1, 2, 3 aligned at AP 0.
+        d1 = sol.received_direction(channels_3x3, 1, 0)
+        d2 = sol.received_direction(channels_3x3, 2, 0)
+        d3 = sol.received_direction(channels_3x3, 3, 0)
+        assert align_error(d1, d2) < 1e-7
+        assert align_error(d2, d3) < 1e-7
+        # Eq. 4: packets 2 and 3 aligned at AP 1.
+        e2 = sol.received_direction(channels_3x3, 2, 1)
+        e3 = sol.received_direction(channels_3x3, 3, 1)
+        assert align_error(e2, e3) < 1e-7
+
+    def test_all_four_decodable(self, channels_3x3, rng):
+        sol = solve_uplink_four_packets(channels_3x3, rng=rng)
+        report = decode_rate_level(sol, channels_3x3, LOW_NOISE)
+        assert len(report.results) == 4
+        assert report.min_sinr > 1e3
+
+    def test_exceeds_antennas_per_ap(self, channels_3x3, rng):
+        """Four packets with 2-antenna APs: the paper's headline claim."""
+        sol = solve_uplink_four_packets(channels_3x3, rng=rng)
+        n_antennas = channels_3x3.rx_antennas(0)
+        assert len(sol.packets) == 2 * n_antennas
+
+    def test_eig_index_deterministic(self, channels_3x3):
+        a = solve_uplink_four_packets(channels_3x3, rng=np.random.default_rng(0), eig_index=0)
+        b = solve_uplink_four_packets(channels_3x3, rng=np.random.default_rng(0), eig_index=0)
+        for pid in range(4):
+            assert align_error(a.encoding[pid], b.encoding[pid]) < 1e-10
+
+
+class TestDownlinkThreePackets:
+    def test_eqs_5_to_7_hold(self, channels_3x3, rng):
+        sol = solve_downlink_three_packets(channels_3x3, rng=rng)
+        h = channels_3x3.h
+        v = sol.encoding
+        assert align_error(h(1, 0) @ v[1], h(2, 0) @ v[2]) < 1e-7  # Eq. 5
+        assert align_error(h(0, 1) @ v[0], h(2, 1) @ v[2]) < 1e-7  # Eq. 6
+        assert align_error(h(0, 2) @ v[0], h(1, 2) @ v[1]) < 1e-7  # Eq. 7
+
+    def test_clients_decode_independently(self, channels_3x3, rng):
+        sol = solve_downlink_three_packets(channels_3x3, rng=rng)
+        assert not sol.cooperative
+        report = decode_rate_level(sol, channels_3x3, LOW_NOISE)
+        assert report.min_sinr > 1e3
+
+    def test_undesired_aligned_at_each_client(self, channels_3x3, rng):
+        sol = solve_downlink_three_packets(channels_3x3, rng=rng)
+        for client in range(3):
+            undesired = [p.packet_id for p in sol.packets if p.rx != client]
+            d = [sol.received_direction(channels_3x3, pid, client) for pid in undesired]
+            assert align_error(d[0], d[1]) < 1e-7
+
+
+class TestDownlinkTwoClients:
+    @pytest.mark.parametrize("m", [3, 4, 5])
+    def test_2m_minus_2_packets_decodable(self, m):
+        rng = np.random.default_rng(m)
+        aps = list(range(m - 1))
+        chans = ChannelSet(
+            {(a, c): rayleigh_channel(m, m, rng) for a in aps for c in (10, 11)}
+        )
+        sol = solve_downlink_two_clients(chans, aps=aps, clients=(10, 11), rng=rng)
+        assert len(sol.packets) == 2 * (m - 1)
+        report = decode_rate_level(sol, chans, LOW_NOISE)
+        assert report.min_sinr > 1e3
+
+    def test_alignment_at_each_client(self, rng):
+        m = 3
+        aps = [0, 1]
+        chans = ChannelSet(
+            {(a, c): rayleigh_channel(m, m, rng) for a in aps for c in (10, 11)}
+        )
+        sol = solve_downlink_two_clients(chans, aps=aps, clients=(10, 11), rng=rng)
+        # Packets destined to client 11 align at client 10.
+        undesired = [p.packet_id for p in sol.packets if p.rx == 11]
+        dirs = [sol.received_direction(chans, pid, 10) for pid in undesired]
+        assert align_error(dirs[0], dirs[1]) < 1e-7
+
+    def test_wrong_client_count(self, channels_2x2, rng):
+        with pytest.raises(ValueError):
+            solve_downlink_two_clients(channels_2x2, aps=[0], clients=(0, 1, 2), rng=rng)
+
+
+class TestSection6Properties:
+    """The implementation lessons of §6 hold for our solutions."""
+
+    def test_cfo_does_not_break_alignment(self, channels_2x2, rng):
+        """§6a: frequency offset scales a direction by exp(j theta); the
+        aligned pair stays aligned at every time instant."""
+        sol = solve_uplink_three_packets(channels_2x2, rng=rng)
+        d1 = sol.received_direction(channels_2x2, 1, 0)
+        d2 = sol.received_direction(channels_2x2, 2, 0)
+        for t in (0.0, 0.3, 0.7, 123.456):
+            rot1 = np.exp(2j * np.pi * 1.7e-4 * t) * d1
+            rot2 = np.exp(2j * np.pi * -0.9e-4 * t) * d2
+            assert align_error(rot1, rot2) < 1e-7
+
+    def test_modulation_does_not_break_alignment(self, channels_2x2, rng):
+        """§6b: modulation multiplies the direction by the (complex) symbol;
+        alignment is a property of the direction, not the symbol."""
+        sol = solve_uplink_three_packets(channels_2x2, rng=rng)
+        d1 = sol.received_direction(channels_2x2, 1, 0)
+        d2 = sol.received_direction(channels_2x2, 2, 0)
+        for sym1, sym2 in [(1 + 1j, -1 - 1j), (0.3 - 0.9j, -0.7 + 0.2j)]:
+            assert align_error(sym1 * d1, sym2 * d2) < 1e-7
+
+    def test_identical_channels_degenerate(self, rng):
+        """§10.1: if both clients have identical channels to both APs,
+        aligning at one AP aligns at the other -- nothing is decodable."""
+        h1, h2 = rayleigh_channel(2, 2, rng), rayleigh_channel(2, 2, rng)
+        chans = ChannelSet({(0, 0): h1, (0, 1): h2, (1, 0): h1, (1, 1): h2})
+        sol = solve_uplink_three_packets(chans, rng=rng, n_candidates=1)
+        d1 = sol.received_direction(chans, 1, 1)
+        d2 = sol.received_direction(chans, 2, 1)
+        # Aligned at AP1 too -> AP1 cannot separate packets 1 and 2.
+        assert align_error(d1, d2) < 1e-7

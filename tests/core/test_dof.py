@@ -1,0 +1,87 @@
+"""Tests for the multiplexing-gain lemmas and feasibility counting (§5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dof import (
+    count_feasibility,
+    current_mimo_max_packets,
+    downlink_aps_needed,
+    downlink_feasibility,
+    downlink_max_packets,
+    multiplexing_gain_ratio,
+    uplink_aps_needed,
+    uplink_feasibility,
+    uplink_max_packets,
+)
+
+
+class TestLemmaValues:
+    def test_lemma_52_uplink(self):
+        """IAC delivers 2M concurrent uplink packets."""
+        assert [uplink_max_packets(m) for m in (1, 2, 3, 4, 5)] == [2, 4, 6, 8, 10]
+
+    def test_lemma_51_downlink(self):
+        """max(2M-2, floor(3M/2)): 3, 4, 6, 8 for M = 2..5."""
+        assert [downlink_max_packets(m) for m in (2, 3, 4, 5)] == [3, 4, 6, 8]
+
+    def test_downlink_crossover_at_m4(self):
+        """floor(3M/2) wins below M=4, 2M-2 from M=4 up (tie at M=3)."""
+        assert downlink_max_packets(2) == 3 == (3 * 2) // 2
+        assert downlink_max_packets(3) == 4 == 2 * 3 - 2 == (3 * 3) // 2
+        assert downlink_max_packets(5) == 8 == 2 * 5 - 2 > (3 * 5) // 2
+
+    def test_aps_needed(self):
+        assert uplink_aps_needed(3) == 3
+        assert downlink_aps_needed(2) == 3
+        assert downlink_aps_needed(4) == 3  # M-1
+
+    def test_gain_ratios(self):
+        """Uplink doubles; downlink approaches 2x for large M (§1)."""
+        assert multiplexing_gain_ratio(2, "uplink") == 2.0
+        assert multiplexing_gain_ratio(8, "downlink") == pytest.approx(14 / 8)
+        ratios = [multiplexing_gain_ratio(m, "downlink") for m in range(2, 30)]
+        assert ratios[-1] > 1.9  # -> 2 asymptotically
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uplink_max_packets(0)
+        with pytest.raises(ValueError):
+            multiplexing_gain_ratio(2, "sideways")
+
+    def test_current_mimo_limit(self):
+        assert current_mimo_max_packets(3) == 3
+
+
+class TestFeasibilityCounting:
+    def test_paper_example_three_downlink_packets(self):
+        """The M=2 downlink: 'three linear equations over three unknown
+        vectors' -- exactly as many constraints as free variables."""
+        fc = downlink_feasibility(2)
+        assert fc.free_variables == 3
+        assert fc.constraints == 3
+        assert fc.feasible
+
+    def test_uplink_feasible_for_all_m(self):
+        for m in range(2, 10):
+            assert uplink_feasibility(m).feasible
+
+    def test_downlink_feasible_for_all_m(self):
+        for m in range(2, 10):
+            assert downlink_feasibility(m).feasible
+
+    def test_overconstrained_detected(self):
+        """Aligning too much must fail the count: e.g. try to align all
+        4 packets on a line at each of 3 different APs with M=2."""
+        fc = count_feasibility(2, 4, [(4, 1)] * 3)
+        assert not fc.feasible
+
+    def test_vacuous_constraints_free(self):
+        fc = count_feasibility(3, 2, [(2, 2)])  # 2 vectors always fit 2 dims
+        assert fc.constraints == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            count_feasibility(2, 0, [])
+        with pytest.raises(ValueError):
+            count_feasibility(2, 2, [(2, 2)])  # d == M not allowed

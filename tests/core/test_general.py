@@ -1,0 +1,131 @@
+"""Tests for the general-M iterative alignment solver (Lemmas 5.1/5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import decode_rate_level
+from repro.core.general import (
+    GeneralAlignmentProblem,
+    SubspaceConstraint,
+    solve_downlink_general,
+    solve_uplink_general,
+)
+from repro.core.plans import ChannelSet, PacketSpec
+from repro.phy.channel.model import rayleigh_channel
+
+
+def _chanset(rng, txs, rxs, m):
+    return ChannelSet({(t, r): rayleigh_channel(m, m, rng) for t in txs for r in rxs})
+
+
+class TestConstraintValidation:
+    def test_vacuous_constraint_rejected(self):
+        with pytest.raises(ValueError):
+            SubspaceConstraint(rx=0, packet_ids=(0,), dim=1)
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError):
+            SubspaceConstraint(rx=0, packet_ids=(0, 1), dim=0)
+
+    def test_unknown_packet_rejected(self, rng):
+        chans = _chanset(rng, (0,), (0,), 2)
+        with pytest.raises(ValueError):
+            GeneralAlignmentProblem(
+                [PacketSpec(0, 0, 0)],
+                chans,
+                [SubspaceConstraint(rx=0, packet_ids=(0, 7), dim=1)],
+            )
+
+
+class TestLeakageSolver:
+    def test_reproduces_pairwise_alignment(self, rng):
+        """The 2-packet line alignment has an exact solution; the iterative
+        solver must find it (leakage ~ 0)."""
+        chans = _chanset(rng, (0, 1), (0,), 2)
+        packets = [PacketSpec(0, 0, 0), PacketSpec(1, 1, 0)]
+        problem = GeneralAlignmentProblem(
+            packets, chans, [SubspaceConstraint(rx=0, packet_ids=(0, 1), dim=1)]
+        )
+        encoding, diag = problem.solve(rng=rng)
+        assert diag.converged
+        assert diag.leakage < 1e-8
+
+    def test_warm_start_from_exact_solution(self, rng):
+        chans = _chanset(rng, (0, 1), (0,), 2)
+        packets = [PacketSpec(0, 0, 0), PacketSpec(1, 1, 0)]
+        v0 = np.array([1.0, 0.5j])
+        v1 = np.linalg.inv(chans.h(1, 0)) @ chans.h(0, 0) @ v0
+        problem = GeneralAlignmentProblem(
+            packets, chans, [SubspaceConstraint(rx=0, packet_ids=(0, 1), dim=1)]
+        )
+        _, diag = problem.solve(rng=rng, initial={0: v0, 1: v1})
+        assert diag.iterations == 0  # already aligned
+
+    def test_leakage_decreases(self, rng):
+        chans = _chanset(rng, (0, 1, 2), (0,), 3)
+        packets = [PacketSpec(i, i, 0) for i in range(3)]
+        problem = GeneralAlignmentProblem(
+            packets, chans, [SubspaceConstraint(rx=0, packet_ids=(0, 1, 2), dim=1)]
+        )
+        _, diag = problem.solve(rng=rng, max_iterations=50, restarts=1)
+        assert diag.history[-1] <= diag.history[0]
+
+
+class TestUplinkGeneral:
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_2m_packets_decodable(self, m):
+        rng = np.random.default_rng(100 + m)
+        # M = 2 needs three clients (Fig. 5); M >= 3 uses one per antenna.
+        clients = list(range(3)) if m == 2 else list(range(m))
+        aps = list(range(10, 13))
+        chans = _chanset(rng, clients, aps, m)
+        sol = solve_uplink_general(chans, clients=clients, aps=aps, rng=rng)
+        assert len(sol.packets) == 2 * m
+        report = decode_rate_level(sol, chans, noise_power=1e-9)
+        assert report.min_sinr > 1e3  # all 2M packets decodable
+
+    def test_solution_meta_reports_convergence(self, rng):
+        m = 3
+        chans = _chanset(rng, range(m), range(10, 13), m)
+        sol = solve_uplink_general(chans, clients=list(range(m)), aps=[10, 11, 12], rng=rng)
+        assert sol.meta["leakage"] < 1e-6
+
+    def test_wrong_client_count_raises(self, rng):
+        chans = _chanset(rng, (0, 1), (10, 11, 12), 3)
+        with pytest.raises(ValueError):
+            solve_uplink_general(chans, clients=[0, 1], aps=[10, 11, 12], rng=rng)
+
+    def test_needs_three_aps(self, rng):
+        chans = _chanset(rng, (0, 1), (10, 11), 2)
+        with pytest.raises(ValueError):
+            solve_uplink_general(chans, clients=[0, 1], aps=[10, 11], rng=rng)
+
+    def test_schedule_matches_lemma(self, rng):
+        """AP0 decodes 1, AP1 decodes M-1, AP2 decodes M (paper §5b)."""
+        m = 3
+        chans = _chanset(rng, range(m), range(10, 13), m)
+        sol = solve_uplink_general(chans, clients=list(range(m)), aps=[10, 11, 12], rng=rng)
+        sizes = [len(stage.packet_ids) for stage in sol.schedule]
+        assert sizes == [1, m - 1, m]
+
+
+class TestDownlinkGeneral:
+    def test_m2_uses_three_packet_construction(self, rng):
+        chans = _chanset(rng, range(3), range(10, 13), 2)
+        sol = solve_downlink_general(chans, aps=[0, 1, 2], clients=[10, 11, 12], rng=rng)
+        assert len(sol.packets) == 3  # max(2M-2, floor(3M/2)) = 3 for M=2
+
+    @pytest.mark.parametrize("m", [3, 4])
+    def test_matches_lemma_count(self, m):
+        rng = np.random.default_rng(m)
+        aps = list(range(m - 1))
+        chans = _chanset(rng, aps, (20, 21), m)
+        sol = solve_downlink_general(chans, aps=aps, clients=[20, 21], rng=rng)
+        assert len(sol.packets) == max(2 * m - 2, (3 * m) // 2)
+        report = decode_rate_level(sol, chans, noise_power=1e-9)
+        assert report.min_sinr > 1e3
+
+    def test_insufficient_aps_raises(self, rng):
+        chans = _chanset(rng, (0,), (20, 21), 4)
+        with pytest.raises(ValueError):
+            solve_downlink_general(chans, aps=[0], clients=[20, 21], rng=rng)

@@ -1,0 +1,106 @@
+"""Unit tests for the IAC data model (plans module)."""
+
+import numpy as np
+import pytest
+
+from repro.core.plans import AlignmentSolution, ChannelSet, DecodeStage, PacketSpec
+from repro.phy.channel.model import rayleigh_channel
+
+
+class TestChannelSet:
+    def test_lookup(self, channels_2x2):
+        assert channels_2x2.h(0, 1).shape == (2, 2)
+        assert (0, 1) in channels_2x2
+
+    def test_missing_raises(self, channels_2x2):
+        with pytest.raises(KeyError):
+            channels_2x2.h(5, 5)
+
+    def test_antenna_queries(self, channels_2x2):
+        assert channels_2x2.tx_antennas(0) == 2
+        assert channels_2x2.rx_antennas(1) == 2
+        with pytest.raises(KeyError):
+            channels_2x2.tx_antennas(99)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ChannelSet({})
+
+    def test_non_matrix_raises(self):
+        with pytest.raises(ValueError):
+            ChannelSet({(0, 0): np.ones(3)})
+
+    def test_perturbed_relative_error(self, channels_2x2, rng):
+        noisy = channels_2x2.perturbed(0.1, rng)
+        h, hn = channels_2x2.h(0, 0), noisy.h(0, 0)
+        rel = np.linalg.norm(hn - h) / np.linalg.norm(h)
+        assert 0.0 < rel < 0.5
+
+    def test_perturbed_zero_is_identity(self, channels_2x2, rng):
+        same = channels_2x2.perturbed(0.0, rng)
+        assert np.allclose(same.h(0, 1), channels_2x2.h(0, 1))
+
+
+def _simple_solution():
+    packets = [PacketSpec(0, 0, 0), PacketSpec(1, 0, 1), PacketSpec(2, 1, 1)]
+    enc = {0: np.array([1, 0]), 1: np.array([0, 1]), 2: np.array([1, 1])}
+    sched = [DecodeStage(rx=0, packet_ids=(0,)), DecodeStage(rx=1, packet_ids=(1, 2))]
+    return AlignmentSolution(packets=packets, encoding=enc, schedule=sched)
+
+
+class TestAlignmentSolution:
+    def test_encoding_normalised(self):
+        sol = _simple_solution()
+        for v in sol.encoding.values():
+            assert np.isclose(np.linalg.norm(v), 1.0)
+
+    def test_packet_lookup(self):
+        sol = _simple_solution()
+        assert sol.packet(2).tx == 1
+        assert sol.tx_of(1) == 0
+        with pytest.raises(KeyError):
+            sol.packet(9)
+
+    def test_packets_of_tx(self):
+        sol = _simple_solution()
+        assert sol.packets_of_tx(0) == [0, 1]
+        assert sol.packets_of_tx(1) == [2]
+
+    def test_tx_amplitude_power_split(self):
+        sol = _simple_solution()
+        # Client 0 sends two packets -> each at power 1/2.
+        assert np.isclose(sol.tx_amplitude(0), np.sqrt(0.5))
+        assert np.isclose(sol.tx_amplitude(2), 1.0)
+
+    def test_received_direction(self, rng):
+        sol = _simple_solution()
+        h = rayleigh_channel(2, 2, rng)
+        chans = ChannelSet({(0, 0): h})
+        assert np.allclose(sol.received_direction(chans, 0, 0), h @ sol.encoding[0])
+
+    def test_schedule_must_cover_all_packets(self):
+        packets = [PacketSpec(0, 0, 0), PacketSpec(1, 0, 1)]
+        enc = {0: np.array([1, 0]), 1: np.array([0, 1])}
+        with pytest.raises(ValueError):
+            AlignmentSolution(
+                packets=packets,
+                encoding=enc,
+                schedule=[DecodeStage(rx=0, packet_ids=(0,))],
+            )
+
+    def test_duplicate_ids_raise(self):
+        packets = [PacketSpec(0, 0, 0), PacketSpec(0, 1, 1)]
+        enc = {0: np.array([1, 0])}
+        with pytest.raises(ValueError):
+            AlignmentSolution(
+                packets=packets, encoding=enc, schedule=[DecodeStage(0, (0,))]
+            )
+
+    def test_missing_encoding_raises(self):
+        packets = [PacketSpec(0, 0, 0)]
+        with pytest.raises(ValueError):
+            AlignmentSolution(packets=packets, encoding={}, schedule=[DecodeStage(0, (0,))])
+
+    def test_empty_stage_raises(self):
+        with pytest.raises(ValueError):
+            DecodeStage(rx=0, packet_ids=())

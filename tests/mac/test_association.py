@@ -1,0 +1,130 @@
+"""Tests for association, channel updates and leader election."""
+
+import numpy as np
+import pytest
+
+from repro.mac.association import (
+    AssociationTable,
+    ChannelUpdate,
+    LeaderAP,
+    SubordinateAP,
+    elect_leader,
+)
+from repro.phy.channel.model import rayleigh_channel
+
+
+class TestElection:
+    def test_lowest_id_wins(self):
+        assert elect_leader([7, 3, 9]) == 3
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            elect_leader([])
+
+
+class TestAssociationTable:
+    def test_dense_ids(self):
+        t = AssociationTable()
+        ids = [t.associate(c).association_id for c in (100, 200, 300)]
+        assert ids == [0, 1, 2]
+
+    def test_idempotent(self):
+        t = AssociationTable()
+        a = t.associate(5)
+        b = t.associate(5)
+        assert a is b and len(t) == 1
+
+    def test_id_reuse_after_disassociation(self):
+        t = AssociationTable()
+        for c in (1, 2, 3):
+            t.associate(c)
+        t.disassociate(2)
+        assert t.associate(9).association_id == 1  # the freed id
+
+    def test_disassociate_unknown_raises(self):
+        with pytest.raises(KeyError):
+            AssociationTable().disassociate(4)
+
+    def test_clients_sorted(self):
+        t = AssociationTable()
+        for c in (5, 1, 3):
+            t.associate(c)
+        assert t.clients() == [1, 3, 5]
+
+
+class TestSubordinate:
+    def test_first_observation_reports(self, rng):
+        ap = SubordinateAP(ap_id=1)
+        update = ap.observe(7, rayleigh_channel(2, 2, rng))
+        assert update is not None and update.ap_id == 1
+
+    def test_stable_channel_silent(self, rng):
+        ap = SubordinateAP(ap_id=1, drift_threshold=0.2)
+        h = rayleigh_channel(2, 2, rng)
+        ap.observe(7, h)
+        assert ap.observe(7, h) is None
+
+    def test_big_change_reports(self, rng):
+        ap = SubordinateAP(ap_id=1, drift_threshold=0.1)
+        ap.observe(7, rayleigh_channel(2, 2, rng))
+        update = ap.observe(7, 10 * rayleigh_channel(2, 2, rng))
+        assert update is not None
+
+    def test_update_bytes(self, rng):
+        u = ChannelUpdate(ap_id=1, client_id=2, h=rayleigh_channel(2, 2, rng))
+        assert u.nbytes() == 4 + 8 * 4
+
+
+class TestLeader:
+    def _leader(self):
+        return LeaderAP(ap_id=0, ap_ids=[0, 1, 2])
+
+    def test_wrong_leader_rejected(self):
+        with pytest.raises(ValueError):
+            LeaderAP(ap_id=2, ap_ids=[0, 1, 2])
+
+    def test_association_requires_all_estimates(self, rng):
+        leader = self._leader()
+        with pytest.raises(ValueError):
+            leader.handle_association(7, {0: rayleigh_channel(2, 2, rng)})
+
+    def test_association_stores_channels(self, rng):
+        leader = self._leader()
+        estimates = {ap: rayleigh_channel(2, 2, rng) for ap in (0, 1, 2)}
+        leader.handle_association(7, estimates)
+        cmap = leader.channel_map(7)
+        assert set(cmap) == {0, 1, 2}
+        assert np.allclose(cmap[1], estimates[1])
+
+    def test_update_refreshes_and_accounts(self, rng):
+        leader = self._leader()
+        leader.handle_association(
+            7, {ap: rayleigh_channel(2, 2, rng) for ap in (0, 1, 2)}
+        )
+        new_h = rayleigh_channel(2, 2, rng)
+        leader.handle_update(ChannelUpdate(ap_id=1, client_id=7, h=new_h))
+        assert np.allclose(leader.channel_map(7)[1], new_h)
+        assert leader.update_bytes == 4 + 32
+
+    def test_update_for_unknown_client_raises(self, rng):
+        leader = self._leader()
+        with pytest.raises(KeyError):
+            leader.handle_update(
+                ChannelUpdate(ap_id=1, client_id=9, h=rayleigh_channel(2, 2, rng))
+            )
+
+    def test_end_to_end_tracking(self, rng):
+        """Subordinates observe; only drifts reach the leader."""
+        leader = self._leader()
+        subordinate = SubordinateAP(ap_id=1, drift_threshold=0.15)
+        h = rayleigh_channel(2, 2, rng)
+        leader.handle_association(7, {0: h, 1: h, 2: h})
+        reports = 0
+        for step in range(10):
+            # Slow drift: small perturbation each step.
+            h = h + 0.02 * rayleigh_channel(2, 2, rng)
+            update = subordinate.observe(7, h)
+            if update is not None:
+                leader.handle_update(update)
+                reports += 1
+        assert 1 <= reports < 10  # some reports, but far from every frame

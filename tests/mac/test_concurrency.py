@@ -1,0 +1,122 @@
+"""Tests for the concurrency algorithms (paper §7.2, evaluated Fig. 15)."""
+
+import numpy as np
+import pytest
+
+from repro.mac.concurrency import BestOfTwo, BruteForce, FifoGrouping, make_selector
+from repro.mac.queueing import QueuedPacket, TransmissionQueue
+
+
+def _queue(client_ids):
+    return TransmissionQueue(
+        QueuedPacket(client_id=c, seq=i) for i, c in enumerate(client_ids)
+    )
+
+
+def _rate_by_sum(group):
+    """Toy evaluator: bigger client ids -> more throughput."""
+    return float(sum(group))
+
+
+class TestFifo:
+    def test_takes_arrival_order(self):
+        sel = FifoGrouping(group_size=3)
+        assert sel.select(_queue([4, 9, 2, 7]), _rate_by_sum) == (4, 9, 2)
+
+    def test_short_queue(self):
+        sel = FifoGrouping(group_size=3)
+        assert sel.select(_queue([5]), _rate_by_sum) == (5,)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            FifoGrouping().select(TransmissionQueue(), _rate_by_sum)
+
+
+class TestBruteForce:
+    def test_keeps_head_and_maximises(self):
+        sel = BruteForce(group_size=3)
+        group = sel.select(_queue([1, 5, 9, 3]), _rate_by_sum)
+        assert group[0] == 1  # head always included
+        assert set(group[1:]) == {5, 9}  # best companions
+
+    def test_explores_order(self):
+        """The companion order (AP assignment) is part of the search."""
+        def order_sensitive(group):
+            return float(group[-1])  # reward big id in last position
+
+        sel = BruteForce(group_size=3)
+        group = sel.select(_queue([1, 5, 9, 3]), order_sensitive)
+        assert group[-1] == 9
+
+    def test_evaluation_count_is_combinatorial(self):
+        calls = []
+
+        def counting(group):
+            calls.append(group)
+            return 0.0
+
+        BruteForce(group_size=3).select(_queue(list(range(10))), counting)
+        assert len(calls) == 9 * 8  # permutations of 9 companions taken 2
+
+
+class TestBestOfTwo:
+    def test_keeps_head(self, rng):
+        sel = BestOfTwo(group_size=3, rng=rng)
+        group = sel.select(_queue([4, 9, 2, 7, 5]), _rate_by_sum)
+        assert group[0] == 4
+        assert len(group) == 3
+        assert len(set(group)) == 3
+
+    def test_few_evaluations(self, rng):
+        calls = []
+
+        def counting(group):
+            calls.append(group)
+            return float(sum(group))
+
+        sel = BestOfTwo(group_size=3, rng=rng)
+        sel.select(_queue(list(range(20))), counting)
+        assert len(calls) <= 4  # at most 2x2 candidate combinations
+
+    def test_credits_force_service(self, rng):
+        """A client that is repeatedly considered-but-ignored must
+        eventually be forced into a group (no starvation, §7.2)."""
+        # Client 0 has the worst channel: the evaluator always dislikes it.
+        def hates_zero(group):
+            return -1000.0 if 0 in group else float(sum(group))
+
+        sel = BestOfTwo(group_size=3, threshold=5, rng=np.random.default_rng(0))
+        clients = list(range(8))
+        served = set()
+        q = _queue(clients[1:] + [0])  # 0 starts at the tail
+        for _ in range(100):
+            group = sel.select(q, hates_zero)
+            served.update(group)
+            for cid in group:
+                q.pop_client(cid)
+                q.push(QueuedPacket(client_id=cid, seq=0))
+        assert 0 in served
+
+    def test_credit_reset_on_selection(self, rng):
+        sel = BestOfTwo(group_size=3, threshold=3, rng=rng)
+        sel.credits[7] = 3
+        group = sel.select(_queue([1, 7, 2, 3]), _rate_by_sum)
+        assert 7 in group  # forced
+        assert sel.credits[7] == 0  # and reset
+
+    def test_single_client_queue(self, rng):
+        sel = BestOfTwo(group_size=3, rng=rng)
+        assert sel.select(_queue([5]), _rate_by_sum) == (5,)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("fifo", FifoGrouping), ("brute", BruteForce), ("best2", BestOfTwo)],
+    )
+    def test_names(self, name, cls):
+        assert isinstance(make_selector(name), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_selector("oracle")

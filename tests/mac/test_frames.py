@@ -1,0 +1,91 @@
+"""Tests for MAC frame byte accounting (paper §7.1, Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.mac.frames import (
+    Ack,
+    Beacon,
+    CFEnd,
+    DataPollMetadata,
+    Grant,
+    GroupEntry,
+    make_group_entries,
+    vector_bytes,
+)
+
+
+def _entries(n=3, n_antennas=2):
+    return tuple(
+        GroupEntry(
+            client_id=i,
+            ap_id=i,
+            encoding=(0j,) * n_antennas,
+            decoding=(0j,) * n_antennas,
+        )
+        for i in range(n)
+    )
+
+
+class TestSizes:
+    def test_entry_is_a_few_bytes(self):
+        """'Extra information that is a few bytes per client-AP pair.'"""
+        e = _entries(1)[0]
+        assert 6 <= e.nbytes() <= 16
+
+    def test_metadata_scales_with_entries(self):
+        small = DataPollMetadata(frame_id=1, n_aps=3, entries=_entries(1))
+        large = DataPollMetadata(frame_id=1, n_aps=3, entries=_entries(3))
+        assert large.nbytes() - small.nbytes() == 2 * _entries(1)[0].nbytes()
+
+    def test_beacon_with_ack_bitmap(self):
+        without = Beacon(cfp_duration_slots=10)
+        with_map = Beacon(cfp_duration_slots=10, ack_bitmap=tuple(range(17)))
+        assert with_map.nbytes() - without.nbytes() == 3  # ceil(17/8)
+
+    def test_ack_and_cfend_small(self):
+        assert Ack(client_id=1, seq=2).nbytes() < 20
+        assert CFEnd().nbytes() < 30
+
+    def test_vector_bytes(self):
+        assert vector_bytes(2) == 4
+        assert vector_bytes(4) == 8
+
+
+class TestOverheadClaim:
+    def test_metadata_overhead_one_to_two_percent(self):
+        """§7.1(e): 'Assuming 1440 byte packets, the overhead of the
+        metadata amounts to 1-2%.'"""
+        meta = DataPollMetadata(frame_id=1, n_aps=3, entries=_entries(3))
+        overhead = meta.metadata_overhead(payload_bytes=1440)
+        assert 0.005 <= overhead <= 0.025
+
+    def test_overhead_worse_for_small_packets(self):
+        meta = DataPollMetadata(frame_id=1, n_aps=3, entries=_entries(3))
+        assert meta.metadata_overhead(100) > meta.metadata_overhead(1440)
+
+    def test_zero_payload_raises(self):
+        meta = DataPollMetadata(frame_id=1, n_aps=3, entries=_entries(3))
+        with pytest.raises(ValueError):
+            meta.metadata_overhead(0)
+
+
+class TestGrant:
+    def test_grant_same_layout_as_datapoll(self):
+        """Footnote 8: the Grant frame is a poll without downlink data."""
+        meta = DataPollMetadata(frame_id=1, n_aps=3, entries=_entries(2))
+        grant = Grant(frame_id=1, n_aps=3, entries=_entries(2))
+        assert grant.nbytes() == meta.nbytes()
+
+
+class TestMakeEntries:
+    def test_from_solver_vectors(self, rng):
+        enc = {5: rng.standard_normal(2) + 1j * rng.standard_normal(2)}
+        dec = {5: rng.standard_normal(2) + 1j * rng.standard_normal(2)}
+        entries = make_group_entries([5], [0], enc, dec)
+        assert entries[0].client_id == 5
+        assert len(entries[0].encoding) == 2
+
+    def test_mismatched_lists_raise(self):
+        with pytest.raises(ValueError):
+            make_group_entries([1, 2], [0], {}, {})

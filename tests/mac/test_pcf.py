@@ -1,0 +1,121 @@
+"""Tests for the PCF protocol machinery (paper §7.1, Fig. 9)."""
+
+import pytest
+
+from repro.mac.concurrency import FifoGrouping
+from repro.mac.pcf import PCFConfig, PCFCoordinator
+from repro.mac.queueing import TransmissionQueue
+
+
+def _coordinator(sinr_db=20.0, group_size=3, **config_kwargs):
+    """A coordinator whose PHY delivers every packet at ``sinr_db``."""
+    def transmit(direction, group):
+        return {cid: sinr_db for cid in group}
+
+    coord = PCFCoordinator(
+        downlink=TransmissionQueue(),
+        uplink=TransmissionQueue(),
+        selector=FifoGrouping(group_size=group_size),
+        evaluate=lambda group: float(len(group)),
+        transmit=transmit,
+        config=PCFConfig(group_size=group_size, **config_kwargs),
+    )
+    return coord
+
+
+class TestDelivery:
+    def test_downlink_group_served(self):
+        coord = _coordinator()
+        for c in (1, 2, 3):
+            coord.enqueue_downlink(c)
+        coord.run_cfp()
+        assert coord.stats.packets_delivered == 3
+        assert not coord.downlink
+
+    def test_uplink_acks_deferred_to_next_beacon(self):
+        """Uplink receptions are acked via the next beacon's bitmap."""
+        coord = _coordinator()
+        for c in (1, 2, 3):
+            coord.enqueue_uplink(c)
+        coord.run_cfp()
+        assert coord._pending_uplink_acks == [1, 2, 3]
+        before = coord.stats.beacon_bytes
+        coord.run_cfp()  # next CFP's beacon carries the bitmap
+        assert coord.stats.beacon_bytes > before
+        assert coord._pending_uplink_acks == []
+
+    def test_downlink_acks_synchronous(self):
+        coord = _coordinator()
+        for c in (1, 2, 3):
+            coord.enqueue_downlink(c)
+        coord.run_cfp()
+        assert coord.stats.ack_bytes > 0
+
+    def test_cfp_shrinks_when_idle(self):
+        """'When congestion is low and queues are empty, the CFP naturally
+        shrinks, and clients spend more time in CP.'"""
+        coord = _coordinator()
+        coord.run_round()  # nothing queued
+        assert coord.stats.cfp_slots == 0
+        assert coord.stats.cp_slots == coord.config.cp_slots
+
+
+class TestLossHandling:
+    def test_lost_packet_requeued_at_head(self):
+        coord = _coordinator(sinr_db=-10.0)  # everything below threshold
+        for c in (1, 2, 3):
+            coord.enqueue_downlink(c)
+        coord.run_cfp()
+        assert coord.stats.packets_lost == 3
+        assert coord.stats.retransmissions == 3
+        assert len(coord.downlink) == 3  # all back in the queue
+        assert coord.downlink.head().retries == 1
+
+    def test_retransmission_waits_for_next_cfp(self):
+        """Lost packets retransmit in the following CFP, not the same one."""
+        coord = _coordinator(sinr_db=-10.0)
+        for c in (1, 2, 3):
+            coord.enqueue_downlink(c)
+        coord.run_cfp()
+        assert coord.stats.cfp_slots == 1
+        coord.run_cfp()
+        assert coord.stats.retransmissions == 6  # retried (and lost) again
+
+    def test_max_groups_bounds_cfp(self):
+        coord = _coordinator(max_groups_per_cfp=1)
+        for c in (1, 2, 3, 4, 5, 6):
+            coord.enqueue_downlink(c)
+        coord.run_cfp()
+        assert coord.stats.cfp_slots == 1  # capped despite two groups queued
+
+
+class TestOverheadAccounting:
+    def test_metadata_counted_per_group(self):
+        coord = _coordinator()
+        for c in (1, 2, 3, 4, 5, 6):
+            coord.enqueue_downlink(c)
+        coord.run_cfp()  # two groups of three
+        assert coord.stats.metadata_bytes > 0
+        per_group = coord.stats.metadata_bytes / 2
+        assert 20 < per_group < 120
+
+    def test_overhead_fraction_small_for_full_payloads(self):
+        coord = _coordinator(payload_bytes=1440)
+        for c in range(1, 10):
+            coord.enqueue_downlink(c)
+        coord.run_cfp()
+        assert coord.stats.overhead_fraction() < 0.05
+
+    def test_overhead_infinite_without_delivery(self):
+        coord = _coordinator()
+        coord.run_cfp()
+        assert coord.stats.overhead_fraction() == float("inf")
+
+
+class TestPerClientCounters:
+    def test_per_client_delivery_counts(self):
+        coord = _coordinator()
+        for c in (1, 2, 3, 1, 2, 3):
+            coord.enqueue_downlink(c)
+        coord.run_cfp()
+        assert coord.stats.per_client_delivered == {1: 2, 2: 2, 3: 2}

@@ -1,0 +1,51 @@
+"""Tests for the FIFO transmission queue."""
+
+import pytest
+
+from repro.mac.queueing import QueuedPacket, TransmissionQueue
+
+
+def _queue(client_ids):
+    return TransmissionQueue(
+        QueuedPacket(client_id=c, seq=i) for i, c in enumerate(client_ids)
+    )
+
+
+class TestQueue:
+    def test_head(self):
+        q = _queue([3, 1, 2])
+        assert q.head().client_id == 3
+
+    def test_head_empty_raises(self):
+        with pytest.raises(IndexError):
+            TransmissionQueue().head()
+
+    def test_clients_in_order_distinct(self):
+        q = _queue([3, 1, 3, 2, 1])
+        assert q.clients_in_order() == [3, 1, 2]
+
+    def test_pop_client_removes_first_instance(self):
+        q = _queue([3, 1, 3])
+        p = q.pop_client(3)
+        assert p.seq == 0
+        assert q.clients_in_order() == [1, 3]
+
+    def test_pop_missing_returns_none(self):
+        q = _queue([1])
+        assert q.pop_client(9) is None
+
+    def test_push_front_priority(self):
+        q = _queue([1, 2])
+        q.push_front(QueuedPacket(client_id=7, seq=99, retries=1))
+        assert q.head().client_id == 7
+
+    def test_len_and_bool(self):
+        q = _queue([1, 2])
+        assert len(q) == 2 and q
+        q.pop_client(1)
+        q.pop_client(2)
+        assert not q
+
+    def test_packets_of(self):
+        q = _queue([1, 2, 1])
+        assert len(q.packets_of(1)) == 2

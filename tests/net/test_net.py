@@ -1,0 +1,105 @@
+"""Tests for the Ethernet hub backplane and node records."""
+
+import pytest
+
+from repro.net import (
+    AccessPoint,
+    Client,
+    EthernetHub,
+    HubFrame,
+    Node,
+    virtual_mimo_sample_bytes,
+)
+
+
+class TestHub:
+    def test_broadcast_reaches_other_ports(self):
+        hub = EthernetHub()
+        seen = {1: [], 2: [], 3: []}
+        for port in seen:
+            hub.attach(port, on_frame=lambda f, p=port: seen[p].append(f))
+        hub.broadcast(HubFrame(src_port=1, payload_bytes=1500))
+        assert len(seen[1]) == 0  # sender does not hear itself
+        assert len(seen[2]) == 1 and len(seen[3]) == 1
+
+    def test_byte_accounting_counts_once(self):
+        """A hub carries a frame once regardless of listener count."""
+        hub = EthernetHub()
+        for port in (1, 2, 3, 4):
+            hub.attach(port)
+        hub.broadcast(HubFrame(src_port=1, payload_bytes=1000, annotation_bytes=24))
+        assert hub.total_bytes == 1024
+
+    def test_kind_filter(self):
+        hub = EthernetHub()
+        hub.attach(1)
+        hub.attach(2)
+        hub.broadcast(HubFrame(src_port=1, payload_bytes=100, kind="decoded-packet"))
+        hub.broadcast(HubFrame(src_port=2, payload_bytes=7, kind="channel-update"))
+        assert hub.bytes_of_kind("decoded-packet") == 100
+        assert hub.bytes_of_kind("channel-update") == 7
+
+    def test_double_attach_raises(self):
+        hub = EthernetHub()
+        hub.attach(1)
+        with pytest.raises(ValueError):
+            hub.attach(1)
+
+    def test_unattached_sender_raises(self):
+        hub = EthernetHub()
+        with pytest.raises(KeyError):
+            hub.broadcast(HubFrame(src_port=9, payload_bytes=1))
+
+    def test_reset(self):
+        hub = EthernetHub()
+        hub.attach(1)
+        hub.attach(2)
+        hub.broadcast(HubFrame(src_port=1, payload_bytes=10))
+        hub.reset()
+        assert hub.total_bytes == 0
+
+
+class TestVirtualMimoComparison:
+    def test_paper_example_magnitude(self):
+        """§2(a): 'to jointly decode three APs with four antennas each, one
+        needs to send 6 Gb/s on the Ethernet' -- at 20 MHz bandwidth that
+        is 40 Msamples/s/antenna; check the per-second byte count lands in
+        the same regime (within 2x of 6 Gb/s / 8)."""
+        n_samples_per_second = 40_000_000  # 2 x 20 MHz
+        nbytes = virtual_mimo_sample_bytes(
+            n_aps=3, n_antennas=4, n_samples=n_samples_per_second
+        )
+        gbps = nbytes * 8 / 1e9
+        assert 3.0 < gbps < 12.0
+
+    def test_iac_is_orders_of_magnitude_cheaper(self):
+        """IAC ships decoded packets (1500 B each); virtual MIMO ships the
+        samples that carried them."""
+        samples_per_packet = 12_000  # 1500 B BPSK
+        vm = virtual_mimo_sample_bytes(n_aps=2, n_antennas=2, n_samples=samples_per_packet)
+        iac = 1500
+        assert vm > 20 * iac
+
+    def test_zero_aps(self):
+        assert virtual_mimo_sample_bytes(0, 2, 100) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            virtual_mimo_sample_bytes(-1, 2, 100)
+
+
+class TestNodes:
+    def test_defaults(self):
+        ap = AccessPoint(node_id=3)
+        assert ap.ethernet_port == 3
+        assert not ap.is_leader
+
+    def test_client_association(self):
+        c = Client(node_id=7)
+        assert not c.associated
+        c.associate(association_id=12)
+        assert c.associated and c.association_id == 12
+
+    def test_antenna_validation(self):
+        with pytest.raises(ValueError):
+            Node(node_id=0, n_antennas=0)

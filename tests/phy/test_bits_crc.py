@@ -1,0 +1,119 @@
+"""Unit tests for bit plumbing, scrambling and CRC framing."""
+
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.bits import (
+    Scrambler,
+    bit_error_rate,
+    bit_errors,
+    bits_to_bytes,
+    bytes_to_bits,
+    random_bits,
+)
+from repro.phy.crc import append_crc, check_crc, crc32, crc_bits, strip_crc
+
+
+class TestBits:
+    def test_roundtrip(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_msb_first(self):
+        assert np.array_equal(bytes_to_bits(b"\x80"), [1, 0, 0, 0, 0, 0, 0, 0])
+
+    def test_empty(self):
+        assert bytes_to_bits(b"").size == 0
+        assert bits_to_bytes(np.zeros(0, dtype=np.uint8)) == b""
+
+    def test_non_octet_raises(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.ones(5, dtype=np.uint8))
+
+    def test_bit_errors(self):
+        a = np.array([0, 1, 1, 0], dtype=np.uint8)
+        b = np.array([0, 0, 1, 1], dtype=np.uint8)
+        assert bit_errors(a, b) == 2
+        assert np.isclose(bit_error_rate(a, b), 0.5)
+
+    def test_bit_errors_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bit_errors(np.zeros(3), np.zeros(4))
+
+    def test_random_bits(self, rng):
+        bits = random_bits(1000, rng)
+        assert set(np.unique(bits)) <= {0, 1}
+        assert 300 < bits.sum() < 700  # roughly balanced
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestScrambler:
+    def test_involution(self, rng):
+        bits = random_bits(999, rng)
+        s = Scrambler()
+        assert np.array_equal(s.descramble(s.scramble(bits)), bits)
+
+    def test_whitens_constant_input(self):
+        s = Scrambler()
+        out = s.scramble(np.zeros(256, dtype=np.uint8))
+        assert 64 < out.sum() < 192  # not all zeros anymore
+
+    def test_seed_matters(self, rng):
+        bits = random_bits(64, rng)
+        assert not np.array_equal(
+            Scrambler(seed=0x55).scramble(bits), Scrambler(seed=0x2A).scramble(bits)
+        )
+
+    def test_bad_seed_raises(self):
+        with pytest.raises(ValueError):
+            Scrambler(seed=0)
+        with pytest.raises(ValueError):
+            Scrambler(seed=0x100)
+
+
+class TestCrc:
+    def test_matches_zlib(self):
+        for data in (b"", b"hello", bytes(range(100))):
+            assert crc32(data) == zlib.crc32(data)
+
+    def test_chaining(self):
+        a, b = b"abc", b"defgh"
+        assert crc32(a + b) == crc32(b, crc32(a))
+
+    def test_append_and_check(self):
+        frame = append_crc(b"payload")
+        assert check_crc(frame)
+        assert strip_crc(frame) == b"payload"
+
+    def test_detects_corruption(self):
+        frame = bytearray(append_crc(b"payload"))
+        frame[2] ^= 0x40
+        assert not check_crc(bytes(frame))
+        with pytest.raises(ValueError):
+            strip_crc(bytes(frame))
+
+    def test_short_frame_fails(self):
+        assert not check_crc(b"ab")
+
+    def test_crc_bits_consistency(self):
+        from repro.phy.bits import bytes_to_bits
+
+        bits = bytes_to_bits(b"data!")
+        out = crc_bits(bits)
+        assert out.size == 32
+
+    @given(st.binary(min_size=1, max_size=64), st.integers(min_value=0, max_value=511))
+    @settings(max_examples=50, deadline=None)
+    def test_single_bit_flip_always_detected(self, data, flip):
+        frame = bytearray(append_crc(data))
+        bit = flip % (len(frame) * 8)
+        frame[bit // 8] ^= 1 << (bit % 8)
+        assert not check_crc(bytes(frame))

@@ -1,0 +1,147 @@
+"""Unit and property tests for the FEC codes and interleaver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.fec import BlockInterleaver, ConvolutionalCode, Hamming74
+
+
+class TestConvolutional:
+    def test_roundtrip_clean(self, rng):
+        cc = ConvolutionalCode()
+        bits = rng.integers(0, 2, 300).astype(np.uint8)
+        assert np.array_equal(cc.decode(cc.encode(bits)), bits)
+
+    def test_encoded_length(self):
+        cc = ConvolutionalCode()
+        assert cc.encoded_length(100) == (100 + 6) * 2
+        assert cc.encode(np.zeros(100, dtype=np.uint8)).size == cc.encoded_length(100)
+
+    def test_corrects_scattered_errors(self, rng):
+        cc = ConvolutionalCode()
+        bits = rng.integers(0, 2, 400).astype(np.uint8)
+        coded = cc.encode(bits)
+        corrupted = coded.copy()
+        # ~2.5% scattered errors: well within rate-1/2 K=7 capability.
+        flips = rng.choice(coded.size, size=coded.size // 40, replace=False)
+        corrupted[flips] ^= 1
+        assert np.array_equal(cc.decode(corrupted), bits)
+
+    def test_fails_gracefully_on_heavy_corruption(self, rng):
+        cc = ConvolutionalCode()
+        bits = rng.integers(0, 2, 200).astype(np.uint8)
+        coded = cc.encode(bits)
+        garbage = rng.integers(0, 2, coded.size).astype(np.uint8)
+        decoded = cc.decode(garbage)
+        assert decoded.size == bits.size  # wrong bits, right shape
+
+    def test_zero_termination_protects_tail(self, rng):
+        """The last payload bits are as protected as the rest."""
+        cc = ConvolutionalCode()
+        bits = rng.integers(0, 2, 200).astype(np.uint8)
+        coded = cc.encode(bits)
+        corrupted = coded.copy()
+        corrupted[-8] ^= 1  # error near the tail
+        assert np.array_equal(cc.decode(corrupted), bits)
+
+    def test_other_constraint_lengths(self, rng):
+        cc = ConvolutionalCode(generators=(5, 7), constraint_length=3)
+        bits = rng.integers(0, 2, 120).astype(np.uint8)
+        assert np.array_equal(cc.decode(cc.encode(bits)), bits)
+
+    def test_rate_third(self, rng):
+        cc = ConvolutionalCode(generators=(133, 171, 165), constraint_length=7)
+        bits = rng.integers(0, 2, 90).astype(np.uint8)
+        coded = cc.encode(bits)
+        assert coded.size == (90 + 6) * 3
+        assert np.array_equal(cc.decode(coded), bits)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode(constraint_length=1)
+        with pytest.raises(ValueError):
+            ConvolutionalCode(generators=(777,), constraint_length=3)
+        with pytest.raises(ValueError):
+            ConvolutionalCode().decode(np.zeros(5, dtype=np.uint8))
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_single_error_always_corrected(self, seed):
+        r = np.random.default_rng(seed)
+        cc = ConvolutionalCode()
+        bits = r.integers(0, 2, 64).astype(np.uint8)
+        coded = cc.encode(bits)
+        pos = int(r.integers(0, coded.size))
+        coded[pos] ^= 1
+        assert np.array_equal(cc.decode(coded), bits)
+
+
+class TestHamming:
+    def test_roundtrip(self, rng):
+        h = Hamming74()
+        bits = rng.integers(0, 2, 400).astype(np.uint8)
+        assert np.array_equal(h.decode(h.encode(bits))[:400], bits)
+
+    def test_corrects_one_error_per_block(self, rng):
+        h = Hamming74()
+        bits = rng.integers(0, 2, 400).astype(np.uint8)
+        coded = h.encode(bits)
+        blocks = coded.reshape(-1, 7)
+        for i in range(blocks.shape[0]):
+            blocks[i, int(rng.integers(0, 7))] ^= 1  # one error per block
+        assert np.array_equal(h.decode(blocks.ravel())[:400], bits)
+
+    def test_encoded_length(self):
+        h = Hamming74()
+        assert h.encoded_length(4) == 7
+        assert h.encoded_length(5) == 14
+
+    def test_bad_length_raises(self):
+        with pytest.raises(ValueError):
+            Hamming74().decode(np.zeros(6, dtype=np.uint8))
+
+
+class TestInterleaver:
+    def test_roundtrip(self, rng):
+        il = BlockInterleaver(8, 12)
+        bits = rng.integers(0, 2, 96 * 3).astype(np.uint8)
+        assert np.array_equal(il.deinterleave(il.interleave(bits)), bits)
+
+    def test_roundtrip_with_padding(self, rng):
+        il = BlockInterleaver(8, 12)
+        bits = rng.integers(0, 2, 100).astype(np.uint8)
+        out = il.deinterleave(il.interleave(bits), original_length=100)
+        assert np.array_equal(out, bits)
+
+    def test_spreads_bursts(self, rng):
+        """A contiguous burst lands on non-adjacent positions after
+        deinterleaving, which is the whole point."""
+        il = BlockInterleaver(16, 24)
+        n = il.block
+        bits = np.zeros(n, dtype=np.uint8)
+        tx = il.interleave(bits)
+        tx[10:18] ^= 1  # 8-bit burst on the wire
+        rx = il.deinterleave(tx)
+        error_positions = np.flatnonzero(rx)
+        assert error_positions.size == 8
+        assert np.min(np.diff(error_positions)) >= il.n_cols - 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockInterleaver(0, 5)
+        with pytest.raises(ValueError):
+            BlockInterleaver(4, 4).deinterleave(np.zeros(15, dtype=np.uint8))
+
+
+def test_conv_plus_interleaver_pipeline(rng):
+    """Burst on the wire, clean payload after deinterleave + Viterbi."""
+    cc = ConvolutionalCode()
+    il = BlockInterleaver(16, 24)
+    bits = rng.integers(0, 2, 500).astype(np.uint8)
+    coded = cc.encode(bits)
+    wire = il.interleave(coded)
+    wire[200:212] ^= 1  # 12-bit burst
+    recovered = cc.decode(il.deinterleave(wire)[: coded.size])
+    assert np.array_equal(recovered, bits)

@@ -1,0 +1,211 @@
+"""Unit tests for MIMO precoding, detection, eigenmodes and rates."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel.model import rayleigh_channel
+from repro.phy.mimo import (
+    EncodedStream,
+    antenna_selection_vectors,
+    best_ap_rate,
+    decoding_vector,
+    eigenmode_link,
+    equalize,
+    estimated_group_rate,
+    jain_fairness,
+    mmse_matrix,
+    multiplexing_slope,
+    post_projection_sinr,
+    precode,
+    project,
+    rate_from_snrs,
+    rate_from_snrs_db,
+    waterfill,
+    zero_forcing_matrix,
+)
+
+
+class TestPrecoding:
+    def test_total_power_constraint(self, rng):
+        streams = [
+            EncodedStream(samples=np.ones(1000, dtype=complex), encoding=np.array([1, 0])),
+            EncodedStream(samples=np.ones(1000, dtype=complex), encoding=np.array([1, 1])),
+        ]
+        block = precode(streams, n_tx=2, total_power=1.0)
+        # Two unit-amplitude streams at power 1/2 each -> total average <= ~1
+        power = np.mean(np.sum(np.abs(block) ** 2, axis=0))
+        assert power < 2.5  # superposition can beat avg 1 but stays bounded
+
+    def test_single_stream_on_direction(self, rng):
+        v = np.array([1.0, 1.0j]) / np.sqrt(2)
+        s = rng.standard_normal(10) + 0j
+        block = precode([EncodedStream(samples=s, encoding=v)], n_tx=2)
+        assert np.allclose(block, np.outer(v, s))
+
+    def test_pads_short_streams(self):
+        streams = [
+            EncodedStream(samples=np.ones(5, dtype=complex), encoding=np.array([1, 0])),
+            EncodedStream(samples=np.ones(9, dtype=complex), encoding=np.array([0, 1])),
+        ]
+        assert precode(streams, n_tx=2).shape == (2, 9)
+
+    def test_empty(self):
+        assert precode([], n_tx=2).shape == (2, 0)
+
+    def test_wrong_dim_raises(self):
+        s = [EncodedStream(samples=np.ones(4, dtype=complex), encoding=np.ones(3))]
+        with pytest.raises(ValueError):
+            precode(s, n_tx=2)
+
+    def test_antenna_selection(self):
+        vs = antenna_selection_vectors(3, 2)
+        assert np.allclose(vs[0], [1, 0, 0])
+        assert np.allclose(vs[1], [0, 1, 0])
+        with pytest.raises(ValueError):
+            antenna_selection_vectors(2, 3)
+
+
+class TestDetection:
+    def test_decoding_vector_nulls_interference(self, rng):
+        d = rng.standard_normal(3) + 1j * rng.standard_normal(3)
+        i1 = rng.standard_normal(3) + 1j * rng.standard_normal(3)
+        w = decoding_vector(d, i1[:, None])
+        assert abs(np.vdot(w, i1)) < 1e-10
+        assert abs(np.vdot(w, d)) > 0.1
+
+    def test_decoding_vector_no_interference(self, rng):
+        d = rng.standard_normal(2) + 1j * rng.standard_normal(2)
+        w = decoding_vector(d, None)
+        assert np.isclose(abs(np.vdot(w, d)), np.linalg.norm(d))
+
+    def test_full_interference_raises(self, rng):
+        d = rng.standard_normal(2) + 1j * rng.standard_normal(2)
+        interference = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        with pytest.raises(ValueError):
+            decoding_vector(d, interference)
+
+    def test_desired_inside_interference_raises(self, rng):
+        i1 = rng.standard_normal(3) + 1j * rng.standard_normal(3)
+        with pytest.raises(ValueError):
+            decoding_vector(2 * i1, i1[:, None])
+
+    def test_project_and_equalize(self, rng):
+        w = np.array([1.0, 0.0], dtype=complex)
+        y = np.vstack([2.0 * np.ones(5), np.zeros(5)]).astype(complex)
+        s = project(y, w)
+        assert np.allclose(s, 2.0)
+        assert np.allclose(equalize(s, 2.0), 1.0)
+        with pytest.raises(ValueError):
+            equalize(s, 0.0)
+
+    def test_zero_forcing_matrix(self, rng):
+        d = [rng.standard_normal(3) + 1j * rng.standard_normal(3) for _ in range(2)]
+        w = zero_forcing_matrix(d)
+        gains = w @ np.stack(d, axis=1)
+        assert np.allclose(gains, np.eye(2), atol=1e-10)
+
+    def test_mmse_close_to_zf_at_low_noise(self, rng):
+        d = [rng.standard_normal(2) + 1j * rng.standard_normal(2) for _ in range(2)]
+        w = mmse_matrix(d, noise_power=1e-9)
+        gains = w @ np.stack(d, axis=1)
+        assert np.allclose(gains, np.eye(2), atol=1e-3)
+
+    def test_post_projection_sinr(self, rng):
+        d = np.array([1.0, 0.0], dtype=complex)
+        i1 = np.array([0.0, 1.0], dtype=complex)
+        w = np.array([1.0, 0.0], dtype=complex)
+        sinr = post_projection_sinr(w, d, [i1], noise_power=0.01)
+        assert np.isclose(sinr, 100.0)
+        # Interference leaking into w lowers it.
+        sinr2 = post_projection_sinr(w, d, [np.array([1.0, 0.0])], noise_power=0.01)
+        assert sinr2 < 1.0
+
+
+class TestWaterfilling:
+    def test_sums_to_budget(self):
+        p = waterfill(np.array([1.0, 0.5, 0.1]), noise_power=0.1, total_power=2.0)
+        assert np.isclose(p.sum(), 2.0)
+        assert np.all(p >= 0)
+
+    def test_strong_channel_gets_more(self):
+        p = waterfill(np.array([2.0, 0.5]), noise_power=0.5, total_power=1.0)
+        assert p[0] > p[1]
+
+    def test_weak_channel_dropped_at_low_power(self):
+        p = waterfill(np.array([10.0, 0.01]), noise_power=1.0, total_power=0.01)
+        assert p[1] == 0.0
+
+    def test_equal_gains_equal_power(self):
+        p = waterfill(np.array([1.0, 1.0]), noise_power=0.1, total_power=1.0)
+        assert np.allclose(p, [0.5, 0.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            waterfill(np.array([1.0]), noise_power=0.0, total_power=1.0)
+
+
+class TestEigenmode:
+    def test_rate_positive_and_streams(self, rng):
+        h = rayleigh_channel(2, 2, rng)
+        em = eigenmode_link(h, noise_power=0.01)
+        assert em.rate() > 0
+        assert em.n_streams in (1, 2)
+        assert np.isclose(em.powers.sum(), 1.0)
+
+    def test_matches_closed_form_capacity(self, rng):
+        """Eigenmode + waterfilling equals the waterfilled SVD capacity."""
+        h = rayleigh_channel(2, 2, rng)
+        n0 = 0.05
+        em = eigenmode_link(h, noise_power=n0)
+        s = np.linalg.svd(h, compute_uv=False)
+        p = waterfill(s, n0, 1.0)
+        expected = np.sum(np.log2(1 + p * s**2 / n0))
+        assert np.isclose(em.rate(), expected)
+
+    def test_max_streams_cap(self, rng):
+        h = rayleigh_channel(2, 2, rng)
+        em = eigenmode_link(h, noise_power=0.01, max_streams=1)
+        assert em.n_streams == 1
+
+    def test_vectors_unitary(self, rng):
+        h = rayleigh_channel(2, 2, rng)
+        em = eigenmode_link(h, noise_power=0.01)
+        assert np.allclose(em.tx_vectors.conj().T @ em.tx_vectors, np.eye(2), atol=1e-10)
+
+    def test_best_ap_rate_takes_max(self, rng):
+        h1, h2 = rayleigh_channel(2, 2, rng), 3 * rayleigh_channel(2, 2, rng)
+        best = best_ap_rate([h1, h2], noise_power=0.01)
+        assert best >= eigenmode_link(h1, 0.01).rate()
+        assert best >= eigenmode_link(h2, 0.01).rate()
+
+
+class TestRates:
+    def test_rate_from_snrs(self):
+        assert np.isclose(rate_from_snrs([1.0, 3.0]), 1.0 + 2.0)
+
+    def test_rate_from_snrs_db(self):
+        assert np.isclose(rate_from_snrs_db([0.0]), 1.0)
+
+    def test_negative_snr_raises(self):
+        with pytest.raises(ValueError):
+            rate_from_snrs([-1.0])
+
+    def test_estimated_group_rate(self):
+        assert np.isclose(estimated_group_rate([1.0, 1.0]), 2.0)
+
+    def test_multiplexing_slope_recovers_dof(self):
+        """rate = d log2(snr) exactly -> slope d."""
+        snrs_db = np.array([20.0, 30.0, 40.0])
+        d = 3.0
+        rates = d * snrs_db / 10 * np.log2(10)
+        assert np.isclose(multiplexing_slope(snrs_db, rates), d)
+
+    def test_multiplexing_slope_validation(self):
+        with pytest.raises(ValueError):
+            multiplexing_slope([10.0], [1.0])
+
+    def test_jain_fairness(self):
+        assert np.isclose(jain_fairness([1, 1, 1]), 1.0)
+        assert jain_fairness([1, 0, 0]) < 0.5
+        with pytest.raises(ValueError):
+            jain_fairness([])

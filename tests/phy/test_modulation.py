@@ -1,0 +1,114 @@
+"""Unit and property tests for all modulation schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.modulation import BPSK, OFDM, PSK8, QAM16, QAM64, QPSK, get_modulator
+
+ALL_SCHEMES = ["bpsk", "qpsk", "8psk", "qam16", "qam64"]
+
+
+@pytest.mark.parametrize("name", ALL_SCHEMES + ["ofdm-bpsk", "ofdm-qam16"])
+def test_roundtrip(name, rng):
+    m = get_modulator(name)
+    n = 960  # divisible by every bits_per_symbol in use
+    bits = rng.integers(0, 2, n).astype(np.uint8)
+    recovered = m.demodulate(m.modulate(bits))[:n]
+    assert np.array_equal(recovered, bits)
+
+
+@pytest.mark.parametrize("name", ALL_SCHEMES)
+def test_unit_average_power(name, rng):
+    m = get_modulator(name)
+    bits = rng.integers(0, 2, 12000).astype(np.uint8)
+    symbols = m.modulate(bits)
+    assert np.isclose(np.mean(np.abs(symbols) ** 2), 1.0, atol=0.05)
+
+
+@pytest.mark.parametrize("name", ALL_SCHEMES)
+def test_noise_tolerance(name, rng):
+    """Hard decisions survive noise well below the decision distance."""
+    m = get_modulator(name)
+    bits = rng.integers(0, 2, 1200).astype(np.uint8)
+    symbols = m.modulate(bits)
+    noisy = symbols + 0.01 * (
+        rng.standard_normal(symbols.size) + 1j * rng.standard_normal(symbols.size)
+    )
+    assert np.array_equal(m.demodulate(noisy)[: bits.size], bits)
+
+
+def test_padding_rounds_up():
+    m = QPSK()
+    assert m.symbols_for_bits(3) == 2
+    assert m.pad_bits(np.ones(3, dtype=np.uint8)).size == 4
+
+
+def test_invalid_bits_rejected():
+    with pytest.raises(ValueError):
+        BPSK().modulate(np.array([0, 2, 1]))
+
+
+def test_unknown_scheme():
+    with pytest.raises(ValueError):
+        get_modulator("qam1024")
+
+
+def test_gray_mapping_neighbours_differ_by_one_bit():
+    """Adjacent 16-QAM constellation points differ in exactly one bit."""
+    m = QAM16()
+    n = 4000
+    r = np.random.default_rng(1)
+    bits = r.integers(0, 2, n).astype(np.uint8)
+    symbols = m.modulate(bits)
+    # Push each symbol slightly toward a horizontal neighbour.
+    step = 2.0 / m._scale
+    shifted = symbols + step * 0.55
+    errors = np.count_nonzero(m.demodulate(shifted)[:n] != bits)
+    n_symbols = n // 4
+    # Interior points (3 of 4 columns) slip one column -> exactly 1 bit each.
+    assert errors <= n_symbols  # never more than 1 bit per symbol
+
+
+class TestOFDM:
+    def test_symbol_block_structure(self, rng):
+        m = OFDM(QPSK(), n_fft=64, n_subcarriers=48, cp_len=16)
+        bits = rng.integers(0, 2, 96).astype(np.uint8)  # one OFDM symbol
+        samples = m.modulate(bits)
+        assert samples.size == m.samples_per_ofdm_symbol
+
+    def test_cyclic_prefix_present(self, rng):
+        m = OFDM(QPSK(), n_fft=64, n_subcarriers=48, cp_len=16)
+        bits = rng.integers(0, 2, 96).astype(np.uint8)
+        samples = m.modulate(bits)
+        assert np.allclose(samples[:16], samples[64:80])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OFDM(QPSK(), n_fft=64, n_subcarriers=64)
+        with pytest.raises(ValueError):
+            OFDM(QPSK(), n_fft=64, cp_len=64)
+
+    def test_partial_stream_raises(self, rng):
+        m = OFDM(QPSK())
+        with pytest.raises(ValueError):
+            m.demodulate(np.zeros(m.samples_per_ofdm_symbol - 1, dtype=complex))
+
+    def test_flat_channel_scaling_transparent(self, rng):
+        """A flat channel is one complex scale per subcarrier -- invertible."""
+        m = OFDM(QPSK())
+        bits = rng.integers(0, 2, 960).astype(np.uint8)
+        rx = m.modulate(bits) * (0.8 - 0.3j)
+        grid = m.demodulate_to_symbols(rx) / (0.8 - 0.3j)
+        assert np.array_equal(m.inner.demodulate(grid.ravel())[:960], bits)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1), st.sampled_from(ALL_SCHEMES))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(seed, name):
+    r = np.random.default_rng(seed)
+    m = get_modulator(name)
+    n = int(r.integers(1, 500))
+    bits = r.integers(0, 2, n).astype(np.uint8)
+    assert np.array_equal(m.demodulate(m.modulate(bits))[:n], bits)

@@ -1,0 +1,92 @@
+"""Unit tests for packet framing and preamble detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.packet import HEADER_BYTES, DecodedPacket, Packet
+from repro.phy.preamble import detect_preamble, pn_sequence, preamble_matrix
+
+
+class TestPacket:
+    def test_roundtrip_frame(self, rng):
+        p = Packet.random(rng, 200, src=5, dst=9, seq=77, flags=1)
+        assert Packet.from_frame(p.to_frame()) == p
+
+    def test_roundtrip_bits(self, rng):
+        p = Packet.random(rng, 33)
+        assert Packet.from_bits(p.to_bits()) == p
+
+    def test_nbytes(self):
+        p = Packet(payload=b"x" * 100)
+        assert p.nbytes == HEADER_BYTES + 100 + 4
+
+    def test_corruption_raises(self, rng):
+        frame = bytearray(Packet.random(rng, 50).to_frame())
+        frame[10] ^= 0xFF
+        with pytest.raises(ValueError):
+            Packet.from_frame(bytes(frame))
+
+    def test_field_width_validation(self):
+        with pytest.raises(ValueError):
+            Packet(payload=b"", src=1 << 16)
+        with pytest.raises(ValueError):
+            Packet(payload=b"", flags=256)
+
+    def test_empty_payload(self):
+        p = Packet(payload=b"")
+        assert Packet.from_frame(p.to_frame()) == p
+
+    @given(st.binary(min_size=0, max_size=100), st.integers(0, 65535))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, payload, seq):
+        p = Packet(payload=payload, seq=seq)
+        assert Packet.from_frame(p.to_frame()) == p
+
+
+class TestDecodedPacket:
+    def test_ok_semantics(self):
+        p = Packet(payload=b"hi")
+        assert DecodedPacket(packet=p, snr_db=10.0).ok
+        assert not DecodedPacket(packet=None, snr_db=10.0).ok
+        assert not DecodedPacket(packet=p, snr_db=10.0, crc_ok=False).ok
+
+
+class TestPreamble:
+    def test_pn_unit_magnitude(self):
+        seq = pn_sequence(128)
+        assert np.allclose(np.abs(seq), 1.0)
+
+    def test_pn_deterministic(self):
+        assert np.array_equal(pn_sequence(64, seed=3), pn_sequence(64, seed=3))
+
+    def test_rows_orthogonal(self):
+        for n_ant in (1, 2, 3, 4):
+            p = preamble_matrix(n_ant, 64)
+            gram = p @ p.conj().T
+            assert np.allclose(gram, 64 * np.eye(n_ant), atol=1e-9)
+
+    def test_bad_length_raises(self):
+        with pytest.raises(ValueError):
+            preamble_matrix(2, 63)
+
+    def test_detect_at_offset(self, rng):
+        p = preamble_matrix(1, 64)[0]
+        stream = np.concatenate([np.zeros(100), p, np.zeros(50)])
+        stream += 0.05 * (rng.standard_normal(214) + 1j * rng.standard_normal(214))
+        assert detect_preamble(stream, p) == 100
+
+    def test_detect_gain_invariant(self, rng):
+        p = preamble_matrix(1, 64)[0]
+        stream = np.concatenate([np.zeros(30), (0.01 - 0.02j) * p, np.zeros(10)])
+        assert detect_preamble(stream, p) == 30
+
+    def test_no_preamble_not_found(self, rng):
+        p = preamble_matrix(1, 64)[0]
+        noise = rng.standard_normal(300) + 1j * rng.standard_normal(300)
+        assert detect_preamble(noise, p, threshold=0.8) == -1
+
+    def test_stream_shorter_than_preamble(self):
+        p = preamble_matrix(1, 64)[0]
+        assert detect_preamble(np.zeros(10), p) == -1

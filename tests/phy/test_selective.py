@@ -1,0 +1,83 @@
+"""Tests for the frequency-selective channel substrate."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel.selective import MultiTapChannel, exponential_pdp
+
+
+class TestPdp:
+    def test_normalised(self):
+        assert np.isclose(exponential_pdp(8, 2.0).sum(), 1.0)
+
+    def test_zero_spread_is_flat(self):
+        p = exponential_pdp(4, 0.0)
+        assert p[0] == 1.0 and p[1:].sum() == 0.0
+
+    def test_monotone_decay(self):
+        p = exponential_pdp(6, 1.5)
+        assert np.all(np.diff(p) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_pdp(0, 1.0)
+        with pytest.raises(ValueError):
+            exponential_pdp(4, -1.0)
+
+
+class TestMultiTap:
+    def test_single_tap_matches_flat(self, rng):
+        h = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        ch = MultiTapChannel(taps=(h,))
+        tx = rng.standard_normal((2, 10)) + 0j
+        assert np.allclose(ch.apply(tx), h @ tx)
+
+    def test_convolution_tail(self, rng):
+        ch = MultiTapChannel.random(2, 2, exponential_pdp(3, 1.0), rng)
+        out = ch.apply(np.ones((2, 10), dtype=complex))
+        assert out.shape == (2, 12)
+
+    def test_delayed_impulse(self, rng):
+        h0 = np.zeros((2, 2), dtype=complex)
+        h1 = rng.standard_normal((2, 2)) + 0j
+        ch = MultiTapChannel(taps=(h0, h1))
+        tx = np.zeros((2, 5), dtype=complex)
+        tx[:, 0] = 1.0
+        out = ch.apply(tx)
+        assert np.allclose(out[:, 0], 0)
+        assert np.allclose(out[:, 1], h1 @ tx[:, 0])
+
+    def test_frequency_response_flat_for_one_tap(self, rng):
+        h = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        ch = MultiTapChannel(taps=(h,))
+        resp = ch.frequency_response(8)
+        for hf in resp:
+            assert np.allclose(hf, h)
+
+    def test_frequency_response_matches_dft(self, rng):
+        ch = MultiTapChannel.random(2, 2, exponential_pdp(4, 1.5), rng)
+        n_fft = 16
+        resp = ch.frequency_response(n_fft)
+        # Element (0,0) across bins equals the DFT of the tap sequence.
+        taps00 = np.array([t[0, 0] for t in ch.taps])
+        dft = np.fft.fft(taps00, n_fft)
+        measured = np.array([hf[0, 0] for hf in resp])
+        assert np.allclose(measured, dft)
+
+    def test_selectivity_grows_with_delay_spread(self, rng):
+        flat = MultiTapChannel.random(2, 2, exponential_pdp(8, 0.3), rng)
+        disp = MultiTapChannel.random(2, 2, exponential_pdp(8, 4.0), rng)
+        assert flat.coherence_bandwidth_bins(64) >= disp.coherence_bandwidth_bins(64)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            MultiTapChannel(taps=())
+        h2 = rng.standard_normal((2, 2)) + 0j
+        h3 = rng.standard_normal((3, 2)) + 0j
+        with pytest.raises(ValueError):
+            MultiTapChannel(taps=(h2, h3))
+        ch = MultiTapChannel(taps=(h2,))
+        with pytest.raises(ValueError):
+            ch.apply(np.ones((3, 4)))
+        with pytest.raises(ValueError):
+            MultiTapChannel(taps=(h2, h2)).frequency_response(1)

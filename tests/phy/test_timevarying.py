@@ -1,0 +1,92 @@
+"""Tests for the Gauss-Markov time-varying channel."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel.timevarying import (
+    FadingNetwork,
+    GaussMarkovFading,
+    rho_from_doppler,
+)
+
+
+class TestBessel:
+    def test_j0_known_values(self):
+        # J0(0)=1, J0(2.405)~0 (first zero), J0(pi)~-0.304.
+        assert np.isclose(rho_from_doppler(0.0, 1.0), 1.0)
+        assert abs(rho_from_doppler(2.405 / (2 * np.pi), 1.0)) < 5e-3
+        assert np.isclose(rho_from_doppler(0.5, 1.0), -0.3042, atol=5e-3)
+
+    def test_slow_motion_high_correlation(self):
+        # 1 Hz Doppler, 1 ms slots: essentially static per slot.
+        assert rho_from_doppler(1.0, 1e-3) > 0.999
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rho_from_doppler(-1.0, 1.0)
+
+
+class TestGaussMarkov:
+    def test_static_when_rho_one(self, rng):
+        f = GaussMarkovFading(2, 2, rho=1.0, rng=rng)
+        h0 = f.current.copy()
+        f.step(10)
+        assert np.allclose(f.current, h0)
+
+    def test_memoryless_when_rho_zero(self, rng):
+        f = GaussMarkovFading(2, 2, rho=0.0, rng=rng)
+        h0 = f.current.copy()
+        f.step()
+        corr = abs(np.vdot(h0.ravel(), f.current.ravel())) / (
+            np.linalg.norm(h0) * np.linalg.norm(f.current)
+        )
+        assert corr < 0.9  # essentially independent draw
+
+    def test_stationary_power(self, rng):
+        """The AR(1) form conserves average gain over long runs."""
+        f = GaussMarkovFading(2, 2, rho=0.95, gain=4.0, rng=rng)
+        powers = []
+        for _ in range(600):
+            f.step()
+            powers.append(np.mean(np.abs(f.current) ** 2))
+        assert np.isclose(np.mean(powers), 4.0, rtol=0.3)
+
+    def test_decorrelation_time_scales_with_rho(self, rng):
+        def corr_after(rho, steps):
+            f = GaussMarkovFading(2, 2, rho=rho, rng=np.random.default_rng(5))
+            h0 = f.current.copy()
+            f.step(steps)
+            return abs(np.vdot(h0.ravel(), f.current.ravel())) / (
+                np.linalg.norm(h0) * np.linalg.norm(f.current)
+            )
+
+        assert corr_after(0.999, 50) > corr_after(0.9, 50)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            GaussMarkovFading(2, 2, rho=1.5, rng=rng)
+        with pytest.raises(ValueError):
+            GaussMarkovFading(2, 2, gain=0.0, rng=rng)
+        f = GaussMarkovFading(2, 2, rng=rng)
+        with pytest.raises(ValueError):
+            f.step(-1)
+
+
+class TestFadingNetwork:
+    def test_reciprocity_at_every_instant(self, rng):
+        net = FadingNetwork([(0, 5), (1, 5)], n_antennas=2, rho=0.9, rng=rng)
+        for _ in range(3):
+            assert np.allclose(net.channel(0, 5), net.channel(5, 0).T)
+            net.step()
+
+    def test_links_evolve(self, rng):
+        net = FadingNetwork([(0, 5)], n_antennas=2, rho=0.5, rng=rng)
+        h0 = net.channel(0, 5).copy()
+        net.step(5)
+        assert not np.allclose(net.channel(0, 5), h0)
+
+    def test_gains_applied(self, rng):
+        net = FadingNetwork(
+            [(0, 5)], n_antennas=2, rho=1.0, gains={(0, 5): 100.0}, rng=rng
+        )
+        assert np.mean(np.abs(net.channel(0, 5)) ** 2) > 5.0

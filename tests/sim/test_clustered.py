@@ -1,0 +1,66 @@
+"""Tests for the clustered ad-hoc network scenario (paper §11)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.clustered import ClusteredConfig, ClusteredNetwork
+
+
+@pytest.fixture(scope="module")
+def network():
+    return ClusteredNetwork(ClusteredConfig(nodes_per_cluster=3, seed=17))
+
+
+class TestTopology:
+    def test_intra_links_stronger(self, network):
+        intra = np.linalg.norm(network.channel(0, 1))
+        inter = np.linalg.norm(network.channel(0, 3))
+        assert intra > inter
+
+    def test_reciprocal(self, network):
+        assert np.allclose(network.channel(0, 4), network.channel(4, 0).T)
+
+    def test_no_self_channel(self, network):
+        with pytest.raises(ValueError):
+            network.channel(2, 2)
+
+    def test_cluster_membership(self, network):
+        assert network.cluster_a == [0, 1, 2]
+        assert network.cluster_b == [3, 4, 5]
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            ClusteredNetwork(ClusteredConfig(nodes_per_cluster=1))
+
+
+class TestBottleneck:
+    def test_intra_rate_much_higher_than_gap(self, network):
+        """Fig. 17's premise: intra-cluster links are not the bottleneck."""
+        intra = network.intra_cluster_rate(network.cluster_a)
+        gap = network.bottleneck_rate_dot11()
+        assert intra > 1.5 * gap
+
+    def test_iac_beats_dot11_on_the_gap(self, network):
+        assert network.bottleneck_rate_iac() > network.bottleneck_rate_dot11()
+
+    def test_flow_gain_in_paper_band(self, network):
+        """"IAC can double the throughput of the inter-cluster bottleneck
+        links": expect a clear gain, up to ~2x."""
+        gain = network.gain()
+        assert 1.15 < gain < 2.3
+
+    def test_flow_limited_by_bottleneck_not_intra(self, network):
+        flow = network.flow_throughput("dot11")
+        assert np.isclose(flow, network.bottleneck_rate_dot11())
+
+    def test_unknown_scheme_raises(self, network):
+        with pytest.raises(ValueError):
+            network.flow_throughput("carrier-pigeon")
+
+    def test_weak_intra_links_cap_iac(self):
+        """If intra links are as weak as the gap, relaying eats the gain."""
+        net = ClusteredNetwork(
+            ClusteredConfig(nodes_per_cluster=3, intra_gain_db=8.0, inter_gain_db=8.0)
+        )
+        flow = net.flow_throughput("iac")
+        assert flow <= net.intra_cluster_rate(net.cluster_a)

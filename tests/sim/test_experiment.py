@@ -1,0 +1,155 @@
+"""Tests for the per-figure experiment runners (paper §10).
+
+The quantitative assertions here pin the *shape* of the paper's results:
+who wins, roughly by how much, in what order.  Absolute numbers depend on
+the synthetic testbed, so tolerance bands are deliberately wide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.experiment import (
+    GroupRateCache,
+    diversity_trial,
+    downlink_3x3_trial,
+    large_network_experiment,
+    reciprocity_experiment,
+    run_scatter,
+    uplink_2x2_trial,
+    uplink_3x3_trial,
+)
+from repro.sim.metrics import GainCDF, RatePair, ScatterResult, format_cdf_table
+
+
+class TestMetrics:
+    def test_rate_pair_gain(self):
+        assert np.isclose(RatePair(dot11=2.0, iac=3.0).gain, 1.5)
+        with pytest.raises(ZeroDivisionError):
+            _ = RatePair(dot11=0.0, iac=1.0).gain
+
+    def test_scatter_mean_gain(self):
+        s = ScatterResult(label="t")
+        s.add(2.0, 3.0)
+        s.add(4.0, 6.0)
+        assert np.isclose(s.mean_gain, 1.5)
+        assert "t" in s.summary()
+
+    def test_gain_cdf(self):
+        c = GainCDF(gains={1: 0.8, 2: 1.5, 3: 2.0}, label="x")
+        values, fractions = c.cdf_points()
+        assert values[0] == 0.8 and fractions[-1] == 1.0
+        assert np.isclose(c.fraction_below(1.0), 1 / 3)
+        assert np.isclose(c.min_gain, 0.8)
+
+    def test_format_cdf_table(self):
+        c = GainCDF(gains={i: float(i) for i in range(1, 6)}, label="alg")
+        table = format_cdf_table([c], n_rows=5)
+        assert "alg" in table and len(table.splitlines()) == 6
+
+
+class TestScatterTrials:
+    """Figs. 12-14 at reduced trial counts (benchmarks run the full size)."""
+
+    def test_fig12_gain_band(self, full_testbed):
+        sc = run_scatter(uplink_2x2_trial, full_testbed, 15, 2, 2, seed=1, label="f12")
+        assert 1.2 < sc.mean_gain < 1.8  # paper: 1.5x
+
+    def test_fig13a_gain_band(self, full_testbed):
+        sc = run_scatter(uplink_3x3_trial, full_testbed, 10, 3, 3, seed=2, label="f13a")
+        assert 1.4 < sc.mean_gain < 2.2  # paper: 1.8x
+
+    def test_fig13b_gain_band(self, full_testbed):
+        sc = run_scatter(downlink_3x3_trial, full_testbed, 10, 3, 3, seed=3, label="f13b")
+        assert 1.1 < sc.mean_gain < 1.7  # paper: 1.4x
+
+    def test_fig14_diversity_band(self, full_testbed):
+        sc = run_scatter(diversity_trial, full_testbed, 15, 1, 2, seed=4, label="f14")
+        assert 1.0 < sc.mean_gain < 1.5  # paper: 1.2x
+
+    def test_uplink_beats_downlink(self, full_testbed):
+        """The paper's ordering: 3x3 uplink gain > 3x3 downlink gain."""
+        up = run_scatter(uplink_3x3_trial, full_testbed, 10, 3, 3, seed=5)
+        down = run_scatter(downlink_3x3_trial, full_testbed, 10, 3, 3, seed=5)
+        assert up.mean_gain > down.mean_gain
+
+    def test_diversity_never_loses(self, full_testbed):
+        """IAC's option set includes 802.11's best-AP choice, so the gain
+        is >= 1 point-by-point."""
+        sc = run_scatter(diversity_trial, full_testbed, 15, 1, 2, seed=6)
+        assert all(p.gain >= 1.0 - 1e-12 for p in sc.points)
+
+    def test_reproducible(self, full_testbed):
+        a = run_scatter(uplink_2x2_trial, full_testbed, 5, 2, 2, seed=9)
+        b = run_scatter(uplink_2x2_trial, full_testbed, 5, 2, 2, seed=9)
+        assert [p.iac for p in a.points] == [p.iac for p in b.points]
+
+
+class TestGroupCache:
+    def test_cache_hit_identical(self, small_testbed, rng):
+        cache = GroupRateCache(small_testbed, aps=[0, 1, 2], direction="downlink", rng=rng)
+        group = (3, 4, 5)
+        first = cache.evaluate(group)
+        second = cache.evaluate(group)
+        assert first is second
+
+    def test_per_client_rates_cover_group(self, small_testbed, rng):
+        cache = GroupRateCache(small_testbed, aps=[0, 1, 2], direction="uplink", rng=rng)
+        total, per_client = cache.evaluate((3, 4, 5))
+        assert set(per_client) == {3, 4, 5}
+        assert np.isclose(total, sum(per_client.values()), rtol=1e-6)
+
+    def test_degenerate_small_group(self, small_testbed, rng):
+        cache = GroupRateCache(small_testbed, aps=[0, 1, 2], direction="downlink", rng=rng)
+        total, per_client = cache.evaluate((7,))
+        assert set(per_client) == {7}
+        assert total > 0
+
+    def test_direction_validation(self, small_testbed, rng):
+        with pytest.raises(ValueError):
+            GroupRateCache(small_testbed, aps=[0], direction="up", rng=rng)
+
+
+class TestLargeNetwork:
+    """Fig. 15 at reduced size: 8 clients, short runs."""
+
+    @pytest.fixture(scope="class")
+    def cdfs(self, full_testbed):
+        kwargs = dict(direction="downlink", n_slots=120, n_clients=8, seed=11)
+        return {
+            name: large_network_experiment(full_testbed, name, **kwargs)
+            for name in ("brute", "fifo", "best2")
+        }
+
+    def test_all_algorithms_beat_dot11_on_average(self, cdfs):
+        for cdf in cdfs.values():
+            assert cdf.mean_gain > 1.0
+
+    def test_brute_force_highest_mean(self, cdfs):
+        assert cdfs["brute"].mean_gain >= cdfs["fifo"].mean_gain
+
+    def test_brute_force_unfair(self, cdfs):
+        """Brute force leaves some clients below their 802.11 rate, while
+        best-of-two does not notably hurt anyone (paper Fig. 15)."""
+        assert cdfs["brute"].min_gain < cdfs["best2"].min_gain
+
+    def test_best2_no_client_notably_hurt(self, cdfs):
+        assert cdfs["best2"].min_gain > 0.8
+
+    def test_uplink_direction_runs(self, full_testbed):
+        cdf = large_network_experiment(
+            full_testbed, "best2", "uplink", n_slots=60, n_clients=6, seed=3
+        )
+        assert cdf.mean_gain > 1.0
+
+
+class TestReciprocityExperiment:
+    def test_errors_small_like_fig16(self, full_testbed):
+        errors = reciprocity_experiment(full_testbed, n_pairs=10, n_moves=3, seed=1)
+        assert len(errors) == 10
+        assert max(errors) < 0.3  # paper's Fig. 16 stays under ~0.2
+        assert min(errors) > 0.0
+
+    def test_better_estimation_snr_lower_error(self, full_testbed):
+        noisy = reciprocity_experiment(full_testbed, n_pairs=8, estimate_snr_db=15, seed=2)
+        clean = reciprocity_experiment(full_testbed, n_pairs=8, estimate_snr_db=35, seed=2)
+        assert np.mean(clean) < np.mean(noisy)

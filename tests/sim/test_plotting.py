@@ -1,0 +1,65 @@
+"""Tests for the text figure rendering."""
+
+import pytest
+
+from repro.sim.metrics import GainCDF, ScatterResult
+from repro.sim.plotting import ascii_bars, ascii_cdf, ascii_scatter
+
+
+def _scatter():
+    s = ScatterResult(label="fig12")
+    s.add(4.0, 6.0)
+    s.add(8.0, 12.0)
+    s.add(12.0, 17.0)
+    return s
+
+
+class TestScatter:
+    def test_contains_points_and_axes(self):
+        out = ascii_scatter(_scatter())
+        assert "*" in out
+        assert "fig12" in out
+        assert "802.11-MIMO" in out
+
+    def test_gain_lines_drawn(self):
+        out = ascii_scatter(_scatter(), gain_lines=(1.0, 2.0))
+        assert "." in out and ":" in out
+
+    def test_dimensions(self):
+        out = ascii_scatter(_scatter(), width=30, height=10)
+        lines = out.splitlines()
+        # header + height rows + axis + 2 label rows
+        assert len(lines) == 1 + 10 + 3
+        assert all(len(l) <= 8 + 30 for l in lines[1:11])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_scatter(ScatterResult(label="x"))
+
+
+class TestCdf:
+    def test_curves_rendered(self):
+        a = GainCDF(gains={i: 1.0 + 0.1 * i for i in range(10)}, label="best2")
+        b = GainCDF(gains={i: 0.5 + 0.3 * i for i in range(10)}, label="brute")
+        out = ascii_cdf([a, b])
+        assert "*" in out and "o" in out
+        assert "best2" in out and "brute" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_cdf([])
+
+
+class TestBars:
+    def test_rendering(self):
+        out = ascii_bars(["fifo", "best2", "brute"], [1.23, 1.52, 1.58], unit="x")
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[2].count("#") >= lines[0].count("#")
+        assert "1.52x" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [0.0])

@@ -1,0 +1,65 @@
+"""Tests for the synthetic testbed generator."""
+
+import numpy as np
+import pytest
+
+from repro.sim.testbed import Testbed, TestbedConfig
+
+
+class TestGeneration:
+    def test_default_matches_paper(self, full_testbed):
+        assert full_testbed.n_nodes == 20
+        assert full_testbed.config.n_antennas == 2
+
+    def test_reciprocal_over_the_air(self, small_testbed):
+        """Physics: H(b->a) == H(a->b)^T."""
+        h_ab = small_testbed.channel(0, 1)
+        h_ba = small_testbed.channel(1, 0)
+        assert np.allclose(h_ba, h_ab.T)
+
+    def test_gains_within_configured_range(self, small_testbed):
+        lo, hi = small_testbed.config.gain_db_range
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert lo <= small_testbed.pair_gain_db(a, b) <= hi
+
+    def test_deterministic_for_seed(self):
+        a = Testbed(TestbedConfig(n_nodes=4, seed=7))
+        b = Testbed(TestbedConfig(n_nodes=4, seed=7))
+        assert np.allclose(a.channel(0, 1), b.channel(0, 1))
+
+    def test_different_seeds_differ(self):
+        a = Testbed(TestbedConfig(n_nodes=4, seed=7))
+        b = Testbed(TestbedConfig(n_nodes=4, seed=8))
+        assert not np.allclose(a.channel(0, 1), b.channel(0, 1))
+
+    def test_no_self_channel(self, small_testbed):
+        with pytest.raises(ValueError):
+            small_testbed.channel(1, 1)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            Testbed(TestbedConfig(n_nodes=1))
+
+
+class TestChannelSet:
+    def test_channel_set_contents(self, small_testbed):
+        cs = small_testbed.channel_set([0, 1], [2, 3])
+        assert np.allclose(cs.h(0, 2), small_testbed.channel(0, 2))
+        assert np.allclose(cs.h(1, 3), small_testbed.channel(1, 3))
+
+    def test_overlapping_lists_skip_self(self, small_testbed):
+        cs = small_testbed.channel_set([0, 1], [1, 2])
+        assert (0, 1) in cs and (1, 2) in cs
+        assert (1, 1) not in cs
+
+    def test_pick_nodes_distinct(self, small_testbed, rng):
+        nodes = small_testbed.pick_nodes(5, rng)
+        assert len(set(nodes)) == 5
+
+    def test_pick_too_many_raises(self, small_testbed, rng):
+        with pytest.raises(ValueError):
+            small_testbed.pick_nodes(99, rng)
+
+    def test_hardware_per_node(self, small_testbed):
+        assert len(small_testbed.hardware) == small_testbed.n_nodes

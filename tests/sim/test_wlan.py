@@ -1,0 +1,57 @@
+"""Tests for the integrated WLAN simulation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.wlan import WLANConfig, WLANSimulation
+
+
+@pytest.fixture(scope="module")
+def static_stats():
+    sim = WLANSimulation(WLANConfig(n_clients=6, rho=1.0, seed=3))
+    return sim.run(40)
+
+
+class TestStaticEnvironment:
+    def test_all_clients_served(self, static_stats):
+        assert all(rate > 0 for rate in static_stats.per_client_rate.values())
+
+    def test_no_staleness_loss_when_static(self, static_stats):
+        """With rho=1 the associated estimates never go stale."""
+        assert static_stats.staleness_loss_db < 1.0
+
+    def test_total_rate_positive(self, static_stats):
+        assert static_stats.total_rate > 0
+
+
+class TestMobileEnvironment:
+    def test_tracking_reports_drift(self):
+        sim = WLANSimulation(WLANConfig(n_clients=6, rho=0.97, seed=4))
+        stats = sim.run(40, track=True)
+        assert stats.drift_reports > 0
+        assert stats.update_bytes > 0
+
+    def test_tracking_beats_no_tracking_under_mobility(self):
+        """The §7.1(c)/§8a machinery earns its keep when channels move."""
+        tracked = WLANSimulation(WLANConfig(n_clients=6, rho=0.96, seed=5)).run(
+            60, track=True
+        )
+        stale = WLANSimulation(WLANConfig(n_clients=6, rho=0.96, seed=5)).run(
+            60, track=False
+        )
+        assert tracked.total_rate > stale.total_rate
+
+    def test_static_needs_no_reports_after_association(self):
+        sim = WLANSimulation(WLANConfig(n_clients=6, rho=1.0, drift_threshold=0.2, seed=6))
+        stats = sim.run(30, track=True)
+        assert stats.drift_reports == 0
+
+
+class TestValidation:
+    def test_needs_three_aps(self):
+        with pytest.raises(ValueError):
+            WLANSimulation(WLANConfig(n_aps=2))
+
+    def test_needs_enough_clients(self):
+        with pytest.raises(ValueError):
+            WLANSimulation(WLANConfig(n_aps=3, n_clients=2))

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scatter_defaults(self):
+        args = build_parser().parse_args(["fig12"])
+        assert args.trials == 40 and args.seed == 0
+
+    def test_fig15_options(self):
+        args = build_parser().parse_args(["fig15", "--slots", "50", "--direction", "uplink"])
+        assert args.slots == 50 and args.direction == "uplink"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestCommands:
+    def test_lemmas(self, capsys):
+        assert main(["lemmas"]) == 0
+        out = capsys.readouterr().out
+        assert "uplink (2M)" in out
+        assert " 3             6          4" in out  # M=3 row
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "1440-byte payloads" in out
+
+    def test_fig12_small(self, capsys):
+        assert main(["fig12", "--trials", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "mean gain" in out and "paper: 1.5x" in out
+
+    def test_fig14_small(self, capsys):
+        assert main(["fig14", "--trials", "4"]) == 0
+        assert "1.2x" in capsys.readouterr().out
+
+    def test_fig16(self, capsys):
+        assert main(["fig16"]) == 0
+        assert "fractional error" in capsys.readouterr().out
+
+    def test_fig17_small(self, capsys):
+        assert main(["fig17", "--trials", "2"]) == 0
+        assert "gain" in capsys.readouterr().out
+
+    def test_fig15_small(self, capsys):
+        assert main(["fig15", "--slots", "30", "--direction", "downlink"]) == 0
+        out = capsys.readouterr().out
+        assert "best2" in out and "gain-quantile" in out

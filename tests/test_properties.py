@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) on the core IAC invariants.
+
+Each property is quantified over random seeds, which parameterise channel
+draws, free encoding vectors and eigenvector choices -- so these tests
+sweep a far wider space than the example-based suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alignment import (
+    solve_downlink_three_packets,
+    solve_uplink_four_packets,
+    solve_uplink_three_packets,
+)
+from repro.core.decoder import decode_rate_level
+from repro.core.dof import (
+    downlink_feasibility,
+    downlink_max_packets,
+    uplink_feasibility,
+    uplink_max_packets,
+)
+from repro.core.plans import ChannelSet
+from repro.phy.channel.model import rayleigh_channel
+from repro.utils.linalg import align_error
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _chanset(seed, txs, rxs, m=2):
+    rng = np.random.default_rng(seed)
+    return ChannelSet({(t, r): rayleigh_channel(m, m, rng) for t in txs for r in rxs}), rng
+
+
+@given(seeds)
+@settings(max_examples=25, deadline=None)
+def test_uplink3_alignment_equation_always_holds(seed):
+    """Eq. 2 holds for every channel draw and free-vector choice."""
+    chans, rng = _chanset(seed, (0, 1), (0, 1))
+    sol = solve_uplink_three_packets(chans, rng=rng, n_candidates=1)
+    d1 = sol.received_direction(chans, 1, 0)
+    d2 = sol.received_direction(chans, 2, 0)
+    assert align_error(d1, d2) < 1e-6
+
+
+@given(seeds)
+@settings(max_examples=25, deadline=None)
+def test_uplink3_all_packets_decodable(seed):
+    chans, rng = _chanset(seed, (0, 1), (0, 1))
+    sol = solve_uplink_three_packets(chans, rng=rng)
+    report = decode_rate_level(sol, chans, noise_power=1e-9)
+    assert report.min_sinr > 10.0  # strictly decodable at negligible noise
+
+
+@given(seeds)
+@settings(max_examples=15, deadline=None)
+def test_uplink4_alignment_equations_always_hold(seed):
+    chans, rng = _chanset(seed, (0, 1, 2), (0, 1, 2))
+    sol = solve_uplink_four_packets(chans, rng=rng)
+    assert align_error(
+        sol.received_direction(chans, 1, 0), sol.received_direction(chans, 2, 0)
+    ) < 1e-6
+    assert align_error(
+        sol.received_direction(chans, 2, 0), sol.received_direction(chans, 3, 0)
+    ) < 1e-6
+    assert align_error(
+        sol.received_direction(chans, 2, 1), sol.received_direction(chans, 3, 1)
+    ) < 1e-6
+
+
+@given(seeds)
+@settings(max_examples=15, deadline=None)
+def test_downlink3_every_client_sees_aligned_interference(seed):
+    chans, rng = _chanset(seed, (0, 1, 2), (0, 1, 2))
+    sol = solve_downlink_three_packets(chans, rng=rng)
+    for client in range(3):
+        undesired = [p.packet_id for p in sol.packets if p.rx != client]
+        dirs = [sol.received_direction(chans, pid, client) for pid in undesired]
+        assert align_error(dirs[0], dirs[1]) < 1e-6
+
+
+@given(seeds)
+@settings(max_examples=20, deadline=None)
+def test_encoding_vectors_always_unit_norm(seed):
+    chans, rng = _chanset(seed, (0, 1), (0, 1))
+    sol = solve_uplink_three_packets(chans, rng=rng)
+    for v in sol.encoding.values():
+        assert np.isclose(np.linalg.norm(v), 1.0, atol=1e-9)
+
+
+@given(seeds)
+@settings(max_examples=20, deadline=None)
+def test_power_split_conserves_budget(seed):
+    """Each transmitter's per-packet amplitudes square-sum to its budget."""
+    chans, rng = _chanset(seed, (0, 1), (0, 1))
+    sol = solve_uplink_three_packets(chans, rng=rng)
+    for tx in (0, 1):
+        total = sum(sol.tx_amplitude(pid) ** 2 for pid in sol.packets_of_tx(tx))
+        assert np.isclose(total, 1.0)
+
+
+@given(seeds, st.floats(min_value=1e-6, max_value=1.0))
+@settings(max_examples=20, deadline=None)
+def test_rate_decreases_with_noise(seed, noise):
+    chans, rng = _chanset(seed, (0, 1), (0, 1))
+    sol = solve_uplink_three_packets(chans, rng=rng)
+    low = decode_rate_level(sol, chans, noise_power=noise).total_rate
+    high = decode_rate_level(sol, chans, noise_power=noise * 10).total_rate
+    assert low >= high
+
+
+@given(st.integers(min_value=1, max_value=64))
+@settings(max_examples=30, deadline=None)
+def test_dof_formulas_consistent(m):
+    """Uplink DoF >= downlink DoF >= M (for M >= 2), and both feasible."""
+    assert uplink_max_packets(m) == 2 * m
+    if m >= 2:
+        assert m < downlink_max_packets(m) <= uplink_max_packets(m)
+        assert uplink_feasibility(m).feasible
+        assert downlink_feasibility(m).feasible
+
+
+@given(seeds)
+@settings(max_examples=10, deadline=None)
+def test_cancellation_residual_never_helps(seed):
+    chans, rng = _chanset(seed, (0, 1), (0, 1))
+    sol = solve_uplink_three_packets(chans, rng=rng)
+    clean = decode_rate_level(sol, chans, 1e-3).total_rate
+    dirty = decode_rate_level(sol, chans, 1e-3, cancellation_residual=0.2).total_rate
+    assert dirty <= clean + 1e-9

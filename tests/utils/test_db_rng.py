@@ -1,0 +1,67 @@
+"""Unit tests for dB conversions and RNG plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.db import (
+    amplitude_to_db,
+    db_to_amplitude,
+    db_to_linear,
+    linear_to_db,
+)
+from repro.utils.rng import default_rng, spawn_rngs
+
+
+class TestDb:
+    def test_known_values(self):
+        assert np.isclose(db_to_linear(10.0), 10.0)
+        assert np.isclose(db_to_linear(3.0), 1.995262, atol=1e-5)
+        assert np.isclose(linear_to_db(100.0), 20.0)
+
+    def test_amplitude_uses_20log(self):
+        assert np.isclose(db_to_amplitude(20.0), 10.0)
+        assert np.isclose(amplitude_to_db(10.0), 20.0)
+
+    def test_zero_maps_to_neg_inf(self):
+        assert linear_to_db(0.0) == -np.inf
+
+    def test_array_input(self):
+        out = db_to_linear(np.array([0.0, 10.0, 20.0]))
+        assert np.allclose(out, [1.0, 10.0, 100.0])
+
+    @given(st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, db):
+        assert np.isclose(linear_to_db(db_to_linear(db)), db, atol=1e-9)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = default_rng(7).integers(0, 1000, 10)
+        b = default_rng(7).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert default_rng(g) is g
+
+    def test_spawn_independence(self):
+        streams = spawn_rngs(3, 4)
+        draws = [g.integers(0, 2**31) for g in streams]
+        assert len(set(draws)) == 4
+
+    def test_spawn_reproducible(self):
+        a = [g.integers(0, 2**31) for g in spawn_rngs(3, 4)]
+        b = [g.integers(0, 2**31) for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(5)
+        children = spawn_rngs(g, 2)
+        assert len(children) == 2
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,181 @@
+"""Unit tests for the complex linear-algebra helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.linalg import (
+    align_error,
+    herm,
+    is_aligned,
+    normalize,
+    nullspace,
+    orthogonal_complement,
+    project_onto,
+    projection_matrix,
+    random_unit_vector,
+    received_direction,
+    steer,
+    subspace_angle,
+    unit_vector,
+    zero_forcing_rows,
+)
+
+
+def _cvec(rng, n):
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestHermAndNormalize:
+    def test_herm_is_conjugate_transpose(self, rng):
+        a = _cvec(rng, 6).reshape(2, 3)
+        assert np.allclose(herm(a), a.conj().T)
+
+    def test_herm_involution(self, rng):
+        a = _cvec(rng, 6).reshape(2, 3)
+        assert np.allclose(herm(herm(a)), a)
+
+    def test_normalize_unit_norm(self, rng):
+        v = normalize(_cvec(rng, 4))
+        assert np.isclose(np.linalg.norm(v), 1.0)
+
+    def test_normalize_preserves_direction(self, rng):
+        v = _cvec(rng, 4)
+        n = normalize(v)
+        assert align_error(v, n) < 1e-12
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            normalize(np.zeros(3))
+
+
+class TestUnitVector:
+    def test_basis(self):
+        e = unit_vector(4, 2)
+        assert e[2] == 1.0 and np.count_nonzero(e) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            unit_vector(3, 3)
+
+
+class TestProjection:
+    def test_projection_matrix_idempotent(self, rng):
+        basis = _cvec(rng, 6).reshape(3, 2)
+        p = projection_matrix(basis)
+        assert np.allclose(p @ p, p, atol=1e-10)
+
+    def test_projection_matrix_hermitian(self, rng):
+        basis = _cvec(rng, 6).reshape(3, 2)
+        p = projection_matrix(basis)
+        assert np.allclose(p, herm(p))
+
+    def test_project_onto_keeps_in_span(self, rng):
+        basis = _cvec(rng, 6).reshape(3, 2)
+        v = _cvec(rng, 3)
+        proj = project_onto(v, basis)
+        # Projecting again changes nothing.
+        assert np.allclose(project_onto(proj, basis), proj)
+
+    def test_project_onto_own_span_identity(self, rng):
+        basis = _cvec(rng, 9).reshape(3, 3)
+        v = _cvec(rng, 3)
+        assert np.allclose(project_onto(v, basis), v)
+
+
+class TestOrthogonalComplement:
+    def test_complement_is_orthogonal(self, rng):
+        basis = _cvec(rng, 8).reshape(4, 2)
+        comp = orthogonal_complement(basis)
+        assert comp.shape == (4, 2)
+        assert np.allclose(herm(comp) @ basis, 0, atol=1e-10)
+
+    def test_complement_orthonormal(self, rng):
+        basis = _cvec(rng, 8).reshape(4, 2)
+        comp = orthogonal_complement(basis)
+        assert np.allclose(herm(comp) @ comp, np.eye(2), atol=1e-10)
+
+    def test_one_vector_in_two_dims(self, rng):
+        v = _cvec(rng, 2)
+        comp = orthogonal_complement(v)
+        assert comp.shape == (2, 1)
+        assert abs(np.vdot(comp[:, 0], v)) < 1e-10
+
+    def test_full_span_has_empty_complement(self, rng):
+        basis = _cvec(rng, 9).reshape(3, 3)
+        assert orthogonal_complement(basis).shape == (3, 0)
+
+    def test_rank_deficient_basis(self, rng):
+        v = _cvec(rng, 3)
+        basis = np.stack([v, 2 * v], axis=1)  # rank 1
+        comp = orthogonal_complement(basis)
+        assert comp.shape == (3, 2)
+
+
+class TestNullspace:
+    def test_nullspace_annihilated(self, rng):
+        a = _cvec(rng, 6).reshape(2, 3)
+        ns = nullspace(a)
+        assert ns.shape == (3, 1)
+        assert np.allclose(a @ ns, 0, atol=1e-10)
+
+    def test_full_rank_square_empty(self, rng):
+        a = _cvec(rng, 9).reshape(3, 3)
+        assert nullspace(a).shape[1] == 0
+
+
+class TestAlignment:
+    def test_aligned_after_complex_scale(self, rng):
+        v = _cvec(rng, 2)
+        assert is_aligned(v, (0.3 - 1.7j) * v)
+
+    def test_orthogonal_vectors_error_one(self):
+        assert np.isclose(align_error([1, 0], [0, 1]), 1.0)
+
+    def test_subspace_angle_zero_for_same_line(self, rng):
+        v = _cvec(rng, 3)
+        assert subspace_angle(v, 5j * v) < 1e-7
+
+    def test_align_error_symmetry(self, rng):
+        u, v = _cvec(rng, 3), _cvec(rng, 3)
+        assert np.isclose(align_error(u, v), align_error(v, u), atol=1e-9)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_align_error_in_unit_interval(self, seed):
+        r = np.random.default_rng(seed)
+        u = r.standard_normal(3) + 1j * r.standard_normal(3)
+        v = r.standard_normal(3) + 1j * r.standard_normal(3)
+        assert 0.0 <= align_error(u, v) <= 1.0
+
+
+class TestSteering:
+    def test_steer_shape_and_content(self, rng):
+        v = _cvec(rng, 2)
+        s = _cvec(rng, 5)
+        block = steer(v, s)
+        assert block.shape == (2, 5)
+        assert np.allclose(block[1], v[1] * s)
+
+    def test_received_direction(self, rng):
+        h = _cvec(rng, 4).reshape(2, 2)
+        v = _cvec(rng, 2)
+        assert np.allclose(received_direction(h, v), h @ v)
+
+    def test_random_unit_vector_norm(self, rng):
+        for dim in (2, 3, 5):
+            assert np.isclose(np.linalg.norm(random_unit_vector(dim, rng)), 1.0)
+
+
+class TestZeroForcing:
+    def test_separates_streams(self, rng):
+        d0, d1 = _cvec(rng, 2), _cvec(rng, 2)
+        w = zero_forcing_rows(np.stack([d0, d1], axis=1))
+        gains = w @ np.stack([d0, d1], axis=1)
+        assert np.allclose(gains, np.eye(2), atol=1e-10)
+
+    def test_too_many_packets_raises(self, rng):
+        dirs = _cvec(rng, 6).reshape(2, 3)
+        with pytest.raises(ValueError):
+            zero_forcing_rows(dirs)
