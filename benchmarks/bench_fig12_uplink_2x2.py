@@ -7,23 +7,23 @@ rates spanning roughly 4-13 b/s/Hz.
 
 import numpy as np
 
-from repro.sim.experiment import run_scatter, uplink_2x2_trial
+from repro.experiments import run_experiment, scatter_result
 
 N_TRIALS = 60
 
 
 def _experiment(testbed):
-    return run_scatter(
-        uplink_2x2_trial, testbed, n_trials=N_TRIALS, n_clients=2, n_aps=2,
-        seed=12, label="fig12",
+    return run_experiment(
+        "fig12", n_trials=N_TRIALS, seed=12, testbed=testbed, workers=4
     )
 
 
 def test_fig12_uplink_2x2(benchmark, testbed, record):
-    scatter = benchmark.pedantic(_experiment, args=(testbed,), rounds=1, iterations=1)
+    result = benchmark.pedantic(_experiment, args=(testbed,), rounds=1, iterations=1)
+    scatter = scatter_result(result)
 
-    record("Fig. 12 (2x2 uplink)", "mean gain", "1.5x", f"{scatter.mean_gain:.2f}x")
-    dot11 = np.array([p.dot11 for p in scatter.points])
+    record("Fig. 12 (2x2 uplink)", "mean gain", "1.5x", f"{result.mean_gain:.2f}x")
+    dot11 = result.metric("dot11")
     record(
         "Fig. 12 (2x2 uplink)",
         "baseline rate range",
@@ -37,6 +37,6 @@ def test_fig12_uplink_2x2(benchmark, testbed, record):
         print(f"  {p.dot11:10.2f} {p.iac:10.2f} {p.gain:6.2f}")
 
     # Shape assertions: IAC wins on average by roughly the paper's factor.
-    assert 1.2 < scatter.mean_gain < 1.8
+    assert 1.2 < result.mean_gain < 1.8
     # Variance exists (channel-similarity effect, §10.1) but most points win.
-    assert np.mean(scatter.gains > 1.0) > 0.8
+    assert np.mean(result.metric("gain") > 1.0) > 0.8

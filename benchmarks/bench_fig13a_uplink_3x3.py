@@ -7,33 +7,33 @@ and high SNRs.
 
 import numpy as np
 
-from repro.sim.experiment import run_scatter, uplink_3x3_trial
+from repro.experiments import run_experiment, scatter_result
 
 N_TRIALS = 40
 
 
 def _experiment(testbed):
-    return run_scatter(
-        uplink_3x3_trial, testbed, n_trials=N_TRIALS, n_clients=3, n_aps=3,
-        seed=131, label="fig13a",
+    return run_experiment(
+        "fig13a", n_trials=N_TRIALS, seed=131, testbed=testbed, workers=4
     )
 
 
 def test_fig13a_uplink_3x3(benchmark, testbed, record):
-    scatter = benchmark.pedantic(_experiment, args=(testbed,), rounds=1, iterations=1)
+    result = benchmark.pedantic(_experiment, args=(testbed,), rounds=1, iterations=1)
+    scatter = scatter_result(result)
 
-    record("Fig. 13a (3x3 uplink)", "mean gain", "1.8x", f"{scatter.mean_gain:.2f}x")
+    record("Fig. 13a (3x3 uplink)", "mean gain", "1.8x", f"{result.mean_gain:.2f}x")
 
     print("\n  802.11 rate   IAC rate   gain")
     for p in sorted(scatter.points, key=lambda p: p.dot11)[:: max(1, N_TRIALS // 12)]:
         print(f"  {p.dot11:10.2f} {p.iac:10.2f} {p.gain:6.2f}")
 
-    assert 1.4 < scatter.mean_gain < 2.2
+    assert 1.4 < result.mean_gain < 2.2
 
     # "These gains are achieved at both low and high rates": split the
     # points at the median baseline rate and require a gain on both sides.
-    dot11 = np.array([p.dot11 for p in scatter.points])
-    gains = scatter.gains
+    dot11 = result.metric("dot11")
+    gains = result.metric("gain")
     low = gains[dot11 <= np.median(dot11)]
     high = gains[dot11 > np.median(dot11)]
     assert low.mean() > 1.2 and high.mean() > 1.2

@@ -5,39 +5,35 @@ decode independently); average gain ~1.4x, lower than the uplink's 1.8x
 because the downlink cannot use wired cancellation.
 """
 
-import numpy as np
-
-from repro.sim.experiment import downlink_3x3_trial, run_scatter, uplink_3x3_trial
+from repro.experiments import run_experiment, scatter_result
 
 N_TRIALS = 40
 
 
 def _experiment(testbed):
-    return run_scatter(
-        downlink_3x3_trial, testbed, n_trials=N_TRIALS, n_clients=3, n_aps=3,
-        seed=132, label="fig13b",
+    return run_experiment(
+        "fig13b", n_trials=N_TRIALS, seed=132, testbed=testbed, workers=4
     )
 
 
 def test_fig13b_downlink_3x3(benchmark, testbed, record):
-    scatter = benchmark.pedantic(_experiment, args=(testbed,), rounds=1, iterations=1)
+    result = benchmark.pedantic(_experiment, args=(testbed,), rounds=1, iterations=1)
+    scatter = scatter_result(result)
 
-    record("Fig. 13b (3x3 downlink)", "mean gain", "1.4x", f"{scatter.mean_gain:.2f}x")
+    record("Fig. 13b (3x3 downlink)", "mean gain", "1.4x", f"{result.mean_gain:.2f}x")
 
     print("\n  802.11 rate   IAC rate   gain")
     for p in sorted(scatter.points, key=lambda p: p.dot11)[:: max(1, N_TRIALS // 12)]:
         print(f"  {p.dot11:10.2f} {p.iac:10.2f} {p.gain:6.2f}")
 
-    assert 1.1 < scatter.mean_gain < 1.7
+    assert 1.1 < result.mean_gain < 1.7
 
     # Ordering across the two halves of Fig. 13: uplink gain > downlink gain.
-    uplink = run_scatter(
-        uplink_3x3_trial, testbed, n_trials=N_TRIALS, n_clients=3, n_aps=3, seed=132
-    )
+    uplink = run_experiment("fig13a", n_trials=N_TRIALS, seed=132, testbed=testbed)
     record(
         "Fig. 13 ordering",
         "uplink gain > downlink",
         "1.8 > 1.4",
-        f"{uplink.mean_gain:.2f} > {scatter.mean_gain:.2f}",
+        f"{uplink.mean_gain:.2f} > {result.mean_gain:.2f}",
     )
-    assert uplink.mean_gain > scatter.mean_gain
+    assert uplink.mean_gain > result.mean_gain

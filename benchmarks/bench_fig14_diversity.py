@@ -7,25 +7,25 @@ the relative gain is largest at low SNR.
 
 import numpy as np
 
-from repro.sim.experiment import diversity_trial, run_scatter
+from repro.experiments import run_experiment, scatter_result
 
 N_TRIALS = 60
 
 
 def _experiment(testbed):
-    return run_scatter(
-        diversity_trial, testbed, n_trials=N_TRIALS, n_clients=1, n_aps=2,
-        seed=14, label="fig14",
+    return run_experiment(
+        "fig14", n_trials=N_TRIALS, seed=14, testbed=testbed, workers=4
     )
 
 
 def test_fig14_diversity(benchmark, testbed, record):
-    scatter = benchmark.pedantic(_experiment, args=(testbed,), rounds=1, iterations=1)
+    result = benchmark.pedantic(_experiment, args=(testbed,), rounds=1, iterations=1)
+    scatter = scatter_result(result)
 
-    record("Fig. 14 (1 client)", "mean gain", "1.2x", f"{scatter.mean_gain:.2f}x")
+    record("Fig. 14 (1 client)", "mean gain", "1.2x", f"{result.mean_gain:.2f}x")
 
-    dot11 = np.array([p.dot11 for p in scatter.points])
-    gains = scatter.gains
+    dot11 = result.metric("dot11")
+    gains = result.metric("gain")
     low = gains[dot11 <= np.median(dot11)]
     high = gains[dot11 > np.median(dot11)]
     record(
@@ -39,7 +39,7 @@ def test_fig14_diversity(benchmark, testbed, record):
     for p in sorted(scatter.points, key=lambda p: p.dot11)[:: max(1, N_TRIALS // 12)]:
         print(f"  {p.dot11:10.2f} {p.iac:10.2f} {p.gain:6.2f}")
 
-    assert 1.02 < scatter.mean_gain < 1.5
+    assert 1.02 < result.mean_gain < 1.5
     # IAC's options include the baseline's, so no point loses.
     assert gains.min() >= 1.0 - 1e-12
     # Diversity is "particularly beneficial at low rates".

@@ -11,10 +11,11 @@ Paper results (17 clients, 3 APs, 1000 slots, infinite demand):
 
 import pytest
 
-from repro.sim.experiment import large_network_experiment
+from repro.experiments import ExperimentRunner, gain_cdf_from_record
 from repro.sim.metrics import format_cdf_table
 
 N_SLOTS = 400
+SEED = 2
 PAPER_MEANS = {
     ("uplink", "brute"): 2.32,
     ("uplink", "fifo"): 1.9,
@@ -26,12 +27,19 @@ PAPER_MEANS = {
 
 
 def _run_all(testbed, direction):
-    return {
-        alg: large_network_experiment(
-            testbed, alg, direction, n_slots=N_SLOTS, n_clients=17, seed=15
+    runner = ExperimentRunner(testbed)
+    cdfs = {}
+    for alg in ("brute", "fifo", "best2"):
+        result = runner.run(
+            "fig15",
+            n_trials=1,
+            seed=SEED,
+            params={"algorithm": alg, "direction": direction, "n_slots": N_SLOTS},
         )
-        for alg in ("brute", "fifo", "best2")
-    }
+        cdfs[alg] = gain_cdf_from_record(
+            result.records[0], label=f"{alg}/{direction}"
+        )
+    return cdfs
 
 
 @pytest.mark.parametrize("direction", ["uplink", "downlink"])

@@ -8,29 +8,30 @@ between calibration and use.
 
 import numpy as np
 
-from repro.sim.experiment import reciprocity_experiment
+from repro.experiments import run_experiment
 
 
 def _experiment(testbed):
-    return reciprocity_experiment(testbed, n_pairs=17, n_moves=5, seed=16)
+    return run_experiment("fig16", n_trials=17, seed=16, testbed=testbed, workers=4)
 
 
 def test_fig16_reciprocity(benchmark, testbed, record):
-    errors = benchmark.pedantic(_experiment, args=(testbed,), rounds=1, iterations=1)
+    result = benchmark.pedantic(_experiment, args=(testbed,), rounds=1, iterations=1)
+    errors = result.metric("error")
 
     record(
         "Fig. 16 (reciprocity)",
         "fractional error range",
         "~0.05-0.2",
-        f"{min(errors):.3f}-{max(errors):.3f}",
+        f"{errors.min():.3f}-{errors.max():.3f}",
     )
-    record("Fig. 16 (reciprocity)", "mean error", "~0.1", f"{np.mean(errors):.3f}")
+    record("Fig. 16 (reciprocity)", "mean error", "~0.1", f"{errors.mean():.3f}")
 
     print("\n  client   fractional error")
     for i, err in enumerate(errors, 1):
         print(f"  {i:6d}   {err:.3f} {'#' * int(err * 100)}")
 
     # Shape: errors are small for every client and never catastrophic.
-    assert max(errors) < 0.3
+    assert errors.max() < 0.3
     assert np.mean(errors) < 0.2
-    assert min(errors) > 0.0
+    assert errors.min() > 0.0

@@ -8,37 +8,34 @@ throughput of the inter-cluster bottleneck links".
 
 import numpy as np
 
-from repro.sim.clustered import ClusteredConfig, ClusteredNetwork
+from repro.experiments import run_experiment
 
 N_TOPOLOGIES = 10
 
 
 def _sweep():
-    gains = []
-    rows = []
-    for seed in range(N_TOPOLOGIES):
-        net = ClusteredNetwork(ClusteredConfig(nodes_per_cluster=3, seed=seed))
-        dot11 = net.flow_throughput("dot11")
-        iac = net.flow_throughput("iac")
-        rows.append((seed, dot11, iac, iac / dot11))
-        gains.append(iac / dot11)
-    return rows, gains
+    return run_experiment("fig17", n_trials=N_TOPOLOGIES, workers=4)
 
 
 def test_fig17_clustered_networks(benchmark, record):
-    rows, gains = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    result = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    gains = result.metric("gain")
 
     print("\n  topology   802.11 flow   IAC flow   gain")
-    for seed, dot11, iac, gain in rows:
-        print(f"  {seed:8d}   {dot11:11.2f}   {iac:8.2f}   {gain:4.2f}")
+    for r in result.records:
+        m = r.metrics
+        print(
+            f"  {int(m['topology_seed']):8d}   {m['dot11_flow']:11.2f}   "
+            f"{m['iac_flow']:8.2f}   {m['gain']:4.2f}"
+        )
 
     record(
         "Fig. 17 (clustered)",
         "bottleneck flow gain",
         "up to ~2x",
-        f"mean {np.mean(gains):.2f}x, max {np.max(gains):.2f}x",
+        f"mean {gains.mean():.2f}x, max {gains.max():.2f}x",
     )
 
     # Every topology benefits; the average gain is substantial.
-    assert min(gains) > 1.0
-    assert 1.2 < np.mean(gains) < 2.2
+    assert gains.min() > 1.0
+    assert 1.2 < gains.mean() < 2.2

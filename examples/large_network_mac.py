@@ -17,24 +17,30 @@ Run:  python examples/large_network_mac.py
 
 import numpy as np
 
+from repro.experiments import ExperimentRunner, gain_cdf_from_record
 from repro.mac.concurrency import FifoGrouping
 from repro.mac.pcf import PCFConfig, PCFCoordinator
 from repro.mac.queueing import TransmissionQueue
-from repro.sim.experiment import GroupRateCache, large_network_experiment
+from repro.sim.experiment import GroupRateCache
 from repro.sim.metrics import format_cdf_table
-from repro.sim.testbed import Testbed, TestbedConfig
 
-testbed = Testbed(TestbedConfig(n_nodes=20, seed=2009))
+runner = ExperimentRunner()  # lazily builds the paper's 20-node testbed
+testbed = runner.testbed
 
 # --------------------------------------------------------------------- #
-# Fig. 15: per-client gain CDFs of the three concurrency algorithms.
+# Fig. 15: per-client gain CDFs of the three concurrency algorithms,
+# through the scenario registry (one registered scenario, three runs).
 # --------------------------------------------------------------------- #
 print("=== Downlink, 17 clients, 3 APs, 400 slots ===")
 cdfs = []
 for algorithm in ("brute", "fifo", "best2"):
-    cdf = large_network_experiment(
-        testbed, algorithm, direction="downlink", n_slots=400, n_clients=17, seed=5
+    result = runner.run(
+        "fig15",
+        n_trials=1,
+        seed=5,
+        params={"algorithm": algorithm, "direction": "downlink", "n_slots": 400},
     )
+    cdf = gain_cdf_from_record(result.records[0], label=f"{algorithm}/downlink")
     cdfs.append(cdf)
     print(
         f"  {algorithm:>6s}: mean gain {cdf.mean_gain:4.2f}x, "

@@ -27,8 +27,7 @@ from repro.phy.channel import (
     observed_uplink,
     rayleigh_channel,
 )
-from repro.sim.experiment import reciprocity_experiment
-from repro.sim.testbed import Testbed, TestbedConfig
+from repro.experiments import run_experiment
 
 rng = np.random.default_rng(16)
 
@@ -59,11 +58,12 @@ for move in range(5):
           f"{fractional_error(true_down, predicted):.2e}")
 
 # --------------------------------------------------------------------- #
-# 2. The Fig. 16 experiment: 17 pairs, noisy measurements, 5 moves each.
+# 2. The Fig. 16 experiment via the scenario registry: 17 client-AP
+#    pairs, noisy measurements, 5 moves each (parallel trials).
 # --------------------------------------------------------------------- #
 print("\n=== Fig. 16: 17 client-AP pairs with noisy estimation ===")
-testbed = Testbed(TestbedConfig(n_nodes=20, seed=2009))
-errors = reciprocity_experiment(testbed, n_pairs=17, n_moves=5, seed=0)
+result = run_experiment("fig16", n_trials=17, seed=0, workers=4)
+errors = result.metric("error")
 for i, err in enumerate(errors, 1):
     bar = "#" * int(err * 100)
     print(f"  client {i:2d}: {err:.3f} {bar}")

@@ -21,9 +21,29 @@ Package layout
     802.11-MIMO (eigenmode + best AP) and the TDMA comparison discipline.
 ``repro.sim``
     The synthetic 20-node testbed and per-figure experiment runners.
+``repro.experiments``
+    The unified scenario/experiment API: the scenario registry, the
+    parallel ``ExperimentRunner`` and structured, JSON-serialisable
+    results.
 
 Quickstart
 ----------
+Reproduce any paper figure through the scenario registry — trials run in
+parallel (``workers=N``) with bit-identical results for any worker
+count, and every result serialises to JSON:
+
+>>> from repro import run_experiment
+>>> result = run_experiment("fig13a", n_trials=4, workers=2)
+>>> result.mean_gain > 1.0  # paper: ~1.8x for the 3x3 uplink
+True
+>>> restored = type(result).from_json(result.to_json())
+>>> restored == result
+True
+
+``python -m repro list`` enumerates the scenarios (see
+``EXPERIMENTS.md``); the same algorithms are importable directly for
+bespoke setups:
+
 >>> import numpy as np
 >>> from repro.core import ChannelSet, solve_uplink_three_packets, decode_rate_level
 >>> from repro.phy.channel import rayleigh_channel
@@ -52,17 +72,35 @@ from repro.core import (
     solve_uplink_general,
     solve_uplink_three_packets,
 )
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentRunner,
+    Scenario,
+    TrialRecord,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_experiment,
+)
 from repro.phy.packet import Packet
 
 __all__ = [
     "AlignmentSolution",
     "ChannelSet",
     "DecodeStage",
+    "ExperimentResult",
+    "ExperimentRunner",
     "Packet",
     "PacketSpec",
+    "Scenario",
     "SignalConfig",
+    "TrialRecord",
     "__version__",
     "decode_rate_level",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_experiment",
     "run_session",
     "solve_downlink_general",
     "solve_downlink_three_packets",

@@ -1,124 +1,230 @@
-"""Command-line interface: regenerate any paper experiment from a shell.
+"""Command-line interface: registry-driven experiment runner.
 
-Usage::
+Scenarios come from the :mod:`repro.experiments` registry — the CLI has
+no per-figure wiring of its own.  Usage::
 
-    python -m repro fig12 [--trials N] [--seed S]
-    python -m repro fig13a | fig13b | fig14
+    python -m repro list [--tag TAG]
+    python -m repro run SCENARIO [--trials N] [--seed S] [--workers N]
+                        [--json PATH|-] [--quiet] [--param KEY=VALUE ...]
+    python -m repro fig12 | fig13a | fig13b | fig14      (legacy aliases)
     python -m repro fig15 [--slots N] [--direction uplink|downlink]
-    python -m repro fig16
-    python -m repro fig17
-    python -m repro lemmas
-    python -m repro overhead
+    python -m repro fig16 | fig17
+    python -m repro lemmas | overhead
+    python -m repro --version
 
-Each subcommand prints the experiment's paper-vs-measured summary; see
-``EXPERIMENTS.md`` for what "measured" means on the synthetic testbed.
+``run`` executes any registered scenario; ``--json -`` writes the
+structured result to stdout (and nothing else), ``--json PATH`` archives
+it next to the human-readable report, ``--quiet`` suppresses the ASCII
+plots, and ``--workers`` parallelises trials without changing a single
+output bit.  The ``figNN`` subcommands are thin aliases over the same
+registry.  See ``EXPERIMENTS.md`` for every scenario, its paper figure
+and the expected gain ranges.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional
+import json
+import sys
+from typing import Any, Dict, List, Optional
 
-import numpy as np
-
+from repro import __version__
 from repro.core.dof import downlink_max_packets, uplink_max_packets
-from repro.mac.frames import DataPollMetadata, GroupEntry
-from repro.sim.clustered import ClusteredConfig, ClusteredNetwork
-from repro.sim.experiment import (
-    diversity_trial,
-    downlink_3x3_trial,
-    large_network_experiment,
-    reciprocity_experiment,
-    run_scatter,
-    uplink_2x2_trial,
-    uplink_3x3_trial,
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentRunner,
+    Scenario,
+    gain_cdf_from_record,
+    get_scenario,
+    list_scenarios,
+    scenario_names,
+    scenarios_by_tag,
 )
+from repro.mac.frames import DataPollMetadata, GroupEntry
 from repro.sim.metrics import format_cdf_table
-from repro.sim.plotting import ascii_cdf, ascii_scatter
-from repro.sim.testbed import Testbed, TestbedConfig
+from repro.sim.plotting import ascii_cdf
 
-_SCATTER = {
-    "fig12": (uplink_2x2_trial, 2, 2, "2-client/2-AP uplink", "1.5x"),
-    "fig13a": (uplink_3x3_trial, 3, 3, "3-client/3-AP uplink", "1.8x"),
-    "fig13b": (downlink_3x3_trial, 3, 3, "3-client/3-AP downlink", "1.4x"),
-    "fig14": (diversity_trial, 1, 2, "1-client/2-AP diversity", "1.2x"),
-}
+#: Legacy scatter subcommands kept as aliases of ``run <name>``.
+_SCATTER_ALIASES = ("fig12", "fig13a", "fig13b", "fig14")
 
 
-def _testbed(seed: int) -> Testbed:
-    return Testbed(TestbedConfig(n_nodes=20, seed=seed))
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
-def _cmd_scatter(name: str, args) -> int:
-    trial, n_clients, n_aps, description, paper = _SCATTER[name]
-    testbed = _testbed(args.testbed_seed)
-    scatter = run_scatter(
-        trial, testbed, n_trials=args.trials, n_clients=n_clients, n_aps=n_aps,
-        seed=args.seed, label=name,
+def _parse_params(pairs: Optional[List[str]]) -> Dict[str, Any]:
+    """Parse repeated ``--param key=value`` overrides (values are JSON)."""
+    params: Dict[str, Any] = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw  # bare strings like algorithm=brute
+    return params
+
+
+def _runner(args) -> ExperimentRunner:
+    return ExperimentRunner(
+        testbed_seed=args.testbed_seed, workers=getattr(args, "workers", 1)
     )
-    print(f"{name}: {description}")
-    print(f"  trials        : {args.trials}")
-    print(f"  mean gain     : {scatter.mean_gain:.2f}x (paper: {paper})")
-    dot11 = np.array([p.dot11 for p in scatter.points])
-    print(f"  baseline range: {dot11.min():.1f}-{dot11.max():.1f} b/s/Hz")
-    print()
-    print(ascii_scatter(scatter))
-    print("\n  802.11 rate   IAC rate   gain")
-    for p in sorted(scatter.points, key=lambda p: p.dot11):
-        print(f"  {p.dot11:10.2f} {p.iac:10.2f} {p.gain:6.2f}")
+
+
+def _emit(scenario: Scenario, result: ExperimentResult, args) -> int:
+    """Write the JSON and/or human-readable views of a result.
+
+    ``--json -`` is the machine path: the JSON document is the only
+    stdout output.  Otherwise the scenario's formatter renders the
+    report (``--quiet`` drops the ASCII plots) and ``--json PATH``
+    archives the structured result alongside it.
+    """
+    json_target = getattr(args, "json", None)
+    if json_target == "-":
+        print(result.to_json())
+        return 0
+    if json_target:
+        try:
+            with open(json_target, "w", encoding="utf-8") as fh:
+                fh.write(result.to_json() + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {json_target}: {exc}", file=sys.stderr)
+            return 1
+    if scenario.formatter is not None:
+        print(scenario.formatter(result, quiet=args.quiet))
+    else:
+        print(result.to_json())
+    if json_target:
+        print(f"  (structured result written to {json_target})")
     return 0
 
 
+def _cmd_list(args) -> int:
+    scenarios = scenarios_by_tag(args.tag) if args.tag else list_scenarios()
+    if not scenarios:
+        print(f"no scenarios tagged {args.tag!r}")
+        return 1
+    print(f"{'name':<8} {'figure':<9} {'trials':>6}  {'paper':<38} description")
+    for s in scenarios:
+        print(
+            f"{s.name:<8} {s.figure:<9} {s.default_trials:>6}  "
+            f"{s.paper:<38} {s.description}"
+        )
+    print(f"\n{len(scenarios)} scenarios; run one with: python -m repro run NAME")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError:
+        print(
+            f"unknown scenario {args.scenario!r}; "
+            f"available: {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        result = _runner(args).run(
+            scenario,
+            n_trials=args.trials,
+            seed=args.seed,
+            params=_parse_params(args.param),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        # Free-form --param overrides reach the trial unchecked; surface
+        # the trial's complaint instead of a traceback.
+        print(f"error running {scenario.name!r}: {exc}", file=sys.stderr)
+        return 1
+    return _emit(scenario, result, args)
+
+
+def _cmd_scatter(name: str, args) -> int:
+    scenario = get_scenario(name)
+    result = _runner(args).run(scenario, n_trials=args.trials, seed=args.seed)
+    return _emit(scenario, result, args)
+
+
 def _cmd_fig15(args) -> int:
-    testbed = _testbed(args.testbed_seed)
+    """Legacy fig15 alias: every (direction, algorithm) combination.
+
+    Unlike the other aliases this is a *composite* of six registry runs,
+    so ``--json`` emits one document with a ``runs`` list of the
+    individual structured results.
+    """
+    runner = _runner(args)
     directions = [args.direction] if args.direction else ["uplink", "downlink"]
     paper = {
         ("uplink", "brute"): 2.32, ("uplink", "fifo"): 1.9, ("uplink", "best2"): 2.08,
         ("downlink", "brute"): 1.58, ("downlink", "fifo"): 1.23, ("downlink", "best2"): 1.52,
     }
+    results = []
+    lines: List[str] = []
     for direction in directions:
-        print(f"fig15 ({direction}): 17 clients, 3 APs, {args.slots} slots")
+        lines.append(f"fig15 ({direction}): 17 clients, 3 APs, {args.slots} slots")
         cdfs = []
         for algorithm in ("brute", "fifo", "best2"):
-            cdf = large_network_experiment(
-                testbed, algorithm, direction, n_slots=args.slots,
-                n_clients=17, seed=args.seed,
+            result = runner.run(
+                "fig15",
+                n_trials=1,
+                seed=args.seed,
+                params={
+                    "algorithm": algorithm,
+                    "direction": direction,
+                    "n_slots": args.slots,
+                },
+            )
+            results.append(result)
+            cdf = gain_cdf_from_record(
+                result.records[0], label=f"{algorithm}/{direction}"
             )
             cdfs.append(cdf)
-            print(
+            lines.append(
                 f"  {algorithm:>6s}: mean {cdf.mean_gain:.2f}x "
                 f"(paper {paper[(direction, algorithm)]}x), "
                 f"worst client {cdf.min_gain:.2f}x"
             )
-        print()
-        print(format_cdf_table(cdfs, n_rows=8))
-        print()
-        print(ascii_cdf(cdfs))
-        print()
+        lines.append("")
+        lines.append(format_cdf_table(cdfs, n_rows=8))
+        if not args.quiet:
+            lines.append("")
+            lines.append(ascii_cdf(cdfs))
+        lines.append("")
+    doc = json.dumps(
+        {"scenario": "fig15", "seed": args.seed, "n_slots": args.slots,
+         "runs": [r.to_dict() for r in results]},
+        indent=2, sort_keys=True,
+    )
+    if args.json == "-":
+        print(doc)
+        return 0
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(doc + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 1
+    print("\n".join(lines))
+    if args.json:
+        print(f"  (structured results written to {args.json})")
     return 0
 
 
 def _cmd_fig16(args) -> int:
-    testbed = _testbed(args.testbed_seed)
-    errors = reciprocity_experiment(testbed, n_pairs=17, n_moves=5, seed=args.seed)
-    print("fig16: reciprocity fractional error per client-AP pair")
-    for i, err in enumerate(errors, 1):
-        print(f"  client {i:2d}: {err:.3f} {'#' * int(err * 100)}")
-    print(f"  mean {np.mean(errors):.3f} (paper: ~0.05-0.2)")
-    return 0
+    scenario = get_scenario("fig16")
+    result = _runner(args).run(scenario, n_trials=args.pairs, seed=args.seed)
+    return _emit(scenario, result, args)
 
 
 def _cmd_fig17(args) -> int:
-    print("fig17: clustered ad-hoc networks (bottleneck inter-cluster links)")
-    gains = []
-    for seed in range(args.trials):
-        net = ClusteredNetwork(ClusteredConfig(nodes_per_cluster=3, seed=seed))
-        dot11 = net.flow_throughput("dot11")
-        iac = net.flow_throughput("iac")
-        gains.append(iac / dot11)
-        print(f"  topology {seed}: 802.11 {dot11:.2f}, IAC {iac:.2f}, gain {iac / dot11:.2f}x")
-    print(f"  mean gain {np.mean(gains):.2f}x (paper: 'IAC can double the throughput')")
-    return 0
+    scenario = get_scenario("fig17")
+    result = _runner(args).run(scenario, n_trials=args.trials, seed=args.seed)
+    return _emit(scenario, result, args)
 
 
 def _cmd_lemmas(args) -> int:
@@ -149,6 +255,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce experiments from 'Interference Alignment and "
         "Cancellation' (SIGCOMM 2009).",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
@@ -156,26 +265,59 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--testbed-seed", type=int, default=2009, help="testbed channel seed"
         )
+        p.add_argument(
+            "--quiet", action="store_true",
+            help="suppress ASCII plots (machine-friendly output)",
+        )
 
-    for name in _SCATTER:
-        p = sub.add_parser(name, help=f"{_SCATTER[name][3]} scatter experiment")
-        p.add_argument("--trials", type=int, default=40)
+    def runnable(p):
         common(p)
+        p.add_argument(
+            "--workers", type=_positive_int, default=1,
+            help="parallel trial workers (results are worker-count invariant)",
+        )
+        p.add_argument(
+            "--json", metavar="PATH", default=None,
+            help="write the structured result as JSON ('-' for stdout only)",
+        )
+
+    pl = sub.add_parser("list", help="list registered scenarios")
+    pl.add_argument("--tag", default=None, help="filter by tag (e.g. scatter)")
+
+    pr = sub.add_parser("run", help="run any registered scenario")
+    pr.add_argument("scenario", help="scenario name (see 'list')")
+    pr.add_argument(
+        "--trials", type=int, default=None,
+        help="trial count (default: the scenario's)",
+    )
+    pr.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="override a scenario parameter (repeatable; value is JSON)",
+    )
+    runnable(pr)
+
+    for name in _SCATTER_ALIASES:
+        p = sub.add_parser(
+            name, help=f"{get_scenario(name).description} scatter experiment"
+        )
+        p.add_argument("--trials", type=int, default=40)
+        runnable(p)
 
     p15 = sub.add_parser("fig15", help="concurrency-algorithm gain CDFs")
     p15.add_argument("--slots", type=int, default=400)
     p15.add_argument("--direction", choices=["uplink", "downlink"], default=None)
-    common(p15)
+    runnable(p15)
 
     p16 = sub.add_parser("fig16", help="reciprocity calibration error")
-    common(p16)
+    p16.add_argument("--pairs", type=int, default=17)
+    runnable(p16)
 
     p17 = sub.add_parser("fig17", help="clustered ad-hoc networks")
     p17.add_argument("--trials", type=int, default=8)
-    common(p17)
+    runnable(p17)
 
-    pl = sub.add_parser("lemmas", help="print the DoF table (Lemmas 5.1/5.2)")
-    common(pl)
+    pl2 = sub.add_parser("lemmas", help="print the DoF table (Lemmas 5.1/5.2)")
+    common(pl2)
 
     po = sub.add_parser("overhead", help="MAC metadata overhead")
     common(po)
@@ -184,9 +326,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command in _SCATTER:
+    if args.command in _SCATTER_ALIASES:
         return _cmd_scatter(args.command, args)
     return {
+        "list": _cmd_list,
+        "run": _cmd_run,
         "fig15": _cmd_fig15,
         "fig16": _cmd_fig16,
         "fig17": _cmd_fig17,

@@ -1,0 +1,57 @@
+"""Unified scenario/experiment API (the paper's §10-§11 evaluation).
+
+This package replaces the hand-wired per-figure dispatch with one
+declarative surface:
+
+* :mod:`repro.experiments.registry` — the :class:`Scenario` dataclass,
+  the ``@register_scenario`` decorator and registry queries;
+* :mod:`repro.experiments.runner` — :class:`ExperimentRunner` and the
+  :func:`run_experiment` convenience wrapper (parallel via
+  ``concurrent.futures``, bit-for-bit deterministic for any worker
+  count);
+* :mod:`repro.experiments.results` — structured
+  :class:`TrialRecord`/:class:`ExperimentResult` with JSON round-trip;
+* :mod:`repro.experiments.scenarios` — the seven registered figures.
+
+Quickstart::
+
+    >>> from repro.experiments import run_experiment
+    >>> result = run_experiment("fig12", n_trials=4, workers=2)
+    >>> round(result.mean_gain, 2) > 1.0
+    True
+    >>> text = result.to_json()  # archive / diff / plot offline
+"""
+
+from repro.experiments.registry import (
+    Scenario,
+    TrialContext,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+    scenarios_by_tag,
+    unregister_scenario,
+)
+from repro.experiments.results import ExperimentResult, TrialRecord
+from repro.experiments.runner import ExperimentRunner, run_experiment
+
+# Importing the scenario definitions populates the registry.
+from repro.experiments import scenarios as _scenarios  # noqa: F401
+from repro.experiments.scenarios import gain_cdf_from_record, scatter_result
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentRunner",
+    "Scenario",
+    "TrialContext",
+    "TrialRecord",
+    "gain_cdf_from_record",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_experiment",
+    "scatter_result",
+    "scenario_names",
+    "scenarios_by_tag",
+    "unregister_scenario",
+]

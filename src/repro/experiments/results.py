@@ -1,0 +1,167 @@
+"""Structured, serialisable experiment results.
+
+The legacy runners each returned a bespoke container (``ScatterResult``,
+``GainCDF``, a bare list of floats) and the CLI printed them; nothing
+machine-readable came out.  This module is the common currency of the
+unified experiment API: every scenario trial produces a flat
+``{metric-name: float}`` mapping, the runner wraps those into
+:class:`TrialRecord` / :class:`ExperimentResult`, and both round-trip
+losslessly through JSON so sweeps can be archived, diffed and plotted
+offline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+
+def jsonify(value: Any) -> Any:
+    """Coerce a parameter/metric structure into JSON-native types.
+
+    Tuples become lists and numpy scalars become Python numbers so that a
+    serialise -> deserialise round trip compares equal to the original.
+    """
+    if isinstance(value, Mapping):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [jsonify(v) for v in value.tolist()]
+    return value
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One trial's outcome: a flat mapping of metric name to value."""
+
+    index: int
+    metrics: Dict[str, float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"index": self.index, "metrics": dict(self.metrics)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrialRecord":
+        return cls(
+            index=int(data["index"]),
+            metrics={str(k): float(v) for k, v in data["metrics"].items()},
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """A full experiment: the scenario, its parameters and every trial.
+
+    ``records`` preserve trial order (record ``i`` used the ``i``-th
+    spawned RNG stream), so results are identical however many workers
+    executed them.
+    """
+
+    scenario: str
+    figure: str
+    seed: int
+    n_trials: int
+    params: Dict[str, Any] = field(default_factory=dict)
+    records: List[TrialRecord] = field(default_factory=list)
+
+    # ----------------------------------------------------------------- #
+    # Metric access and summary statistics
+    # ----------------------------------------------------------------- #
+
+    def metric_names(self) -> List[str]:
+        names: List[str] = []
+        for record in self.records:
+            for name in record.metrics:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def metric(self, name: str) -> np.ndarray:
+        """Values of one metric across trials (missing entries skipped)."""
+        return np.array(
+            [r.metrics[name] for r in self.records if name in r.metrics]
+        )
+
+    @property
+    def mean_gain(self) -> float:
+        """The paper's headline number for this experiment.
+
+        Scatter-style scenarios report per-trial ``dot11``/``iac`` rates;
+        the headline gain is the ratio of the average rates (matching
+        ``ScatterResult.mean_gain`` bit-for-bit).  Other scenarios report
+        a ``gain`` or ``mean_gain`` metric directly, which is averaged.
+        """
+        names = self.metric_names()
+        if "dot11" in names and "iac" in names:
+            return float(np.mean(self.metric("iac")) / np.mean(self.metric("dot11")))
+        for name in ("gain", "mean_gain"):
+            if name in names:
+                return float(np.mean(self.metric(name)))
+        raise KeyError(f"no gain-like metric in {names}")
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-metric mean/min/max/std across trials."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name in self.metric_names():
+            values = self.metric(name)
+            out[name] = {
+                "mean": float(values.mean()),
+                "min": float(values.min()),
+                "max": float(values.max()),
+                "std": float(values.std()),
+            }
+        return out
+
+    # ----------------------------------------------------------------- #
+    # Serialisation
+    # ----------------------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "figure": self.figure,
+            "seed": self.seed,
+            "n_trials": self.n_trials,
+            "params": jsonify(self.params),
+            "records": [r.to_dict() for r in self.records],
+            "summary": self.summary(),
+        }
+        try:
+            data["mean_gain"] = self.mean_gain
+        except KeyError:
+            pass
+        return data
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version > SCHEMA_VERSION:
+            raise ValueError(f"unsupported result schema version {version}")
+        return cls(
+            scenario=str(data["scenario"]),
+            figure=str(data["figure"]),
+            seed=int(data["seed"]),
+            n_trials=int(data["n_trials"]),
+            params=dict(data.get("params", {})),
+            records=[TrialRecord.from_dict(r) for r in data.get("records", [])],
+        )
+
+    @classmethod
+    def from_json(cls, text: Union[str, bytes]) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))

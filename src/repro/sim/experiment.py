@@ -21,8 +21,8 @@ Runners:
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -153,14 +153,20 @@ def _split_downlink_solution(
     )
 
 
-def diversity_trial(testbed: Testbed, client: int, aps: Sequence[int], rng) -> RatePair:
+def diversity_trial(
+    testbed: Testbed, clients: Sequence[int], aps: Sequence[int], rng
+) -> RatePair:
     """One Fig.-14 point: a single client downloads from 2 cooperating APs.
 
     802.11-MIMO picks the better AP (selection diversity).  IAC's leader
     additionally considers transmitting one packet from each AP and picks
     whichever option estimates best (§10.2): diversity across the four
     antennas of the two APs.
+
+    ``clients`` holds the single active client, keeping the signature
+    identical to the other scatter trials.
     """
+    (client,) = clients
     rng = default_rng(rng)
     noise = testbed.noise_power
     channels = testbed.channel_set(aps, [client])
@@ -185,16 +191,16 @@ def run_scatter(
     seed=0,
     label: str = "",
 ) -> ScatterResult:
-    """Repeat a trial over random disjoint client/AP subsets (§10(e))."""
+    """Repeat a trial over random disjoint client/AP subsets (§10(e)).
+
+    Every trial callable takes ``(testbed, clients, aps, rng)`` — single-
+    client trials receive a one-element ``clients`` sequence.
+    """
     result = ScatterResult(label=label)
     for trial_rng in spawn_rngs(seed, n_trials):
         nodes = testbed.pick_nodes(n_clients + n_aps, trial_rng)
         clients, aps = nodes[:n_clients], nodes[n_clients:]
-        if n_clients == 1:
-            pair = trial(testbed, clients[0], aps, trial_rng)
-        else:
-            pair = trial(testbed, clients, aps, trial_rng)
-        result.points.append(pair)
+        result.points.append(trial(testbed, clients, aps, trial_rng))
     return result
 
 
@@ -336,6 +342,66 @@ def large_network_experiment(
 # --------------------------------------------------------------------- #
 
 
+def reciprocity_pair_trial(
+    testbed: Testbed,
+    client_node: int,
+    ap_node: int,
+    n_moves: int = 5,
+    estimate_snr_db: float = 25.0,
+    rng=None,
+) -> float:
+    """Fig.-16 measurement for one client-AP pair.
+
+    Measure uplink and downlink channels once (with estimation noise),
+    solve the calibration matrices (Eq. 8), then *move the client*
+    (redraw the over-the-air channel) ``n_moves`` times; after each move
+    the AP estimates the downlink channel from a fresh noisy uplink
+    measurement.  Returns the pair's average fractional error against the
+    true downlink channel.
+    """
+    rng = default_rng(rng)
+    m = testbed.config.n_antennas
+    estimate_noise = 10 ** (-estimate_snr_db / 20.0)
+
+    def measure(h: np.ndarray) -> np.ndarray:
+        """A noisy channel measurement at the configured estimation SNR."""
+        scale = estimate_noise * np.sqrt(np.mean(np.abs(h) ** 2) / 2.0)
+        return h + scale * (rng.standard_normal(h.shape) + 1j * rng.standard_normal(h.shape))
+
+    client_hw = testbed.hardware[client_node]
+    ap_hw = testbed.hardware[ap_node]
+
+    h_air = testbed.channel(client_node, ap_node)
+    calibrator = ReciprocityCalibrator()
+    calibrator.calibrate(
+        measure(observed_uplink(h_air, client_hw, ap_hw)),
+        measure(observed_downlink(h_air, client_hw, ap_hw)),
+    )
+
+    pair_errors = []
+    for _move in range(n_moves):
+        # The client moved: fresh propagation, same hardware chains.
+        h_air_new = rayleigh_channel(m, m, rng, gain=np.mean(np.abs(h_air) ** 2))
+        h_up_measured = measure(observed_uplink(h_air_new, client_hw, ap_hw))
+        h_down_true = observed_downlink(h_air_new, client_hw, ap_hw)
+        h_down_predicted = calibrator.downlink_from_uplink(h_up_measured)
+        pair_errors.append(fractional_error(h_down_true, h_down_predicted))
+    return float(np.mean(pair_errors))
+
+
+def sample_distinct_pairs(n_nodes: int, n_pairs: int, rng) -> List[Tuple[int, int]]:
+    """Draw ``n_pairs`` distinct ordered node pairs without replacement."""
+    total = n_nodes * (n_nodes - 1)
+    if n_pairs > total:
+        raise ValueError(f"only {total} ordered pairs exist among {n_nodes} nodes")
+    rng = default_rng(rng)
+    pairs = []
+    for flat in rng.choice(total, size=n_pairs, replace=False):
+        a, off = divmod(int(flat), n_nodes - 1)
+        pairs.append((a, off + 1 if off >= a else off))
+    return pairs
+
+
 def reciprocity_experiment(
     testbed: Testbed,
     n_pairs: int = 17,
@@ -345,44 +411,25 @@ def reciprocity_experiment(
 ) -> List[float]:
     """Fig. 16: fractional error of reciprocity-based downlink estimates.
 
-    For each client-AP pair: measure uplink and downlink channels once
-    (with estimation noise), solve the calibration matrices (Eq. 8), then
-    *move the client* (redraw the over-the-air channel) ``n_moves`` times;
-    after each move the AP estimates the downlink channel from a fresh
-    noisy uplink measurement and we record the fractional error against
-    the true downlink channel.  Returns the per-pair average errors.
+    Runs :func:`reciprocity_pair_trial` for ``n_pairs`` *distinct*
+    client-AP pairs sampled without replacement (node reuse across pairs
+    is fine — the paper's 17 pairs come from a 20-node testbed — but no
+    (client, AP) combination is measured twice).  ``n_pairs`` beyond the
+    number of ordered pairs is capped with a warning.  Returns the
+    per-pair average errors.
     """
     rng = default_rng(seed)
-    m = testbed.config.n_antennas
-    estimate_noise = 10 ** (-estimate_snr_db / 20.0)
-
-    def measure(h: np.ndarray) -> np.ndarray:
-        """A noisy channel measurement at the configured estimation SNR."""
-        scale = estimate_noise * np.sqrt(np.mean(np.abs(h) ** 2) / 2.0)
-        return h + scale * (rng.standard_normal(h.shape) + 1j * rng.standard_normal(h.shape))
-
-    errors: List[float] = []
-    pairs = testbed.pick_nodes(min(2 * n_pairs, testbed.n_nodes), rng)
-    for i in range(n_pairs):
-        client_node = pairs[(2 * i) % len(pairs)]
-        ap_node = pairs[(2 * i + 1) % len(pairs)]
-        client_hw = testbed.hardware[client_node]
-        ap_hw = testbed.hardware[ap_node]
-
-        h_air = testbed.channel(client_node, ap_node)
-        calibrator = ReciprocityCalibrator()
-        calibrator.calibrate(
-            measure(observed_uplink(h_air, client_hw, ap_hw)),
-            measure(observed_downlink(h_air, client_hw, ap_hw)),
+    total = testbed.n_nodes * (testbed.n_nodes - 1)
+    if n_pairs > total:
+        warnings.warn(
+            f"n_pairs={n_pairs} exceeds the {total} distinct ordered pairs "
+            f"of a {testbed.n_nodes}-node testbed; capping",
+            stacklevel=2,
         )
-
-        pair_errors = []
-        for _move in range(n_moves):
-            # The client moved: fresh propagation, same hardware chains.
-            h_air_new = rayleigh_channel(m, m, rng, gain=np.mean(np.abs(h_air) ** 2))
-            h_up_measured = measure(observed_uplink(h_air_new, client_hw, ap_hw))
-            h_down_true = observed_downlink(h_air_new, client_hw, ap_hw)
-            h_down_predicted = calibrator.downlink_from_uplink(h_up_measured)
-            pair_errors.append(fractional_error(h_down_true, h_down_predicted))
-        errors.append(float(np.mean(pair_errors)))
-    return errors
+        n_pairs = total
+    return [
+        reciprocity_pair_trial(
+            testbed, client_node, ap_node, n_moves, estimate_snr_db, rng
+        )
+        for client_node, ap_node in sample_distinct_pairs(testbed.n_nodes, n_pairs, rng)
+    ]

@@ -1,0 +1,80 @@
+"""Tests for the scenario registry (repro.experiments.registry)."""
+
+import pytest
+
+from repro.experiments import (
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+    scenarios_by_tag,
+    unregister_scenario,
+)
+
+
+class TestBuiltinScenarios:
+    def test_all_seven_figures_registered(self):
+        names = scenario_names()
+        for figure in ("fig12", "fig13a", "fig13b", "fig14", "fig15", "fig16", "fig17"):
+            assert figure in names
+        assert len(names) >= 7
+
+    def test_list_get_roundtrip(self):
+        for scenario in list_scenarios():
+            assert get_scenario(scenario.name) is scenario
+
+    def test_list_is_sorted(self):
+        names = [s.name for s in list_scenarios()]
+        assert names == sorted(names)
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(KeyError, match="fig12"):
+            get_scenario("fig99")
+
+    def test_tag_queries(self):
+        scatter = {s.name for s in scenarios_by_tag("scatter")}
+        assert scatter == {"fig12", "fig13a", "fig13b", "fig14"}
+        uplink = {s.name for s in scenarios_by_tag("uplink")}
+        assert "fig12" in uplink and "fig13b" not in uplink
+        assert scenarios_by_tag("no-such-tag") == []
+
+    def test_scenarios_carry_paper_reference(self):
+        for scenario in list_scenarios():
+            assert scenario.paper and scenario.figure
+            assert scenario.default_trials >= 1
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        @register_scenario(
+            "tmp-registry-test",
+            figure="custom",
+            description="throwaway",
+            paper="n/a",
+            default_trials=2,
+            tags=("tmp",),
+        )
+        def tmp_trial(ctx):
+            return {"one": 1.0}
+
+        try:
+            scenario = get_scenario("tmp-registry-test")
+            assert isinstance(scenario, Scenario)
+            assert scenario.trial is tmp_trial  # decorator returns it unchanged
+            assert scenario.tags == ("tmp",)
+        finally:
+            unregister_scenario("tmp-registry-test")
+        with pytest.raises(KeyError):
+            get_scenario("tmp-registry-test")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(
+                "fig12", figure="x", description="dup", paper="n/a"
+            )(lambda ctx: {})
+
+    def test_default_params_read_only(self):
+        scenario = get_scenario("fig12")
+        with pytest.raises(TypeError):
+            scenario.default_params["n_clients"] = 99

@@ -1,0 +1,95 @@
+"""Tests for TrialRecord / ExperimentResult (repro.experiments.results)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult, TrialRecord, run_experiment
+from repro.experiments.results import jsonify
+
+
+class TestJsonify:
+    def test_tuples_and_numpy_scalars(self):
+        data = {"a": (1, 2), "b": np.float64(1.5), "c": np.int32(3), "d": None}
+        out = jsonify(data)
+        assert out == {"a": [1, 2], "b": 1.5, "c": 3, "d": None}
+        assert json.dumps(out)  # JSON-native
+
+    def test_nested(self):
+        assert jsonify({"x": {"y": (np.bool_(True),)}}) == {"x": {"y": [True]}}
+
+
+def _result():
+    return ExperimentResult(
+        scenario="fig12",
+        figure="Fig. 12",
+        seed=7,
+        n_trials=2,
+        params={"n_clients": 2, "n_aps": 2},
+        records=[
+            TrialRecord(index=0, metrics={"dot11": 2.0, "iac": 3.0, "gain": 1.5}),
+            TrialRecord(index=1, metrics={"dot11": 4.0, "iac": 5.0, "gain": 1.25}),
+        ],
+    )
+
+
+class TestExperimentResult:
+    def test_metric_access(self):
+        result = _result()
+        assert list(result.metric("dot11")) == [2.0, 4.0]
+        assert result.metric_names() == ["dot11", "iac", "gain"]
+
+    def test_mean_gain_is_ratio_of_means(self):
+        # (3+5)/2 over (2+4)/2, the paper's headline statistic -- not the
+        # mean of per-trial gains.
+        assert np.isclose(_result().mean_gain, 8.0 / 6.0)
+
+    def test_mean_gain_falls_back_to_gain_metric(self):
+        result = ExperimentResult(
+            scenario="x", figure="f", seed=0, n_trials=1,
+            records=[TrialRecord(index=0, metrics={"gain": 2.0})],
+        )
+        assert result.mean_gain == 2.0
+
+    def test_mean_gain_missing_raises(self):
+        result = ExperimentResult(
+            scenario="x", figure="f", seed=0, n_trials=1,
+            records=[TrialRecord(index=0, metrics={"error": 0.1})],
+        )
+        with pytest.raises(KeyError):
+            _ = result.mean_gain
+
+    def test_summary_stats(self):
+        summary = _result().summary()
+        assert np.isclose(summary["gain"]["mean"], 1.375)
+        assert summary["dot11"]["min"] == 2.0 and summary["dot11"]["max"] == 4.0
+
+
+class TestSerialisation:
+    def test_json_round_trip_equality(self):
+        result = _result()
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored == result
+
+    def test_round_trip_of_real_run(self, full_testbed):
+        result = run_experiment("fig14", n_trials=3, seed=2, testbed=full_testbed)
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored == result
+        assert restored.mean_gain == result.mean_gain
+
+    def test_dict_contains_summary_and_headline(self):
+        data = _result().to_dict()
+        assert data["schema_version"] == 1
+        assert "summary" in data and "mean_gain" in data
+        assert data["records"][0]["metrics"]["iac"] == 3.0
+
+    def test_future_schema_rejected(self):
+        data = _result().to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            ExperimentResult.from_dict(data)
+
+    def test_json_is_parseable_text(self):
+        parsed = json.loads(_result().to_json())
+        assert parsed["scenario"] == "fig12"

@@ -1,0 +1,131 @@
+"""Tests for ExperimentRunner / run_experiment (repro.experiments.runner)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    register_scenario,
+    run_experiment,
+    unregister_scenario,
+)
+from repro.sim.experiment import run_scatter, uplink_2x2_trial
+
+
+class TestRunnerBasics:
+    def test_runs_default_trials(self, full_testbed):
+        result = run_experiment("fig17", testbed=full_testbed)
+        assert result.n_trials == 8 and len(result.records) == 8
+
+    def test_param_override_reaches_trial(self, full_testbed):
+        result = run_experiment(
+            "fig15",
+            testbed=full_testbed,
+            params={"n_slots": 20, "n_clients": 5, "algorithm": "fifo"},
+        )
+        assert result.params["n_slots"] == 20
+        assert result.params["algorithm"] == "fifo"
+        # 5 clients -> exactly 5 per-client gain metrics.
+        gains = [
+            k for k in result.records[0].metrics if k.startswith("client_gain_")
+        ]
+        assert len(gains) == 5
+
+    def test_invalid_workers_rejected(self, full_testbed):
+        with pytest.raises(ValueError):
+            ExperimentRunner(full_testbed, workers=0)
+        with pytest.raises(ValueError):
+            ExperimentRunner(full_testbed).run("fig17", workers=0)
+
+    def test_lazy_default_testbed(self):
+        runner = ExperimentRunner(n_nodes=8, testbed_seed=4)
+        assert runner.testbed.n_nodes == 8
+
+
+class TestDeterminism:
+    def test_workers_1_and_4_identical(self, full_testbed):
+        """The acceptance property: worker count never changes results."""
+        serial = run_experiment(
+            "fig12", n_trials=6, seed=3, workers=1, testbed=full_testbed
+        )
+        threaded = run_experiment(
+            "fig12", n_trials=6, seed=3, workers=4, testbed=full_testbed
+        )
+        assert serial.records == threaded.records
+        assert serial.mean_gain == threaded.mean_gain
+
+    def test_matches_legacy_run_scatter_bit_for_bit(self, full_testbed):
+        """The registry path reproduces the serial legacy path exactly."""
+        legacy = run_scatter(
+            uplink_2x2_trial, full_testbed, 5, 2, 2, seed=11, label="fig12"
+        )
+        new = run_experiment(
+            "fig12", n_trials=5, seed=11, workers=2, testbed=full_testbed
+        )
+        assert [p.iac for p in legacy.points] == list(new.metric("iac"))
+        assert [p.dot11 for p in legacy.points] == list(new.metric("dot11"))
+        assert legacy.mean_gain == new.mean_gain
+
+    def test_different_seeds_differ(self, full_testbed):
+        a = run_experiment("fig12", n_trials=3, seed=0, testbed=full_testbed)
+        b = run_experiment("fig12", n_trials=3, seed=1, testbed=full_testbed)
+        assert a.records != b.records
+
+    def test_fig16_pairs_distinct_within_run(self, full_testbed):
+        """Regression: the registry fig16 path must not re-measure a
+        (client, AP) pair within a run (the legacy wrap bug)."""
+        result = run_experiment("fig16", n_trials=17, seed=9, testbed=full_testbed)
+        pairs = [
+            (r.metrics["client"], r.metrics["ap"]) for r in result.records
+        ]
+        assert len(set(pairs)) == 17
+
+    def test_fig17_mean_gain_matches_per_topology_mean(self, full_testbed):
+        """Regression: JSON mean_gain and the printed mean agree for
+        fig17 (mean of per-topology gains, not ratio of flow means)."""
+        result = run_experiment("fig17", n_trials=4, testbed=full_testbed)
+        assert result.mean_gain == float(np.mean(result.metric("gain")))
+
+
+class TestCustomScenario:
+    def test_runner_drives_registered_trial(self, full_testbed):
+        calls = []
+
+        @register_scenario(
+            "tmp-runner-test",
+            figure="custom",
+            description="records its contexts",
+            paper="n/a",
+            default_params={"offset": 10.0},
+            default_trials=3,
+        )
+        def tmp_trial(ctx):
+            calls.append(ctx.index)
+            return {"value": ctx.index + float(ctx.params["offset"])}
+
+        try:
+            result = run_experiment("tmp-runner-test", testbed=full_testbed)
+            assert sorted(calls) == [0, 1, 2]
+            assert list(result.metric("value")) == [10.0, 11.0, 12.0]
+        finally:
+            unregister_scenario("tmp-runner-test")
+
+    def test_trial_rngs_are_independent_streams(self, full_testbed):
+        draws = {}
+
+        @register_scenario(
+            "tmp-rng-test",
+            figure="custom",
+            description="rng independence",
+            paper="n/a",
+            default_trials=4,
+        )
+        def tmp_trial(ctx):
+            draws[ctx.index] = float(ctx.rng.standard_normal())
+            return {"x": draws[ctx.index]}
+
+        try:
+            run_experiment("tmp-rng-test", seed=0, testbed=full_testbed)
+            assert len(set(draws.values())) == 4  # distinct streams
+        finally:
+            unregister_scenario("tmp-rng-test")

@@ -14,7 +14,9 @@ from repro.sim.experiment import (
     downlink_3x3_trial,
     large_network_experiment,
     reciprocity_experiment,
+    reciprocity_pair_trial,
     run_scatter,
+    sample_distinct_pairs,
     uplink_2x2_trial,
     uplink_3x3_trial,
 )
@@ -153,3 +155,34 @@ class TestReciprocityExperiment:
         noisy = reciprocity_experiment(full_testbed, n_pairs=8, estimate_snr_db=15, seed=2)
         clean = reciprocity_experiment(full_testbed, n_pairs=8, estimate_snr_db=35, seed=2)
         assert np.mean(clean) < np.mean(noisy)
+
+    def test_pairs_distinct(self, full_testbed):
+        """No (client, AP) combination is measured twice (the old
+        (2*i) % len wrap silently re-measured pairs for n_pairs > 10)."""
+        rng = np.random.default_rng(0)
+        for n_pairs in (10, 17, 50):
+            pairs = sample_distinct_pairs(full_testbed.n_nodes, n_pairs, rng)
+            assert len(set(pairs)) == n_pairs
+            assert all(a != b for a, b in pairs)
+            assert all(
+                0 <= a < full_testbed.n_nodes and 0 <= b < full_testbed.n_nodes
+                for a, b in pairs
+            )
+
+    def test_too_many_pairs_capped_with_warning(self):
+        from repro.sim.testbed import Testbed, TestbedConfig
+
+        tiny = Testbed(TestbedConfig(n_nodes=3, seed=5))
+        with pytest.warns(UserWarning, match="capping"):
+            errors = reciprocity_experiment(tiny, n_pairs=99, n_moves=1, seed=0)
+        assert len(errors) == 3 * 2  # all ordered pairs of a 3-node testbed
+
+    def test_sample_distinct_pairs_overflow_raises(self):
+        with pytest.raises(ValueError):
+            sample_distinct_pairs(3, 7, np.random.default_rng(0))
+
+    def test_pair_trial_matches_experiment_scale(self, full_testbed):
+        error = reciprocity_pair_trial(
+            full_testbed, 0, 1, n_moves=3, rng=np.random.default_rng(3)
+        )
+        assert 0.0 < error < 0.5

@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import __version__
 from repro.cli import build_parser, main
 
 
@@ -56,3 +59,79 @@ class TestCommands:
         assert main(["fig15", "--slots", "30", "--direction", "downlink"]) == 0
         out = capsys.readouterr().out
         assert "best2" in out and "gain-quantile" in out
+
+
+class TestRegistryCLI:
+    """The registry-driven surface: list / run / --version / --quiet."""
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_list_enumerates_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig12", "fig13a", "fig13b", "fig14", "fig15", "fig16", "fig17"):
+            assert name in out
+
+    def test_list_tag_filter(self, capsys):
+        assert main(["list", "--tag", "scatter"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out and "fig17" not in out
+        assert main(["list", "--tag", "bogus"]) == 1
+
+    def test_run_json_stdout_is_pure_json(self, capsys):
+        assert main(["run", "fig12", "--trials", "2", "--json", "-"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"] == "fig12" and len(data["records"]) == 2
+        assert data["mean_gain"] > 0
+
+    def test_run_matches_legacy_alias_bit_for_bit(self, capsys):
+        assert main(["run", "fig12", "--trials", "3", "--workers", "2",
+                     "--json", "-"]) == 0
+        mean = json.loads(capsys.readouterr().out)["mean_gain"]
+        assert main(["fig12", "--trials", "3", "--quiet"]) == 0
+        legacy_out = capsys.readouterr().out
+        assert f"mean gain     : {mean:.2f}x" in legacy_out
+
+    def test_run_json_file(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        assert main(["run", "fig17", "--trials", "2", "--json", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert data["scenario"] == "fig17"
+        assert str(target) in capsys.readouterr().out
+
+    def test_run_param_override(self, capsys):
+        assert main(["run", "fig15", "--param", "n_slots=20",
+                     "--param", "n_clients=5", "--param", "algorithm=fifo",
+                     "--json", "-"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["params"]["n_slots"] == 20
+        assert data["params"]["algorithm"] == "fifo"
+
+    def test_run_unknown_scenario_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_param_syntax_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig12", "--trials", "1", "--param", "oops"])
+
+    def test_fig15_alias_json(self, capsys):
+        assert main(["fig15", "--slots", "20", "--direction", "downlink",
+                     "--json", "-"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["scenario"] == "fig15"
+        algorithms = [run["params"]["algorithm"] for run in data["runs"]]
+        assert algorithms == ["brute", "fifo", "best2"]
+
+    def test_quiet_suppresses_plots(self, capsys):
+        assert main(["fig12", "--trials", "3"]) == 0
+        full = capsys.readouterr().out
+        assert main(["fig12", "--trials", "3", "--quiet"]) == 0
+        quiet = capsys.readouterr().out
+        assert "gain lines" in full  # the ascii scatter header
+        assert "gain lines" not in quiet
+        assert "mean gain" in quiet  # summary survives
