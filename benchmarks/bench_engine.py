@@ -1,0 +1,57 @@
+"""Engine benchmark: batched group evaluation vs the scalar reference.
+
+The batched engine (:mod:`repro.engine`) must (a) produce the same WLAN
+trajectory as the scalar reference path and (b) be meaningfully faster on
+the selector-probe hot path — the PR that introduced it targets >= 3x on
+``run(200)`` at 12 clients (see ``BENCH_wlan.json`` for the recorded
+acceptance run; this harness uses a smaller workload to stay quick).
+"""
+
+import time
+
+import numpy as np
+
+from repro.sim.wlan import WLANConfig, WLANSimulation
+
+N_SLOTS = 60
+N_CLIENTS = 10
+
+
+def _run(engine, seed=11):
+    sim = WLANSimulation(
+        WLANConfig(n_clients=N_CLIENTS, rho=0.99, seed=seed, engine=engine)
+    )
+    start = time.perf_counter()
+    stats = sim.run(N_SLOTS)
+    return stats, time.perf_counter() - start, sim
+
+
+def test_engine_speedup(benchmark, record):
+    results = benchmark.pedantic(
+        lambda: {engine: _run(engine) for engine in ("scalar", "batched")},
+        rounds=1,
+        iterations=1,
+    )
+    scalar_stats, scalar_s, _ = results["scalar"]
+    batched_stats, batched_s, sim = results["batched"]
+
+    speedup = scalar_s / batched_s
+    info = sim.evaluator.cache_info()
+    record(
+        "engine",
+        f"run({N_SLOTS}) @ {N_CLIENTS} clients",
+        ">= 3x on run(200)@12",
+        f"{speedup:.2f}x ({scalar_s*1e3:.0f} -> {batched_s*1e3:.0f} ms)",
+    )
+    record(
+        "engine",
+        "memoisation hit rate",
+        "> 0",
+        f"{info['hits']}/{info['hits'] + info['misses']}",
+    )
+
+    # Numerical equivalence: identical trajectories, identical stats.
+    assert batched_stats.drift_reports == scalar_stats.drift_reports
+    for client, rate in scalar_stats.per_client_rate.items():
+        assert np.isclose(batched_stats.per_client_rate[client], rate, rtol=1e-9)
+    assert speedup > 1.5  # loose floor; the acceptance run is in BENCH_wlan.json

@@ -21,6 +21,9 @@ Package layout
     802.11-MIMO (eigenmode + best AP) and the TDMA comparison discipline.
 ``repro.sim``
     The synthetic 20-node testbed and per-figure experiment runners.
+``repro.engine``
+    The batched, memoised group-evaluation engine behind the WLAN
+    simulation's hot path (``python -m repro bench`` times it).
 ``repro.experiments``
     The unified scenario/experiment API: the scenario registry, the
     parallel ``ExperimentRunner`` and structured, JSON-serialisable

@@ -10,6 +10,7 @@ no per-figure wiring of its own.  Usage::
     python -m repro fig15 [--slots N] [--direction uplink|downlink]
     python -m repro fig16 | fig17
     python -m repro lemmas | overhead
+    python -m repro bench [--quick] [--out-dir DIR]
     python -m repro --version
 
 ``run`` executes any registered scenario; ``--json -`` writes the
@@ -17,8 +18,11 @@ structured result to stdout (and nothing else), ``--json PATH`` archives
 it next to the human-readable report, ``--quiet`` suppresses the ASCII
 plots, and ``--workers`` parallelises trials without changing a single
 output bit.  The ``figNN`` subcommands are thin aliases over the same
-registry.  See ``EXPERIMENTS.md`` for every scenario, its paper figure
-and the expected gain ranges.
+registry.  ``bench`` times the WLAN hot path under both group-evaluation
+engines plus a set of scenario trials and writes ``BENCH_wlan.json`` /
+``BENCH_scenarios.json`` (``--quick`` for the CI smoke variant).  See
+``EXPERIMENTS.md`` for every scenario, its paper figure, the expected
+gain ranges and the benchmark JSON schemas.
 """
 
 from __future__ import annotations
@@ -227,6 +231,47 @@ def _cmd_fig17(args) -> int:
     return _emit(scenario, result, args)
 
 
+def _cmd_bench(args) -> int:
+    """Time the WLAN hot path + scenario trials; write BENCH_*.json."""
+    import os
+
+    from repro.engine.bench import (
+        bench_scenarios,
+        bench_wlan,
+        format_scenario_bench,
+        format_wlan_bench,
+        write_bench,
+    )
+
+    if args.quick:
+        slots, repeats, trials = min(args.slots, 40), 1, 2
+    else:
+        slots, repeats, trials = args.slots, args.repeats, args.trials
+    wlan_doc = bench_wlan(
+        n_slots=slots,
+        n_clients=args.clients,
+        repeats=repeats,
+        seed=args.seed,
+    )
+    print(format_wlan_bench(wlan_doc))
+    docs = {"BENCH_wlan.json": wlan_doc}
+    if not args.skip_scenarios:
+        scen_doc = bench_scenarios(n_trials=trials, seed=args.seed)
+        print()
+        print(format_scenario_bench(scen_doc))
+        docs["BENCH_scenarios.json"] = scen_doc
+    for name, doc in docs.items():
+        path = os.path.join(args.out_dir, name)
+        try:
+            os.makedirs(args.out_dir, exist_ok=True)
+            write_bench(doc, path)
+        except OSError as exc:
+            print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+            return 1
+        print(f"  (written to {path})")
+    return 0
+
+
 def _cmd_lemmas(args) -> int:
     print("Lemmas 5.1/5.2: concurrent packets vs antennas")
     print("  M   uplink (2M)   downlink max(2M-2, floor(3M/2))")
@@ -316,6 +361,26 @@ def build_parser() -> argparse.ArgumentParser:
     p17.add_argument("--trials", type=int, default=8)
     runnable(p17)
 
+    pb = sub.add_parser(
+        "bench", help="time the WLAN hot path and scenario trials (BENCH_*.json)"
+    )
+    pb.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke variant: few slots/trials, one repeat",
+    )
+    pb.add_argument("--slots", type=_positive_int, default=200,
+                    help="WLAN slots to simulate per engine")
+    pb.add_argument("--clients", type=_positive_int, default=12,
+                    help="WLAN client count")
+    pb.add_argument("--repeats", type=_positive_int, default=3,
+                    help="timing repetitions (best is reported)")
+    pb.add_argument("--trials", type=_positive_int, default=8,
+                    help="trials per timed scenario")
+    pb.add_argument("--seed", type=int, default=7, help="benchmark seed")
+    pb.add_argument("--out-dir", default=".", help="where BENCH_*.json land")
+    pb.add_argument("--skip-scenarios", action="store_true",
+                    help="only time the WLAN hot path")
+
     pl2 = sub.add_parser("lemmas", help="print the DoF table (Lemmas 5.1/5.2)")
     common(pl2)
 
@@ -334,6 +399,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig15": _cmd_fig15,
         "fig16": _cmd_fig16,
         "fig17": _cmd_fig17,
+        "bench": _cmd_bench,
         "lemmas": _cmd_lemmas,
         "overhead": _cmd_overhead,
     }[args.command](args)

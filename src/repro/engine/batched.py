@@ -1,0 +1,234 @@
+"""Batched downlink alignment + rate-level decoding over a group axis.
+
+The scalar path (:func:`repro.core.alignment.solve_downlink_three_packets`
+followed by :func:`repro.core.decoder.decode_rate_level`) performs a dozen
+tiny ``np.linalg`` calls and builds several Python objects *per candidate
+group*.  When a concurrency selector probes many groups per slot, that
+Python-level overhead dominates the wall clock.
+
+This module runs the identical mathematics for ``G`` candidate groups at
+once by stacking their believed channel matrices into an
+``(G, 3, 3, M, M)`` ndarray and using numpy's stacked linear algebra
+(``inv``, ``eig``, ``solve`` all broadcast over leading axes):
+
+* :func:`stack_downlink_channels` builds the channel batch from a channel
+  source (e.g. the leader AP's channel map);
+* :func:`solve_downlink_three_batch` solves Eqs. 5-7 for every group and
+  every eigenvector candidate of the alignment loop matrix, scores every
+  candidate at rate level, and keeps the per-group best — exactly the
+  scalar solver's selection rule (first index of the maximum estimated
+  throughput, eigenvalues sorted by descending magnitude);
+* :func:`downlink_sinrs_batch` is the batched rate-level decoder for the
+  non-cooperative 3-packet downlink: per-receiver MMSE (max-SINR) filters
+  from :func:`repro.phy.mimo.detection.max_sinr_vectors` and SINRs from
+  :func:`repro.phy.mimo.detection.post_projection_sinr_batch`.
+
+Numerical equivalence with the scalar path is asserted by
+``tests/engine/test_evaluator.py`` (all selectors, 2-4 antennas).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.phy.mimo.detection import max_sinr_vectors, post_projection_sinr_batch
+from repro.phy.mimo.precoding import normalize_encodings
+
+#: Index layout of the channel batch: ``h[g, i, j]`` is the believed
+#: channel from AP ``aps[i]`` to client ``group[j]`` of group ``g``.
+GROUP_SIZE = 3
+
+
+def stack_downlink_channels(
+    groups: Sequence[Tuple[int, ...]],
+    channel_maps: Mapping[int, Mapping[int, np.ndarray]],
+    aps: Sequence[int],
+) -> np.ndarray:
+    """Stack believed channels of candidate groups into one ndarray batch.
+
+    Parameters
+    ----------
+    groups:
+        Ordered 3-client tuples (the order encodes the AP assignment).
+    channel_maps:
+        ``client -> {ap -> (M, M) matrix}`` believed channel maps.
+    aps:
+        The three transmitting APs, in packet order.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(G, 3, 3, M, M)`` complex batch, ``h[g, i, j]`` the channel from
+        AP ``aps[i]`` to client ``groups[g][j]``.
+    """
+    if len(aps) != GROUP_SIZE:
+        raise ValueError(f"downlink groups use exactly {GROUP_SIZE} APs")
+    first = next(iter(next(iter(channel_maps.values())).values()))
+    m = np.asarray(first).shape[0]
+    h = np.empty((len(groups), GROUP_SIZE, GROUP_SIZE, m, m), dtype=complex)
+    for g, group in enumerate(groups):
+        if len(group) != GROUP_SIZE:
+            raise ValueError(f"group {group} does not have {GROUP_SIZE} clients")
+        for j, client in enumerate(group):
+            cmap = channel_maps[client]
+            for i, ap in enumerate(aps):
+                h[g, i, j] = cmap[ap]
+    return h
+
+
+def downlink_sinrs_batch(h: np.ndarray, v: np.ndarray, noise_power: float) -> np.ndarray:
+    """Rate-level SINRs of batched downlink-3 solutions.
+
+    Mirrors :func:`repro.core.decoder.decode_rate_level` for the
+    non-cooperative downlink with the default max-SINR receiver and unit
+    per-packet transmit amplitude (each AP sends exactly one packet, so the
+    equal power split is a no-op).
+
+    Parameters
+    ----------
+    h:
+        ``(G, 3, 3, M, M)`` channel batch (see :func:`stack_downlink_channels`).
+    v:
+        ``(..., 3, M)`` encoding vectors with leading batch axes matching
+        ``h``'s group axis (extra candidate axes broadcast).
+    noise_power:
+        Receiver noise power per antenna.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(..., 3)`` SINRs, packet ``i`` decoded at client ``i``.
+    """
+    # ht[g, j, i] = channel AP i -> client j; received directions
+    # d[..., j, i] = H(ap_i, k_j) v_i  (packet i as seen by receiver j).
+    ht = np.swapaxes(h, 1, 2)
+    if v.ndim > 3:
+        # Candidate axes sit between the group axis and the packet axis.
+        extra = v.ndim - 3
+        ht = ht.reshape(ht.shape[:1] + (1,) * extra + ht.shape[1:])
+    d = np.einsum("...jimn,...in->...jim", ht, v)
+    sinrs = []
+    for i in range(GROUP_SIZE):
+        desired = d[..., i, i, :]
+        others = [j for j in range(GROUP_SIZE) if j != i]
+        interference = d[..., i, others, :]
+        w = max_sinr_vectors(desired, interference, noise_power)
+        sinrs.append(
+            post_projection_sinr_batch(w, desired, interference, noise_power)
+        )
+    return np.stack(sinrs, axis=-1)
+
+
+#: Interfering-packet indices per receiver for the 3-packet downlink.
+_OTHERS = np.array([[1, 2], [0, 2], [0, 1]])
+
+
+def downlink_transmit_sinrs(
+    h_true: np.ndarray,
+    h_believed: np.ndarray,
+    v: np.ndarray,
+    noise_power: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Actual and genie SINRs of one transmitted downlink group.
+
+    The transmission step of the WLAN sim decodes the chosen solution
+    against the *true* channels twice: once with receive filters designed
+    from the leader's believed (possibly stale) estimates — the actual
+    outcome — and once with filters designed from the true channels — the
+    genie bound used to account staleness loss.  This does both in one
+    vectorised pass (receivers and the two filter designs are batch axes).
+
+    Parameters
+    ----------
+    h_true, h_believed:
+        ``(3, 3, M, M)`` channel stacks for one group, indexed like
+        :func:`stack_downlink_channels` without the group axis.
+    v:
+        ``(3, M)`` unit-norm encoding vectors of the transmitted solution.
+    noise_power:
+        Receiver noise power per antenna.
+
+    Returns
+    -------
+    (actual, ideal):
+        Two ``(3,)`` arrays of per-packet SINRs, packet ``i`` at client ``i``.
+    """
+    rx = np.arange(GROUP_SIZE)
+    # d[j, i] = H(ap_i, k_j) v_i under each channel belief.
+    d_true = np.einsum("jimn,in->jim", np.swapaxes(h_true, 0, 1), v)
+    d_bel = np.einsum("jimn,in->jim", np.swapaxes(h_believed, 0, 1), v)
+    desired_true = d_true[rx, rx]  # (3, M)
+    interf_true = d_true[rx[:, None], _OTHERS]  # (3, 2, M)
+    desired_bel = d_bel[rx, rx]
+    interf_bel = d_bel[rx[:, None], _OTHERS]
+    # Axis 0: filter design — 0 = believed (actual), 1 = true (genie).
+    design_desired = np.stack([desired_bel, desired_true])
+    design_interf = np.stack([interf_bel, interf_true])
+    w = max_sinr_vectors(design_desired, design_interf, noise_power)
+    sinr = post_projection_sinr_batch(
+        w, desired_true[None], interf_true[None], noise_power
+    )
+    return sinr[0], sinr[1]
+
+
+def solve_downlink_three_batch(
+    h: np.ndarray,
+    noise_power: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Solve the 3-AP/3-client downlink alignment for a batch of groups.
+
+    Follows Eqs. 5-7 exactly as the scalar solver does: express ``v1, v2``
+    in terms of ``v0`` and close the loop at client 0, so ``v0`` is an
+    eigenvector of the loop matrix.  Every eigenvector (sorted by
+    descending ``|eigenvalue|``) is a valid candidate; all are decoded at
+    rate level and the per-group best (first maximum) is kept — the same
+    selection the leader AP performs in the scalar path.
+
+    Parameters
+    ----------
+    h:
+        ``(G, 3, 3, M, M)`` believed-channel batch.
+    noise_power:
+        Noise power used to score candidates (the sim's estimator uses 1.0).
+
+    Returns
+    -------
+    (encodings, rates, sinrs):
+        ``encodings`` is ``(G, 3, M)`` — the winning unit-norm encoding
+        vectors per group; ``rates`` is ``(G,)`` estimated group throughput
+        (Eq. 9); ``sinrs`` is ``(G, 3)`` the winning per-packet SINRs.
+    """
+    inv = np.linalg.inv
+    h01, h02 = h[:, 0, 1], h[:, 0, 2]
+    h10, h12 = h[:, 1, 0], h[:, 1, 2]
+    h20, h21 = h[:, 2, 0], h[:, 2, 1]
+
+    # Loop matrix at client 0 (same association order as the scalar solver):
+    #   left  = H(a2,k0) H(a2,k1)^-1 H(a0,k1)
+    #   right = H(a1,k0) H(a1,k2)^-1 H(a0,k2)
+    inv_h21 = inv(h21)
+    inv_h12 = inv(h12)
+    left = h20 @ inv_h21 @ h01
+    right = h10 @ inv_h12 @ h02
+    loop = inv(left) @ right
+
+    values, vectors = np.linalg.eig(loop)  # (G, M), (G, M, M) column eigvecs
+    order = np.argsort(-np.abs(values), axis=-1)
+    # v0 candidates: (G, C, M) with C = M, best-|eigenvalue| first.
+    v0 = np.swapaxes(np.take_along_axis(vectors, order[:, None, :], axis=2), 1, 2)
+    v0 = normalize_encodings(v0)
+
+    # v1 = H(a1,k2)^-1 H(a0,k2) v0,  v2 = H(a2,k1)^-1 H(a0,k1) v0 (Eqs. 6-7).
+    b1 = inv_h12 @ h02
+    b2 = inv_h21 @ h01
+    v1 = normalize_encodings(np.einsum("gmn,gcn->gcm", b1, v0))
+    v2 = normalize_encodings(np.einsum("gmn,gcn->gcm", b2, v0))
+    v = np.stack([v0, v1, v2], axis=2)  # (G, C, 3, M)
+
+    sinrs = downlink_sinrs_batch(h, v, noise_power)  # (G, C, 3)
+    rates = np.log2(1.0 + sinrs).sum(axis=-1)  # (G, C)
+    best = np.argmax(rates, axis=1)  # first maximum, like the scalar loop
+    g_idx = np.arange(h.shape[0])
+    return v[g_idx, best], rates[g_idx, best], sinrs[g_idx, best]

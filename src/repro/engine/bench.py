@@ -1,0 +1,172 @@
+"""Wall-clock benchmarks for the engine and the scenario registry.
+
+``python -m repro bench`` runs two timing suites and writes one JSON
+document each, so the repository's performance trajectory is recorded
+alongside its correctness results:
+
+* :func:`bench_wlan` times ``WLANSimulation.run`` under both group-
+  evaluation engines (``scalar`` — the pre-engine reference path — and
+  ``batched``) on identical seeds and reports the speedup.  The default
+  workload (200 slots, 12 clients) is the acceptance workload of the
+  engine PR; ``BENCH_wlan.json``.
+* :func:`bench_scenarios` times registered scenarios end to end through
+  :class:`~repro.experiments.ExperimentRunner`; ``BENCH_scenarios.json``.
+
+JSON schemas are documented in ``EXPERIMENTS.md``.  Timings use the best
+of ``repeats`` runs (fresh simulation each run, so caches never carry
+over between measurements).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, Sequence
+
+import numpy as np
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Scenarios timed by default: the scatter experiments are the cheap,
+#: representative core of the registry.
+DEFAULT_SCENARIOS = ("fig12", "fig13a", "fig13b", "fig14")
+
+
+def _environment() -> Dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
+def _timestamp() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def bench_wlan(
+    n_slots: int = 200,
+    n_clients: int = 12,
+    repeats: int = 3,
+    seed: int = 7,
+    rho: float = 0.99,
+    algorithm: str = "best2",
+    n_antennas: int = 2,
+) -> dict:
+    """Time ``WLANSimulation.run(n_slots)`` under both engines.
+
+    Returns the ``BENCH_wlan.json`` document (see ``EXPERIMENTS.md``).
+    The two engines run the same seed; their total rates are included so a
+    regression in numerical equivalence is visible in the artifact too.
+    """
+    from repro.sim.wlan import WLANConfig, WLANSimulation  # deferred: keep import light
+
+    engines: Dict[str, Dict[str, float]] = {}
+    for engine in ("scalar", "batched"):
+        best = float("inf")
+        total_rate = 0.0
+        for _ in range(max(1, repeats)):
+            sim = WLANSimulation(
+                WLANConfig(
+                    n_clients=n_clients,
+                    n_antennas=n_antennas,
+                    rho=rho,
+                    seed=seed,
+                    algorithm=algorithm,
+                    engine=engine,
+                )
+            )
+            start = time.perf_counter()
+            stats = sim.run(n_slots)
+            best = min(best, time.perf_counter() - start)
+            total_rate = stats.total_rate
+        engines[engine] = {"seconds": best, "total_rate": total_rate}
+    return {
+        "benchmark": "wlan",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "config": {
+            "n_slots": n_slots,
+            "n_clients": n_clients,
+            "n_aps": 3,
+            "n_antennas": n_antennas,
+            "rho": rho,
+            "seed": seed,
+            "algorithm": algorithm,
+            "repeats": repeats,
+        },
+        "engines": engines,
+        "speedup": engines["scalar"]["seconds"] / engines["batched"]["seconds"],
+        "environment": _environment(),
+        "timestamp": _timestamp(),
+    }
+
+
+def bench_scenarios(
+    names: Sequence[str] = DEFAULT_SCENARIOS,
+    n_trials: int = 8,
+    seed: int = 0,
+    workers: int = 1,
+) -> dict:
+    """Time registered scenarios through the experiment runner.
+
+    Returns the ``BENCH_scenarios.json`` document.  Per-scenario seconds
+    come from :attr:`~repro.experiments.ExperimentResult.seconds` (the
+    runner's own timing), so CLI and bench agree on what is measured.
+    """
+    from repro.experiments import ExperimentRunner  # deferred: keep import light
+
+    runner = ExperimentRunner(workers=workers)
+    scenarios: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        result = runner.run(name, n_trials=n_trials, seed=seed)
+        entry = {"seconds": result.seconds, "n_trials": result.n_trials}
+        try:
+            entry["mean_gain"] = result.mean_gain
+        except KeyError:
+            pass
+        scenarios[name] = entry
+    return {
+        "benchmark": "scenarios",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "seed": seed,
+        "workers": workers,
+        "scenarios": scenarios,
+        "environment": _environment(),
+        "timestamp": _timestamp(),
+    }
+
+
+def write_bench(doc: dict, path: str) -> None:
+    """Write one benchmark document as deterministic, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def format_wlan_bench(doc: dict) -> str:
+    """Human-readable summary of a ``BENCH_wlan.json`` document."""
+    cfg = doc["config"]
+    lines = [
+        f"WLAN hot path: run({cfg['n_slots']}) @ {cfg['n_clients']} clients, "
+        f"{cfg['algorithm']}, rho={cfg['rho']}, best of {cfg['repeats']}",
+    ]
+    for engine, stats in sorted(doc["engines"].items()):
+        lines.append(
+            f"  {engine:>8s}: {stats['seconds']*1e3:8.1f} ms   "
+            f"total rate {stats['total_rate']:.3f} b/s/Hz"
+        )
+    lines.append(f"  speedup : {doc['speedup']:.2f}x (batched vs scalar)")
+    return "\n".join(lines)
+
+
+def format_scenario_bench(doc: dict) -> str:
+    """Human-readable summary of a ``BENCH_scenarios.json`` document."""
+    lines = [f"Scenario trials (seed {doc['seed']}, workers {doc['workers']}):"]
+    for name, stats in doc["scenarios"].items():
+        gain = stats.get("mean_gain")
+        gain_text = f"   mean gain {gain:.2f}x" if gain is not None else ""
+        lines.append(
+            f"  {name:>8s}: {stats['seconds']*1e3:8.1f} ms for "
+            f"{stats['n_trials']} trials{gain_text}"
+        )
+    return "\n".join(lines)

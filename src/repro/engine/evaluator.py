@@ -1,0 +1,300 @@
+"""Group evaluators: scalar reference path and the memoised batched engine.
+
+A :class:`GroupEvaluator` scores candidate transmission groups against the
+leader's *believed* channels — the quantity the concurrency selectors of
+:mod:`repro.mac.concurrency` maximise — and produces the winning
+:class:`~repro.core.plans.AlignmentSolution` for the group that actually
+transmits.  Two implementations share the interface:
+
+* :class:`ScalarGroupEvaluator` — the reference path: one
+  :func:`~repro.core.alignment.solve_downlink_three_packets` +
+  :func:`~repro.core.decoder.decode_rate_level` per call, exactly what
+  ``WLANSimulation`` inlined before the engine existed;
+* :class:`BatchedGroupEvaluator` — stacks all not-yet-cached groups of a
+  probe into one ndarray batch (:mod:`repro.engine.batched`) and memoises
+  per-group solutions keyed on the channel-map versions of the group's
+  clients, so unchanged groups are never re-solved between drift reports.
+
+Evaluators are also plain callables (``evaluator(group) -> rate``), so they
+drop into any API expecting the legacy scorer-callable contract.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.alignment import solve_downlink_three_packets
+from repro.core.decoder import decode_rate_level
+from repro.core.plans import AlignmentSolution, ChannelSet, DecodeStage, PacketSpec
+from repro.engine.batched import (
+    GROUP_SIZE,
+    downlink_transmit_sinrs,
+    solve_downlink_three_batch,
+    stack_downlink_channels,
+)
+
+Group = Tuple[int, ...]
+
+
+class ChannelSource(ABC):
+    """Where an evaluator reads believed channels and their versions.
+
+    ``channel_map(client)`` returns ``{ap_id: (M, M) matrix}``;
+    ``channel_version(client)`` returns a counter that changes whenever
+    that client's map changes (the memoisation key).  The leader AP
+    (:class:`repro.mac.association.LeaderAP`) implements this natively;
+    :class:`StaticChannelSource` adapts a fixed :class:`ChannelSet`.
+    """
+
+    @abstractmethod
+    def channel_map(self, client_id: int) -> Mapping[int, np.ndarray]:
+        """Believed downlink channels to ``client_id``, per AP."""
+
+    @abstractmethod
+    def channel_version(self, client_id: int) -> int:
+        """Monotone counter bumped on every change to the client's map."""
+
+
+class StaticChannelSource(ChannelSource):
+    """A frozen :class:`ChannelSet` (downlink ``(ap, client)`` keys)."""
+
+    def __init__(self, channels: ChannelSet, aps: Sequence[int]):
+        self._channels = channels
+        self._aps = tuple(aps)
+
+    def channel_map(self, client_id: int) -> Dict[int, np.ndarray]:
+        return {ap: self._channels.h(ap, client_id) for ap in self._aps}
+
+    def channel_version(self, client_id: int) -> int:
+        return 0
+
+
+class GroupEvaluator(ABC):
+    """Scores ordered client groups and solves the winning one.
+
+    The order of a group's clients encodes the AP assignment: packet ``i``
+    goes from ``aps[i]`` to ``group[i]``.  Groups with fewer than three
+    clients cannot align and score 0.0 (the selector still transmits them,
+    the solver just has nothing to batch).
+    """
+
+    def __init__(self, source: ChannelSource, aps: Sequence[int], noise_power: float = 1.0):
+        if len(aps) != GROUP_SIZE:
+            raise ValueError(f"downlink groups use exactly {GROUP_SIZE} APs")
+        self.source = source
+        self.aps = tuple(aps)
+        self.noise_power = float(noise_power)
+
+    @abstractmethod
+    def evaluate_many(self, groups: Sequence[Group]) -> List[float]:
+        """Estimated throughput of every candidate group, in order."""
+
+    @abstractmethod
+    def solve(self, group: Group) -> AlignmentSolution:
+        """The alignment solution the leader would transmit for ``group``."""
+
+    def evaluate(self, group: Group) -> float:
+        return self.evaluate_many([tuple(group)])[0]
+
+    def __call__(self, group: Group) -> float:
+        return self.evaluate(group)
+
+    def transmit_sinrs(self, group: Group, true_channels: ChannelSet) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-packet SINRs of transmitting ``group`` over true channels.
+
+        Returns ``(actual, ideal)``: receive filters designed from the
+        believed channels vs. from the true ones (the genie bound), both
+        measured against ``true_channels``.  Packet ``i`` is decoded at
+        client ``group[i]``.  The reference implementation runs
+        :func:`~repro.core.decoder.decode_rate_level` twice.
+        """
+        group = tuple(group)
+        believed = self._believed(group)
+        solution = self.solve(group)
+        actual = decode_rate_level(
+            solution, true_channels, self.noise_power, estimated_channels=believed
+        )
+        ideal = decode_rate_level(solution, true_channels, self.noise_power)
+        return (
+            np.array([r.sinr for r in actual.results]),
+            np.array([r.sinr for r in ideal.results]),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _believed(self, group: Group) -> ChannelSet:
+        out = {}
+        for c in group:
+            for ap, h in self.source.channel_map(c).items():
+                out[(ap, c)] = h
+        return ChannelSet(out)
+
+    def _solution_from_encodings(self, group: Group, encodings: np.ndarray) -> AlignmentSolution:
+        packets = [PacketSpec(i, self.aps[i], group[i]) for i in range(GROUP_SIZE)]
+        return AlignmentSolution(
+            packets=packets,
+            encoding={i: encodings[i] for i in range(GROUP_SIZE)},
+            schedule=[DecodeStage(rx=group[i], packet_ids=(i,)) for i in range(GROUP_SIZE)],
+            cooperative=False,
+        )
+
+
+class ScalarGroupEvaluator(GroupEvaluator):
+    """The pre-engine reference path: re-solve every probe from scratch."""
+
+    def evaluate_many(self, groups: Sequence[Group]) -> List[float]:
+        rates = []
+        for group in groups:
+            group = tuple(group)
+            if len(group) < GROUP_SIZE:
+                rates.append(0.0)
+                continue
+            believed = self._believed(group)
+            solution = solve_downlink_three_packets(
+                believed, aps=self.aps, clients=group, noise_power=self.noise_power
+            )
+            rates.append(
+                decode_rate_level(solution, believed, noise_power=self.noise_power).total_rate
+            )
+        return rates
+
+    def solve(self, group: Group) -> AlignmentSolution:
+        group = tuple(group)
+        return solve_downlink_three_packets(
+            self._believed(group), aps=self.aps, clients=group,
+            noise_power=self.noise_power,
+        )
+
+
+@dataclass
+class _CacheEntry:
+    versions: Tuple[int, ...]
+    rate: float
+    encodings: np.ndarray  # (3, M) unit-norm
+    sinrs: np.ndarray  # (3,)
+
+
+class BatchedGroupEvaluator(GroupEvaluator):
+    """Batched + memoised evaluation of candidate downlink groups.
+
+    All groups of one :meth:`evaluate_many` probe that are not already
+    cached are solved in a single stacked ``np.linalg`` pass.  Cache key:
+    the ordered client tuple; cache validity: the tuple of the clients'
+    channel-map versions at solve time.  A drift report bumps one client's
+    version and thereby invalidates exactly the cached groups containing
+    that client — everything else stays warm across slots.
+    """
+
+    def __init__(self, source: ChannelSource, aps: Sequence[int], noise_power: float = 1.0):
+        super().__init__(source, aps, noise_power)
+        self._cache: Dict[Group, _CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def cache_info(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._cache)}
+
+    def _entry(self, group: Group) -> _CacheEntry:
+        """Cached entry for ``group``, refusing stale versions."""
+        versions = tuple(self.source.channel_version(c) for c in group)
+        entry = self._cache.get(group)
+        if entry is not None and entry.versions == versions:
+            return entry
+        raise KeyError(group)
+
+    def evaluate_many(self, groups: Sequence[Group]) -> List[float]:
+        groups = [tuple(g) for g in groups]
+        rates: List[float] = [0.0] * len(groups)
+        missing: List[Group] = []
+        missing_idx: List[List[int]] = []
+        position: Dict[Group, int] = {}
+        for i, group in enumerate(groups):
+            if len(group) < GROUP_SIZE:
+                continue
+            if len(group) > GROUP_SIZE:
+                raise ValueError(f"group {group} exceeds {GROUP_SIZE} clients")
+            try:
+                rates[i] = self._entry(group).rate
+                self.hits += 1
+                continue
+            except KeyError:
+                pass
+            self.misses += 1
+            if group in position:  # duplicate within this probe
+                missing_idx[position[group]].append(i)
+            else:
+                position[group] = len(missing)
+                missing.append(group)
+                missing_idx.append([i])
+        if missing:
+            self._solve_batch(missing)
+            for group, idxs in zip(missing, missing_idx):
+                rate = self._cache[group].rate
+                for i in idxs:
+                    rates[i] = rate
+        return rates
+
+    def _solve_batch(self, groups: Sequence[Group]) -> None:
+        clients = {c for g in groups for c in g}
+        channel_maps = {c: self.source.channel_map(c) for c in clients}
+        versions = {c: self.source.channel_version(c) for c in clients}
+        h = stack_downlink_channels(groups, channel_maps, self.aps)
+        encodings, rates, sinrs = solve_downlink_three_batch(h, self.noise_power)
+        for g, group in enumerate(groups):
+            self._cache[group] = _CacheEntry(
+                versions=tuple(versions[c] for c in group),
+                rate=float(rates[g]),
+                encodings=encodings[g],
+                sinrs=sinrs[g],
+            )
+
+    def _cached_entry(self, group: Group) -> _CacheEntry:
+        try:
+            entry = self._entry(group)
+        except KeyError:
+            self.misses += 1
+            self._solve_batch([group])
+            entry = self._cache[group]
+        else:
+            self.hits += 1
+        return entry
+
+    def solve(self, group: Group) -> AlignmentSolution:
+        group = tuple(group)
+        return self._solution_from_encodings(group, self._cached_entry(group).encodings)
+
+    def transmit_sinrs(self, group: Group, true_channels: ChannelSet) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched transmission decode: no per-packet Python machinery.
+
+        Uses the memoised encodings (the selector just scored this group)
+        and one vectorised pass over receivers x {believed, true} filter
+        designs — see :func:`repro.engine.batched.downlink_transmit_sinrs`.
+        """
+        group = tuple(group)
+        entry = self._cached_entry(group)
+        maps = {c: self.source.channel_map(c) for c in group}
+        h_bel = stack_downlink_channels([group], maps, self.aps)[0]
+        h_true = np.empty_like(h_bel)
+        for i, ap in enumerate(self.aps):
+            for j, client in enumerate(group):
+                h_true[i, j] = true_channels.h(ap, client)
+        return downlink_transmit_sinrs(h_true, h_bel, entry.encodings, self.noise_power)
+
+
+def make_evaluator(
+    name: str,
+    source: ChannelSource,
+    aps: Sequence[int],
+    noise_power: float = 1.0,
+) -> GroupEvaluator:
+    """Factory: ``"batched"`` (default engine) or ``"scalar"`` (reference)."""
+    key = name.lower()
+    if key == "batched":
+        return BatchedGroupEvaluator(source, aps, noise_power)
+    if key == "scalar":
+        return ScalarGroupEvaluator(source, aps, noise_power)
+    raise ValueError(f"unknown engine {name!r} (expected 'batched' or 'scalar')")

@@ -75,6 +75,11 @@ class ExperimentResult:
     n_trials: int
     params: Dict[str, Any] = field(default_factory=dict)
     records: List[TrialRecord] = field(default_factory=list)
+    #: Wall-clock seconds the runner spent executing the trials (None when
+    #: the result was built by hand); consumed by ``repro bench``.  Kept
+    #: out of serialisation and equality so JSON output stays bit-for-bit
+    #: identical across runs and worker counts.
+    seconds: Optional[float] = field(default=None, compare=False)
 
     # ----------------------------------------------------------------- #
     # Metric access and summary statistics

@@ -16,6 +16,7 @@ into an :class:`~repro.experiments.results.ExperimentResult`:
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from types import MappingProxyType
 from typing import Any, Mapping, Optional, Union
@@ -84,11 +85,13 @@ class ExperimentRunner:
         n_workers = self.workers if workers is None else int(workers)
         if n_workers < 1:
             raise ValueError("workers must be >= 1")
+        start = time.perf_counter()
         if n_workers == 1 or n <= 1:
             outcomes = [scenario.trial(ctx) for ctx in contexts]
         else:
             with ThreadPoolExecutor(max_workers=min(n_workers, n)) as pool:
                 outcomes = list(pool.map(scenario.trial, contexts))
+        elapsed = time.perf_counter() - start
 
         records = [
             TrialRecord(index=i, metrics={str(k): float(v) for k, v in m.items()})
@@ -101,6 +104,7 @@ class ExperimentRunner:
             n_trials=n,
             params=jsonify(merged),
             records=records,
+            seconds=elapsed,
         )
 
 

@@ -13,6 +13,7 @@ from repro.mac.concurrency import (
     ConcurrencySelector,
     FifoGrouping,
     make_selector,
+    score_groups,
 )
 from repro.mac.frames import (
     Ack,
@@ -49,4 +50,5 @@ __all__ = [
     "elect_leader",
     "make_group_entries",
     "make_selector",
+    "score_groups",
 ]

@@ -139,6 +139,10 @@ class LeaderAP:
         self.ap_ids = sorted(ap_ids)
         self.table = AssociationTable()
         self.update_bytes = 0
+        #: Per-client channel-map version, bumped on association and on
+        #: every applied drift report.  The group-evaluation engine
+        #: (:mod:`repro.engine`) keys its memoised solutions on these.
+        self._channel_versions: Dict[int, int] = {}
 
     def handle_association(
         self,
@@ -151,6 +155,7 @@ class LeaderAP:
         if missing:
             raise ValueError(f"association must carry estimates from all APs; missing {sorted(missing)}")
         record.channels.update({ap: np.asarray(h, dtype=complex) for ap, h in estimates.items()})
+        self._channel_versions[client_id] = self._channel_versions.get(client_id, 0) + 1
         return record
 
     def handle_update(self, update: ChannelUpdate) -> None:
@@ -159,6 +164,18 @@ class LeaderAP:
             raise KeyError(f"update for unassociated client {update.client_id}")
         self.table.record(update.client_id).channels[update.ap_id] = update.h
         self.update_bytes += update.nbytes()
+        self._channel_versions[update.client_id] = (
+            self._channel_versions.get(update.client_id, 0) + 1
+        )
 
     def channel_map(self, client_id: int) -> Dict[int, np.ndarray]:
         return dict(self.table.record(client_id).channels)
+
+    def channel_version(self, client_id: int) -> int:
+        """Version counter of the client's believed channel map.
+
+        Changes exactly when :meth:`handle_association` or
+        :meth:`handle_update` touches the client's channels, which makes it
+        the engine's memoisation key (see :mod:`repro.engine`).
+        """
+        return self._channel_versions.get(client_id, 0)

@@ -25,13 +25,39 @@ from __future__ import annotations
 import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.mac.queueing import TransmissionQueue
 from repro.utils.rng import default_rng
 
 #: A group scorer: maps an ordered client tuple to estimated throughput.
+#: Any callable qualifies; the richer :class:`repro.engine.GroupEvaluator`
+#: objects additionally expose ``evaluate_many`` for batched scoring.
 GroupEvaluator = Callable[[Tuple[int, ...]], float]
+
+
+def score_groups(
+    evaluate: GroupEvaluator, groups: Sequence[Tuple[int, ...]]
+) -> List[float]:
+    """Score candidate groups, in one batched call when supported.
+
+    Selectors enumerate their candidates up front and hand the whole probe
+    to the evaluator: an engine evaluator (anything with ``evaluate_many``)
+    solves all not-yet-cached candidates in a single ndarray batch, while a
+    plain callable is applied per group exactly as the scalar loop did.
+    """
+    many = getattr(evaluate, "evaluate_many", None)
+    if many is not None:
+        return [float(rate) for rate in many(groups)]
+    return [float(evaluate(group)) for group in groups]
+
+
+def _best_group(
+    evaluate: GroupEvaluator, groups: Sequence[Tuple[int, ...]]
+) -> Tuple[int, ...]:
+    """The first highest-scoring group (matching strict ``>`` scanning)."""
+    scores = score_groups(evaluate, groups)
+    return groups[max(range(len(groups)), key=scores.__getitem__)]
 
 
 class ConcurrencySelector(ABC):
@@ -88,15 +114,8 @@ class BruteForce(ConcurrencySelector):
         k = min(self.group_size - 1, len(others))
         if k == 0:
             return (head,)
-        best_group: Optional[Tuple[int, ...]] = None
-        best_rate = float("-inf")
-        for combo in itertools.permutations(others, k):
-            group = (head,) + combo
-            rate = evaluate(group)
-            if rate > best_rate:
-                best_rate, best_group = rate, group
-        assert best_group is not None
-        return best_group
+        groups = [(head,) + combo for combo in itertools.permutations(others, k)]
+        return _best_group(evaluate, groups)
 
 
 @dataclass
@@ -140,17 +159,15 @@ class BestOfTwo(ConcurrencySelector):
             position_candidates.append(picks)
             considered.update(picks)
 
-        best_group: Optional[Tuple[int, ...]] = None
-        best_rate = float("-inf")
         combos = itertools.product(*position_candidates) if position_candidates else [()]
-        for combo in combos:
-            if len(set(combo)) != len(combo):
-                continue  # the same client cannot fill two positions
-            group = (head,) + tuple(forced) + tuple(combo)
-            rate = evaluate(group)
-            if rate > best_rate:
-                best_rate, best_group = rate, group
-        if best_group is None:
+        groups = [
+            (head,) + tuple(forced) + tuple(combo)
+            for combo in combos
+            if len(set(combo)) == len(combo)  # no client fills two positions
+        ]
+        if groups:
+            best_group = _best_group(evaluate, groups)
+        else:
             # All combos collided (tiny pools); fall back to arrival order.
             best_group = (head,) + tuple(forced) + tuple(pool[:free_positions])
 

@@ -100,6 +100,72 @@ def mmse_matrix(
     return herm(a) @ np.linalg.inv(cov)
 
 
+def max_sinr_vectors(
+    desired: np.ndarray,
+    interference: np.ndarray,
+    noise_power: float,
+) -> np.ndarray:
+    """Batched MMSE receive vectors ``w = (R + n0 I)^-1 d``, unit-normalised.
+
+    The vectorised counterpart of :func:`repro.core.decoder.max_sinr_vector`
+    used by the batched group-evaluation engine: all leading axes are batch
+    axes, so one call computes the receive filters of every candidate group
+    at once via a single stacked ``np.linalg.solve``.
+
+    Parameters
+    ----------
+    desired:
+        ``(..., M)`` desired received directions.
+    interference:
+        ``(..., K, M)`` stacked interference directions (``K`` per receiver).
+    noise_power:
+        Receiver noise power per antenna.
+    """
+    desired = np.asarray(desired, dtype=complex)
+    interference = np.asarray(interference, dtype=complex)
+    m = desired.shape[-1]
+    # R = n0 I + sum_k d_k d_k^H over the interference axis.
+    r = np.einsum("...ki,...kj->...ij", interference, np.conj(interference))
+    r = r + noise_power * np.eye(m, dtype=complex)
+    w = np.linalg.solve(r, desired[..., None])[..., 0]
+    return w / np.linalg.norm(w, axis=-1, keepdims=True)
+
+
+def post_projection_sinr_batch(
+    w: np.ndarray,
+    desired: np.ndarray,
+    interference: np.ndarray,
+    noise_power: float,
+    signal_power: float = 1.0,
+) -> np.ndarray:
+    """Batched :func:`post_projection_sinr` over arbitrary leading axes.
+
+    Parameters
+    ----------
+    w:
+        ``(..., M)`` decoding vectors (need not be unit norm).
+    desired:
+        ``(..., M)`` desired received directions.
+    interference:
+        ``(..., K, M)`` interference directions per receiver.
+    noise_power, signal_power:
+        As in the scalar version.
+
+    Returns
+    -------
+    numpy.ndarray
+        SINRs with the leading (batch) shape of the inputs.
+    """
+    w = np.asarray(w, dtype=complex)
+    desired = np.asarray(desired, dtype=complex)
+    interference = np.asarray(interference, dtype=complex)
+    sig = signal_power * np.abs(np.einsum("...m,...m->...", np.conj(w), desired)) ** 2
+    cross = np.einsum("...m,...km->...k", np.conj(w), interference)
+    interf = signal_power * np.sum(np.abs(cross) ** 2, axis=-1)
+    noise = noise_power * np.sum(np.abs(w) ** 2, axis=-1)
+    return sig / (interf + noise)
+
+
 def post_projection_sinr(
     w: np.ndarray,
     desired: np.ndarray,

@@ -57,6 +57,28 @@ def precode(
     return out
 
 
+def normalize_encodings(vectors: np.ndarray) -> np.ndarray:
+    """Unit-power normalisation of a batch of encoding vectors.
+
+    The batched counterpart of :func:`repro.utils.linalg.normalize` for the
+    group-evaluation engine: ``vectors`` holds encoding vectors along the
+    last axis, every leading axis is a batch axis (group, eigenvector
+    candidate, packet, ...).  Each vector is scaled to unit Euclidean norm so
+    every packet of every candidate group is transmitted with unit power
+    (paper, footnote 2).
+
+    Raises
+    ------
+    ValueError
+        If any vector in the batch is (numerically) zero.
+    """
+    vectors = np.asarray(vectors, dtype=complex)
+    norms = np.linalg.norm(vectors, axis=-1, keepdims=True)
+    if np.any(norms < 1e-9):
+        raise ValueError("cannot normalize a zero encoding vector")
+    return vectors / norms
+
+
 def antenna_selection_vectors(n_tx: int, packets: int) -> list:
     """Per-antenna encoding vectors (packet i on antenna i).
 

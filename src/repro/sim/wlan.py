@@ -23,13 +23,12 @@ tracking off hurts under mobility.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core.alignment import solve_downlink_three_packets
-from repro.core.decoder import decode_rate_level
 from repro.core.plans import ChannelSet
+from repro.engine import make_evaluator
 from repro.mac.association import LeaderAP, SubordinateAP, elect_leader
 from repro.mac.concurrency import make_selector
 from repro.mac.queueing import QueuedPacket, TransmissionQueue
@@ -55,29 +54,40 @@ class WLANConfig:
     algorithm: str = "best2"
     #: Clients re-sound the channel (ack overheard) every ``ack_period`` slots.
     ack_period: int = 4
+    #: Group-evaluation engine: ``"batched"`` (memoised ndarray batches,
+    #: :mod:`repro.engine`) or ``"scalar"`` (the reference per-group path).
+    engine: str = "batched"
     seed: int = 0
 
 
 @dataclass
 class WLANStats:
-    """Simulation outcome."""
+    """Simulation outcome, cumulative over every ``run()`` call."""
 
     slots: int = 0
+    #: Per-client average rate over all ``slots`` simulated so far.
     per_client_rate: Dict[int, float] = field(default_factory=dict)
     drift_reports: int = 0
     update_bytes: int = 0
-    #: Mean rate-level SINR loss (dB) due to estimate staleness.
+    #: Total rate-level SINR loss (dB) due to estimate staleness, summed
+    #: over slots; see :attr:`mean_staleness_loss_db` for the per-slot mean.
     staleness_loss_db: float = 0.0
 
     @property
     def total_rate(self) -> float:
         return float(sum(self.per_client_rate.values()))
 
+    @property
+    def mean_staleness_loss_db(self) -> float:
+        """Mean per-slot rate-level SINR loss (dB) due to staleness."""
+        return self.staleness_loss_db / self.slots if self.slots else 0.0
+
 
 class WLANSimulation:
     """A running IAC WLAN (downlink traffic, infinite demand)."""
 
-    def __init__(self, config: WLANConfig = WLANConfig()):
+    def __init__(self, config: Optional[WLANConfig] = None):
+        config = WLANConfig() if config is None else config
         if config.n_aps < 3:
             raise ValueError("IAC downlink groups need three APs")
         if config.n_clients < config.n_aps:
@@ -113,59 +123,39 @@ class WLANSimulation:
                 self.subordinates[a].observe(c, estimates[a])
 
         self.selector = make_selector(config.algorithm, group_size=3, rng=self.rng)
+        #: Scores candidate groups against the leader's believed channels;
+        #: the batched engine memoises solutions on the leader's per-client
+        #: channel-map versions (see :mod:`repro.engine`).
+        self.evaluator = make_evaluator(
+            config.engine, source=self.leader, aps=tuple(self.ap_ids[:3])
+        )
         order = list(self.rng.permutation(self.client_ids))
         self.queue = TransmissionQueue(
             QueuedPacket(client_id=int(c), seq=i) for i, c in enumerate(order)
         )
         self._seq = len(order)
         self.stats = WLANStats()
+        self._cumulative_rate = {c: 0.0 for c in self.client_ids}
 
     # ------------------------------------------------------------------ #
-
-    def _believed_channels(self, group: Tuple[int, ...]) -> ChannelSet:
-        """The leader's channel map for a candidate group (downlink keys)."""
-        out = {}
-        for c in group:
-            for a, h in self.leader.channel_map(c).items():
-                out[(a, c)] = h
-        return ChannelSet(out)
 
     def _true_channels(self, group: Tuple[int, ...]) -> ChannelSet:
         return ChannelSet(
             {(a, c): self.fading.channel(a, c) for a in self.ap_ids for c in group}
         )
 
-    def _estimate_group(self, group: Tuple[int, ...]) -> float:
-        """The selector's throughput estimate (from believed channels)."""
-        group = tuple(group)
-        if len(group) < 3:
-            return 0.0
-        believed = self._believed_channels(group)
-        solution = solve_downlink_three_packets(
-            believed, aps=tuple(self.ap_ids[:3]), clients=group, rng=self.rng
-        )
-        return decode_rate_level(solution, believed, noise_power=1.0).total_rate
-
     def _transmit_group(self, group: Tuple[int, ...]) -> Dict[int, float]:
         """Solve with believed channels, decode against the true ones."""
         group = tuple(group)
         if len(group) < 3:
             return {c: 0.0 for c in group}
-        believed = self._believed_channels(group)
-        true = self._true_channels(group)
-        solution = solve_downlink_three_packets(
-            believed, aps=tuple(self.ap_ids[:3]), clients=group, rng=self.rng
-        )
-        actual = decode_rate_level(
-            solution, true, noise_power=1.0, estimated_channels=believed
-        )
-        ideal = decode_rate_level(solution, true, noise_power=1.0)
+        # The selector just scored this group, so the engine reuses its
+        # memoised solution instead of re-solving from scratch.
+        actual, ideal = self.evaluator.transmit_sinrs(group, self._true_channels(group))
         self.stats.staleness_loss_db += max(
-            0.0, 10 * np.log10((1 + ideal.min_sinr) / (1 + actual.min_sinr))
+            0.0, 10 * np.log10((1 + ideal.min()) / (1 + actual.min()))
         )
-        return {
-            solution.packet(r.packet_id).rx: r.rate for r in actual.results
-        }
+        return {c: float(np.log2(1.0 + actual[i])) for i, c in enumerate(group)}
 
     def _track_channels(self, slot: int) -> None:
         """Clients ack; every AP re-estimates and reports drift (§7.1(c))."""
@@ -180,19 +170,25 @@ class WLANSimulation:
         self.stats.update_bytes = self.leader.update_bytes
 
     def run(self, n_slots: int, track: bool = True) -> WLANStats:
-        """Simulate ``n_slots`` downlink slots; returns the statistics."""
-        totals = {c: 0.0 for c in self.client_ids}
+        """Simulate ``n_slots`` downlink slots; returns the statistics.
+
+        Statistics are cumulative: repeated calls keep extending the same
+        deployment, and ``stats.per_client_rate`` always averages over
+        every slot simulated so far.
+        """
         for slot in range(n_slots):
             self.fading.step()
             if track:
                 self._track_channels(slot)
-            group = self.selector.select(self.queue, self._estimate_group)
+            group = self.selector.select(self.queue, self.evaluator)
             rates = self._transmit_group(group)
             for c in group:
-                totals[c] += rates.get(c, 0.0)
+                self._cumulative_rate[c] += rates.get(c, 0.0)
                 self.queue.pop_client(c)
                 self._seq += 1
                 self.queue.push(QueuedPacket(client_id=int(c), seq=self._seq))
         self.stats.slots += n_slots
-        self.stats.per_client_rate = {c: totals[c] / n_slots for c in totals}
+        self.stats.per_client_rate = {
+            c: total / self.stats.slots for c, total in self._cumulative_rate.items()
+        }
         return self.stats

@@ -1,0 +1,51 @@
+"""Tests for the benchmark harness behind ``repro bench``."""
+
+import json
+
+import pytest
+
+from repro.engine.bench import (
+    bench_scenarios,
+    bench_wlan,
+    format_scenario_bench,
+    format_wlan_bench,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def wlan_doc():
+    return bench_wlan(n_slots=8, n_clients=6, repeats=1, seed=1)
+
+
+class TestWLANBench:
+    def test_document_shape(self, wlan_doc):
+        assert wlan_doc["benchmark"] == "wlan"
+        assert set(wlan_doc["engines"]) == {"scalar", "batched"}
+        for stats in wlan_doc["engines"].values():
+            assert stats["seconds"] > 0
+        assert wlan_doc["speedup"] > 0
+        assert wlan_doc["config"]["n_slots"] == 8
+
+    def test_engines_agree_on_rate(self, wlan_doc):
+        scalar = wlan_doc["engines"]["scalar"]["total_rate"]
+        batched = wlan_doc["engines"]["batched"]["total_rate"]
+        assert scalar == pytest.approx(batched, rel=1e-9)
+
+    def test_round_trips_through_json(self, wlan_doc, tmp_path):
+        path = tmp_path / "BENCH_wlan.json"
+        write_bench(wlan_doc, str(path))
+        assert json.loads(path.read_text()) == wlan_doc
+
+    def test_formatter_mentions_speedup(self, wlan_doc):
+        assert "speedup" in format_wlan_bench(wlan_doc)
+
+
+class TestScenarioBench:
+    def test_times_named_scenarios(self):
+        doc = bench_scenarios(names=("fig14",), n_trials=2, seed=0)
+        assert doc["benchmark"] == "scenarios"
+        entry = doc["scenarios"]["fig14"]
+        assert entry["seconds"] > 0 and entry["n_trials"] == 2
+        assert "mean_gain" in entry
+        assert "fig14" in format_scenario_bench(doc)

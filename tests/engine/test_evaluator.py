@@ -1,0 +1,201 @@
+"""Equivalence and memoisation tests for the group-evaluation engine.
+
+The batched engine must be numerically indistinguishable from the scalar
+reference path: same estimated rates for every candidate group, same
+transmission SINRs, and — run inside the full WLAN simulation — the same
+trajectory for every concurrency selector.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decoder import decode_rate_level
+from repro.core.plans import ChannelSet
+from repro.engine import (
+    BatchedGroupEvaluator,
+    ScalarGroupEvaluator,
+    StaticChannelSource,
+    make_evaluator,
+)
+from repro.mac.association import LeaderAP
+from repro.phy.channel.model import rayleigh_channel
+from repro.sim.wlan import WLANConfig, WLANSimulation
+
+APS = (0, 1, 2)
+CLIENTS = (100, 101, 102, 103)
+GROUP = (100, 101, 102)
+
+#: Batched and scalar paths run the same LAPACK kernels in a different
+#: stacking; agreement is to rounding, not literally bit-for-bit.
+TIGHT = dict(rtol=1e-9, atol=1e-12)
+
+
+def downlink_channels(seed, n_antennas=2, clients=CLIENTS):
+    rng = np.random.default_rng(seed)
+    return ChannelSet(
+        {
+            (a, c): rayleigh_channel(n_antennas, n_antennas, rng)
+            for a in APS
+            for c in clients
+        }
+    )
+
+
+def make_pair(seed, n_antennas=2):
+    source = StaticChannelSource(downlink_channels(seed, n_antennas), APS)
+    return (
+        ScalarGroupEvaluator(source, APS),
+        BatchedGroupEvaluator(source, APS),
+    )
+
+
+class TestNumericalEquivalence:
+    @pytest.mark.parametrize("n_antennas", [2, 3, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_single_group_rate(self, seed, n_antennas):
+        scalar, batched = make_pair(seed, n_antennas)
+        assert np.isclose(batched.evaluate(GROUP), scalar.evaluate(GROUP), **TIGHT)
+
+    @pytest.mark.parametrize("n_antennas", [2, 3, 4])
+    def test_all_candidate_orderings(self, n_antennas):
+        """Every AP assignment (group order) matches, not just one."""
+        import itertools
+
+        scalar, batched = make_pair(7, n_antennas)
+        groups = [tuple(p) for p in itertools.permutations(GROUP)]
+        np.testing.assert_allclose(
+            batched.evaluate_many(groups), scalar.evaluate_many(groups), **TIGHT
+        )
+
+    @given(seed=st.integers(0, 2**32 - 1), n_antennas=st.integers(2, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_channels(self, seed, n_antennas):
+        """Property: batched == scalar on arbitrary random channel sets."""
+        scalar, batched = make_pair(seed, n_antennas)
+        assert np.isclose(batched.evaluate(GROUP), scalar.evaluate(GROUP), **TIGHT)
+
+    @pytest.mark.parametrize("noise_power", [1.0, 0.01, 10.0])
+    def test_non_default_noise_power(self, noise_power):
+        """Both engines rank eigenvector candidates at the same noise."""
+        source = StaticChannelSource(downlink_channels(0), APS)
+        scalar = ScalarGroupEvaluator(source, APS, noise_power=noise_power)
+        batched = BatchedGroupEvaluator(source, APS, noise_power=noise_power)
+        assert np.isclose(batched.evaluate(GROUP), scalar.evaluate(GROUP), **TIGHT)
+
+    def test_solve_returns_equivalent_solution(self):
+        scalar, batched = make_pair(3)
+        channels = ChannelSet(
+            {(a, c): batched.source.channel_map(c)[a] for a in APS for c in GROUP}
+        )
+        rate_b = decode_rate_level(batched.solve(GROUP), channels, 1.0).total_rate
+        rate_s = decode_rate_level(scalar.solve(GROUP), channels, 1.0).total_rate
+        assert np.isclose(rate_b, rate_s, **TIGHT)
+        assert np.isclose(rate_b, batched.evaluate(GROUP), rtol=1e-9)
+
+    def test_transmit_sinrs_match(self):
+        """Stale-estimate transmission: same actual and genie SINRs."""
+        scalar, batched = make_pair(5)
+        rng = np.random.default_rng(99)
+        true = downlink_channels(5, clients=GROUP).perturbed(0.2, rng)
+        actual_s, ideal_s = scalar.transmit_sinrs(GROUP, true)
+        actual_b, ideal_b = batched.transmit_sinrs(GROUP, true)
+        np.testing.assert_allclose(actual_b, actual_s, **TIGHT)
+        np.testing.assert_allclose(ideal_b, ideal_s, **TIGHT)
+
+    @pytest.mark.parametrize("algorithm", ["fifo", "best2", "brute"])
+    def test_full_simulation_trajectory(self, algorithm):
+        """All selectors: scalar and batched sims walk the same path."""
+        def run(engine):
+            config = WLANConfig(
+                n_clients=6, rho=0.98, seed=13, algorithm=algorithm, engine=engine
+            )
+            return WLANSimulation(config).run(15)
+
+        scalar, batched = run("scalar"), run("batched")
+        assert batched.drift_reports == scalar.drift_reports
+        assert batched.update_bytes == scalar.update_bytes
+        assert np.isclose(batched.staleness_loss_db, scalar.staleness_loss_db,
+                          rtol=1e-9, atol=1e-9)
+        for client, rate in scalar.per_client_rate.items():
+            assert np.isclose(batched.per_client_rate[client], rate,
+                              rtol=1e-9, atol=1e-12)
+
+
+class TestMemoisation:
+    def test_static_source_hits_after_first_solve(self):
+        _, batched = make_pair(0)
+        first = batched.evaluate(GROUP)
+        assert batched.cache_info() == {"hits": 0, "misses": 1, "entries": 1}
+        second = batched.evaluate(GROUP)
+        assert second == first  # cached value returned verbatim
+        assert batched.cache_info()["hits"] == 1
+
+    def test_duplicate_groups_in_one_probe_solved_once(self):
+        _, batched = make_pair(0)
+        rates = batched.evaluate_many([GROUP, GROUP, GROUP])
+        assert rates[0] == rates[1] == rates[2]
+        assert batched.cache_info()["entries"] == 1
+
+    def test_leader_version_bump_invalidates(self):
+        """A drift report for a member client forces a re-solve."""
+        leader = LeaderAP(ap_id=0, ap_ids=list(APS))
+        rng = np.random.default_rng(21)
+        for c in GROUP:
+            leader.handle_association(
+                c, {a: rayleigh_channel(2, 2, rng) for a in APS}
+            )
+        evaluator = BatchedGroupEvaluator(leader, APS)
+        before = evaluator.evaluate(GROUP)
+        assert evaluator.evaluate(GROUP) == before
+        assert evaluator.cache_info()["misses"] == 1
+
+        from repro.mac.association import ChannelUpdate
+
+        version = leader.channel_version(GROUP[1])
+        leader.handle_update(
+            ChannelUpdate(ap_id=1, client_id=GROUP[1], h=rayleigh_channel(2, 2, rng))
+        )
+        assert leader.channel_version(GROUP[1]) == version + 1
+        after = evaluator.evaluate(GROUP)
+        assert evaluator.cache_info()["misses"] == 2
+        assert after != before  # new channels, new solution
+
+    def test_static_simulation_mostly_cache_hits(self):
+        """With static channels the distinct-group space is finite, so
+        misses are bounded while hits keep accruing every slot."""
+        sim = WLANSimulation(WLANConfig(n_clients=6, rho=1.0, seed=3))
+        sim.run(100)
+        info = sim.evaluator.cache_info()
+        assert info["hits"] > info["misses"]
+        assert info["entries"] <= 6 * 5 * 4  # ordered 3-subsets of 6 clients
+
+
+class TestInterface:
+    def test_short_group_scores_zero(self):
+        _, batched = make_pair(0)
+        assert batched.evaluate((100,)) == 0.0
+        assert batched.evaluate((100, 101)) == 0.0
+
+    def test_oversized_group_rejected(self):
+        _, batched = make_pair(0)
+        with pytest.raises(ValueError):
+            batched.evaluate(tuple(CLIENTS))
+
+    def test_evaluator_is_callable(self):
+        scalar, batched = make_pair(0)
+        assert batched(GROUP) == batched.evaluate(GROUP)
+        assert scalar(GROUP) == scalar.evaluate(GROUP)
+
+    def test_make_evaluator_factory(self):
+        source = StaticChannelSource(downlink_channels(0), APS)
+        assert isinstance(make_evaluator("batched", source, APS), BatchedGroupEvaluator)
+        assert isinstance(make_evaluator("scalar", source, APS), ScalarGroupEvaluator)
+        with pytest.raises(ValueError):
+            make_evaluator("oracle", source, APS)
+
+    def test_needs_three_aps(self):
+        source = StaticChannelSource(downlink_channels(0), APS)
+        with pytest.raises(ValueError):
+            BatchedGroupEvaluator(source, (0, 1))

@@ -55,3 +55,59 @@ class TestValidation:
     def test_needs_enough_clients(self):
         with pytest.raises(ValueError):
             WLANSimulation(WLANConfig(n_aps=3, n_clients=2))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            WLANSimulation(WLANConfig(engine="quantum"))
+
+
+class TestConfigIsolation:
+    def test_default_config_is_not_shared(self):
+        """Regression: the old ``config=WLANConfig()`` default was one
+        module-level instance shared by every simulation."""
+        first = WLANSimulation()
+        second = WLANSimulation()
+        assert first.config is not second.config
+        first.config.ack_period = 999
+        assert second.config.ack_period == WLANConfig().ack_period == 4
+
+    def test_explicit_config_is_used(self):
+        config = WLANConfig(n_clients=5, seed=8)
+        assert WLANSimulation(config).config is config
+
+
+class TestRepeatedRuns:
+    def test_stats_accumulate_like_one_long_run(self):
+        """Regression: ``per_client_rate`` used to be overwritten with only
+        the latest call's totals divided by the latest ``n_slots``."""
+        config = WLANConfig(n_clients=6, rho=0.98, seed=11)
+        split = WLANSimulation(config)
+        split.run(20)
+        split_stats = split.run(20)
+        whole_stats = WLANSimulation(WLANConfig(n_clients=6, rho=0.98, seed=11)).run(40)
+
+        assert split_stats.slots == whole_stats.slots == 40
+        assert split_stats.drift_reports == whole_stats.drift_reports
+        for client, rate in whole_stats.per_client_rate.items():
+            assert split_stats.per_client_rate[client] == pytest.approx(rate, rel=1e-9)
+        assert split_stats.total_rate == pytest.approx(whole_stats.total_rate, rel=1e-9)
+
+    def test_mean_staleness_loss_normalises_by_slots(self):
+        sim = WLANSimulation(WLANConfig(n_clients=6, rho=0.96, seed=5))
+        stats = sim.run(30)
+        assert stats.mean_staleness_loss_db == pytest.approx(
+            stats.staleness_loss_db / 30
+        )
+
+    def test_mean_staleness_loss_defaults_to_zero(self):
+        from repro.sim.wlan import WLANStats
+
+        assert WLANStats().mean_staleness_loss_db == 0.0
+
+
+class TestEngineEquivalenceInSim:
+    def test_scalar_engine_selectable(self):
+        stats = WLANSimulation(
+            WLANConfig(n_clients=6, rho=1.0, seed=3, engine="scalar")
+        ).run(10)
+        assert stats.total_rate > 0

@@ -127,6 +127,31 @@ class TestRegistryCLI:
         algorithms = [run["params"]["algorithm"] for run in data["runs"]]
         assert algorithms == ["brute", "fifo", "best2"]
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.slots == 200 and args.clients == 12 and not args.quick
+
+    def test_bench_quick_writes_artifacts(self, capsys, tmp_path):
+        assert main([
+            "bench", "--quick", "--slots", "6", "--clients", "6",
+            "--skip-scenarios", "--out-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        doc = json.loads((tmp_path / "BENCH_wlan.json").read_text())
+        assert doc["benchmark"] == "wlan" and doc["speedup"] > 0
+        assert not (tmp_path / "BENCH_scenarios.json").exists()
+
+    def test_bench_scenarios_artifact(self, capsys, tmp_path):
+        assert main([
+            "bench", "--quick", "--slots", "6", "--clients", "6",
+            "--out-dir", str(tmp_path),
+        ]) == 0
+        doc = json.loads((tmp_path / "BENCH_scenarios.json").read_text())
+        assert set(doc["scenarios"]) == {"fig12", "fig13a", "fig13b", "fig14"}
+        for entry in doc["scenarios"].values():
+            assert entry["n_trials"] == 2
+
     def test_quiet_suppresses_plots(self, capsys):
         assert main(["fig12", "--trials", "3"]) == 0
         full = capsys.readouterr().out
