@@ -52,3 +52,24 @@ def test_pipeline_with_full_impairments(benchmark, scene):
 
     report = benchmark(run)
     assert report.all_delivered
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_pipeline_engines(benchmark, scene, engine):
+    """Fast (block tracker + batched Viterbi) vs scalar reference engine;
+    ``repro bench`` records the same comparison in BENCH_signal.json."""
+    solution, chans, payloads = scene
+    config = SignalConfig(
+        modulation="bpsk",
+        fec="conv",
+        noise_power=1e-3,
+        cfo_spread=5e-5,
+        max_timing_offset=16,
+        engine=engine,
+    )
+
+    def run():
+        return run_session(solution, chans, payloads, config, rng=np.random.default_rng(3))
+
+    report = benchmark(run)
+    assert report.all_delivered

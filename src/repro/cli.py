@@ -19,10 +19,12 @@ it next to the human-readable report, ``--quiet`` suppresses the ASCII
 plots, and ``--workers`` parallelises trials without changing a single
 output bit.  The ``figNN`` subcommands are thin aliases over the same
 registry.  ``bench`` times the WLAN hot path under both group-evaluation
-engines plus a set of scenario trials and writes ``BENCH_wlan.json`` /
-``BENCH_scenarios.json`` (``--quick`` for the CI smoke variant).  See
-``EXPERIMENTS.md`` for every scenario, its paper figure, the expected
-gain ranges and the benchmark JSON schemas.
+engines, the sample-accurate signal pipeline under its ``fast`` and
+``reference`` engines, and a set of scenario trials, writing
+``BENCH_wlan.json`` / ``BENCH_signal.json`` / ``BENCH_scenarios.json``
+(``--quick`` for the CI smoke variant).  See ``EXPERIMENTS.md`` for every
+scenario, its paper figure, the expected gain ranges and the benchmark
+JSON schemas.
 """
 
 from __future__ import annotations
@@ -112,11 +114,12 @@ def _cmd_list(args) -> int:
     if not scenarios:
         print(f"no scenarios tagged {args.tag!r}")
         return 1
-    print(f"{'name':<8} {'figure':<9} {'trials':>6}  {'paper':<38} description")
+    name_width = max(8, max(len(s.name) for s in scenarios))
+    print(f"{'name':<{name_width}} {'figure':<9} {'trials':>6}  {'paper':<41} description")
     for s in scenarios:
         print(
-            f"{s.name:<8} {s.figure:<9} {s.default_trials:>6}  "
-            f"{s.paper:<38} {s.description}"
+            f"{s.name:<{name_width}} {s.figure:<9} {s.default_trials:>6}  "
+            f"{s.paper:<41} {s.description}"
         )
     print(f"\n{len(scenarios)} scenarios; run one with: python -m repro run NAME")
     return 0
@@ -232,21 +235,23 @@ def _cmd_fig17(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    """Time the WLAN hot path + scenario trials; write BENCH_*.json."""
+    """Time the WLAN + signal hot paths + scenario trials; write BENCH_*.json."""
     import os
 
     from repro.engine.bench import (
         bench_scenarios,
+        bench_signal,
         bench_wlan,
         format_scenario_bench,
+        format_signal_bench,
         format_wlan_bench,
         write_bench,
     )
 
     if args.quick:
-        slots, repeats, trials = min(args.slots, 40), 1, 2
+        slots, repeats, trials, sessions = min(args.slots, 40), 1, 2, min(args.sessions, 4)
     else:
-        slots, repeats, trials = args.slots, args.repeats, args.trials
+        slots, repeats, trials, sessions = args.slots, args.repeats, args.trials, args.sessions
     wlan_doc = bench_wlan(
         n_slots=slots,
         n_clients=args.clients,
@@ -255,6 +260,13 @@ def _cmd_bench(args) -> int:
     )
     print(format_wlan_bench(wlan_doc))
     docs = {"BENCH_wlan.json": wlan_doc}
+    if not args.skip_signal:
+        signal_doc = bench_signal(
+            n_sessions=sessions, repeats=repeats, seed=args.seed
+        )
+        print()
+        print(format_signal_bench(signal_doc))
+        docs["BENCH_signal.json"] = signal_doc
     if not args.skip_scenarios:
         scen_doc = bench_scenarios(n_trials=trials, seed=args.seed)
         print()
@@ -376,10 +388,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="timing repetitions (best is reported)")
     pb.add_argument("--trials", type=_positive_int, default=8,
                     help="trials per timed scenario")
+    pb.add_argument("--sessions", type=_positive_int, default=20,
+                    help="signal-pipeline sessions to time per engine")
     pb.add_argument("--seed", type=int, default=7, help="benchmark seed")
     pb.add_argument("--out-dir", default=".", help="where BENCH_*.json land")
     pb.add_argument("--skip-scenarios", action="store_true",
-                    help="only time the WLAN hot path")
+                    help="skip the scenario timing suite")
+    pb.add_argument("--skip-signal", action="store_true",
+                    help="skip the signal-pipeline timing suite")
 
     pl2 = sub.add_parser("lemmas", help="print the DoF table (Lemmas 5.1/5.2)")
     common(pl2)

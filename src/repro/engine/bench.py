@@ -1,6 +1,6 @@
 """Wall-clock benchmarks for the engine and the scenario registry.
 
-``python -m repro bench`` runs two timing suites and writes one JSON
+``python -m repro bench`` runs three timing suites and writes one JSON
 document each, so the repository's performance trajectory is recorded
 alongside its correctness results:
 
@@ -9,6 +9,12 @@ alongside its correctness results:
   ``batched``) on identical seeds and reports the speedup.  The default
   workload (200 slots, 12 clients) is the acceptance workload of the
   engine PR; ``BENCH_wlan.json``.
+* :func:`bench_signal` times the sample-accurate pipeline
+  (:func:`repro.core.run_session`) under the ``fast`` (block phase
+  tracking, batched Viterbi, table-driven FEC) and ``reference`` (scalar)
+  engines on identical seeds, reports the speedup, and records delivery
+  counts plus the worst SNR discrepancy so numerical equivalence is
+  visible in the artifact; ``BENCH_signal.json``.
 * :func:`bench_scenarios` times registered scenarios end to end through
   :class:`~repro.experiments.ExperimentRunner`; ``BENCH_scenarios.json``.
 
@@ -102,6 +108,105 @@ def bench_wlan(
     }
 
 
+def bench_signal(
+    n_sessions: int = 20,
+    payload_bytes: int = 200,
+    repeats: int = 3,
+    seed: int = 7,
+    modulation: str = "bpsk",
+    fec: str = "conv",
+) -> dict:
+    """Time ``run_session`` under the ``fast`` and ``reference`` engines.
+
+    One fixed 2-client/2-AP uplink scene (3 concurrent packets, §6
+    impairments on: CFO, timing offsets) is decoded ``n_sessions`` times
+    per engine on identical per-session seeds.  Returns the
+    ``BENCH_signal.json`` document (see ``EXPERIMENTS.md``): per-engine
+    seconds, delivery counts and summed measured rates, the fast/reference
+    speedup, and the worst absolute per-packet SNR discrepancy between the
+    engines (``max_snr_diff_db`` — the two paths must agree).
+    """
+    # Deferred imports: keep ``repro.engine`` light for non-bench users.
+    from repro.core import ChannelSet, SignalConfig, run_session, solve_uplink_three_packets
+    from repro.phy.channel.model import rayleigh_channel
+    from repro.phy.packet import Packet
+    from repro.utils.rng import default_rng
+
+    scene_rng = default_rng(seed)
+    channels = ChannelSet(
+        {(c, a): rayleigh_channel(2, 2, scene_rng) for c in (0, 1) for a in (0, 1)}
+    )
+    solution = solve_uplink_three_packets(channels, rng=scene_rng)
+    payloads = {
+        i: Packet.random(scene_rng, payload_bytes, src=i, seq=i) for i in range(3)
+    }
+
+    # Warm the shared FEC cache so one-time table construction is not
+    # charged to whichever engine happens to run first.
+    SignalConfig(fec=fec).make_fec()
+
+    engines: Dict[str, Dict[str, float]] = {}
+    snrs: Dict[str, list] = {}
+    for engine in ("reference", "fast"):
+        config = SignalConfig(
+            modulation=modulation,
+            fec=fec,
+            noise_power=1e-3,
+            cfo_spread=5e-5,
+            max_timing_offset=16,
+            engine=engine,
+        )
+        best = float("inf")
+        delivered = 0
+        total_rate = 0.0
+        engine_snrs: list = []
+        for _ in range(max(1, repeats)):
+            delivered = 0
+            total_rate = 0.0
+            engine_snrs = []
+            start = time.perf_counter()
+            for session in range(n_sessions):
+                report = run_session(
+                    solution, channels, payloads, config, rng=default_rng(session)
+                )
+                delivered += report.delivery_count
+                total_rate += report.total_rate
+                engine_snrs.extend(o.snr_db for o in report.outcomes)
+            best = min(best, time.perf_counter() - start)
+        engines[engine] = {
+            "seconds": best,
+            "delivered": delivered,
+            "total_rate": total_rate,
+        }
+        snrs[engine] = engine_snrs
+    max_snr_diff = max(
+        (
+            abs(a - b)
+            for a, b in zip(snrs["fast"], snrs["reference"])
+            if not (np.isinf(a) and np.isinf(b))  # both failed: no discrepancy
+        ),
+        default=0.0,
+    )
+    return {
+        "benchmark": "signal",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "config": {
+            "n_sessions": n_sessions,
+            "payload_bytes": payload_bytes,
+            "modulation": modulation,
+            "fec": fec,
+            "n_packets": 3,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "engines": engines,
+        "speedup": engines["reference"]["seconds"] / engines["fast"]["seconds"],
+        "max_snr_diff_db": max_snr_diff,
+        "environment": _environment(),
+        "timestamp": _timestamp(),
+    }
+
+
 def bench_scenarios(
     names: Sequence[str] = DEFAULT_SCENARIOS,
     n_trials: int = 8,
@@ -156,6 +261,27 @@ def format_wlan_bench(doc: dict) -> str:
             f"total rate {stats['total_rate']:.3f} b/s/Hz"
         )
     lines.append(f"  speedup : {doc['speedup']:.2f}x (batched vs scalar)")
+    return "\n".join(lines)
+
+
+def format_signal_bench(doc: dict) -> str:
+    """Human-readable summary of a ``BENCH_signal.json`` document."""
+    cfg = doc["config"]
+    lines = [
+        f"Signal pipeline: {cfg['n_sessions']} sessions x {cfg['n_packets']} "
+        f"packets @ {cfg['payload_bytes']}B, {cfg['modulation']}/{cfg['fec']}, "
+        f"best of {cfg['repeats']}",
+    ]
+    for engine, stats in sorted(doc["engines"].items()):
+        lines.append(
+            f"  {engine:>9s}: {stats['seconds']*1e3:8.1f} ms   "
+            f"{stats['delivered']} delivered   "
+            f"measured rate {stats['total_rate']:.1f} b/s/Hz"
+        )
+    lines.append(
+        f"  speedup : {doc['speedup']:.2f}x (fast vs reference), "
+        f"max SNR diff {doc['max_snr_diff_db']:.2e} dB"
+    )
     return "\n".join(lines)
 
 

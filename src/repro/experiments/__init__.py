@@ -11,7 +11,10 @@ declarative surface:
   count);
 * :mod:`repro.experiments.results` — structured
   :class:`TrialRecord`/:class:`ExperimentResult` with JSON round-trip;
-* :mod:`repro.experiments.scenarios` — the seven registered figures.
+* :mod:`repro.experiments.scenarios` — the seven registered figures;
+* :mod:`repro.experiments.signal_scenarios` — sample-accurate scatter
+  scenarios (``fig12_signal``/``fig13b_signal``) running the vectorized
+  signal pipeline per trial.
 
 Quickstart::
 
@@ -37,6 +40,7 @@ from repro.experiments.runner import ExperimentRunner, run_experiment
 
 # Importing the scenario definitions populates the registry.
 from repro.experiments import scenarios as _scenarios  # noqa: F401
+from repro.experiments import signal_scenarios as _signal_scenarios  # noqa: F401
 from repro.experiments.scenarios import gain_cdf_from_record, scatter_result
 
 __all__ = [

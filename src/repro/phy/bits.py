@@ -68,12 +68,19 @@ class Scrambler:
     #: Default non-zero initial LFSR state.
     DEFAULT_SEED = 0b1011101
 
+    #: seed -> one full keystream period (the polynomial is maximal-length,
+    #: so every non-zero seed orbits through all 127 states and the stream
+    #: repeats with period 127).  Shared across instances: the period only
+    #: depends on the seed.
+    _PERIOD_CACHE: dict = {}
+
     def __init__(self, seed: int = DEFAULT_SEED):
         if not 1 <= seed <= 0x7F:
             raise ValueError("seed must be a non-zero 7-bit value")
         self.seed = seed
 
-    def _keystream(self, n: int) -> np.ndarray:
+    def _keystream_reference(self, n: int) -> np.ndarray:
+        """Reference keystream: step the LFSR one bit at a time."""
         state = self.seed
         out = np.empty(n, dtype=np.uint8)
         for i in range(n):
@@ -81,6 +88,33 @@ class Scrambler:
             out[i] = bit
             state = ((state << 1) | bit) & 0x7F
         return out
+
+    def _period(self) -> np.ndarray:
+        period = self._PERIOD_CACHE.get(self.seed)
+        if period is None:
+            state = self.seed
+            bits = []
+            while True:
+                bit = ((state >> 6) ^ (state >> 3)) & 1
+                bits.append(bit)
+                state = ((state << 1) | bit) & 0x7F
+                if state == self.seed:
+                    break
+            period = np.array(bits, dtype=np.uint8)
+            self._PERIOD_CACHE[self.seed] = period
+        return period
+
+    def _keystream(self, n: int) -> np.ndarray:
+        """Vectorised keystream: tile one cached LFSR period.
+
+        Bit-identical to :meth:`_keystream_reference` (the LFSR is free-
+        running, so its output is purely periodic in the seed).
+        """
+        if n == 0:
+            return np.zeros(0, dtype=np.uint8)
+        period = self._period()
+        reps = -(-n // period.size)
+        return np.tile(period, reps)[:n]
 
     def scramble(self, bits: np.ndarray) -> np.ndarray:
         """XOR ``bits`` with the LFSR keystream."""

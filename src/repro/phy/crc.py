@@ -1,12 +1,20 @@
 """CRC-32 as used by 802.11 frames (reflected, polynomial 0x04C11DB7).
 
-Implemented table-driven and numpy-free in the hot loop per byte; this is the
-same algorithm as ``zlib.crc32`` and the two are cross-checked in the test
-suite, but we keep our own implementation so the frame format has no hidden
+Implemented table-driven and numpy-free in the hot loop; this is the same
+algorithm as ``zlib.crc32`` and the two are cross-checked in the test suite,
+but we keep our own implementation so the frame format has no hidden
 dependency and so intermediate states are inspectable.
+
+The fast path is *slicing-by-8*: eight derived tables fold eight message
+bytes into the register per loop iteration, cutting the Python-level
+iteration count by 8x on long frames.  :func:`crc32_bytewise` keeps the
+classic one-table-per-byte loop as the reference implementation the sliced
+path (and the tables themselves) are equivalence-tested against.
 """
 
 from __future__ import annotations
+
+import struct
 
 import numpy as np
 
@@ -29,15 +37,55 @@ def _build_table() -> list:
 _TABLE = _build_table()
 
 
+def _build_sliced_tables() -> list:
+    """Slicing-by-8 tables: ``_SLICED[k][b]`` advances byte ``b`` by ``k``
+    extra zero bytes, so eight lookups fold eight message bytes at once."""
+    tables = [_TABLE]
+    for _ in range(7):
+        prev = tables[-1]
+        tables.append([(v >> 8) ^ _TABLE[v & 0xFF] for v in prev])
+    return tables
+
+
+_SLICED = _build_sliced_tables()
+
+
+def crc32_bytewise(data: bytes, initial: int = 0) -> int:
+    """Reference CRC-32: one table lookup per message byte."""
+    crc = initial ^ 0xFFFFFFFF
+    for byte in bytes(data):
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
 def crc32(data: bytes, initial: int = 0) -> int:
-    """Return the CRC-32 of ``data``.
+    """Return the CRC-32 of ``data`` (slicing-by-8 fast path).
 
     ``initial`` lets callers chain CRCs across fragments:
     ``crc32(a + b) == crc32(b, crc32(a))``.
     """
+    data = bytes(data)
     crc = initial ^ 0xFFFFFFFF
-    for byte in bytes(data):
-        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    t0, t1, t2, t3, t4, t5, t6, t7 = _SLICED
+    n8 = len(data) - (len(data) % 8)
+    # One C-level unpack turns the body into little-endian 32-bit words, so
+    # the loop folds 8 message bytes with two word reads per iteration.
+    words = struct.unpack(f"<{n8 // 4}I", data[:n8])
+    for k in range(0, len(words), 2):
+        crc ^= words[k]
+        w = words[k + 1]
+        crc = (
+            t7[crc & 0xFF]
+            ^ t6[(crc >> 8) & 0xFF]
+            ^ t5[(crc >> 16) & 0xFF]
+            ^ t4[crc >> 24]
+            ^ t3[w & 0xFF]
+            ^ t2[(w >> 8) & 0xFF]
+            ^ t1[(w >> 16) & 0xFF]
+            ^ t0[w >> 24]
+        )
+    for byte in data[n8:]:
+        crc = (crc >> 8) ^ t0[(crc ^ byte) & 0xFF]
     return crc ^ 0xFFFFFFFF
 
 

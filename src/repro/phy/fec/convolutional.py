@@ -8,6 +8,22 @@ the code runs above the alignment machinery, so the IAC pipeline accepts any
 The encoder is zero-terminated: ``K - 1`` tail bits flush the shift register
 so the decoder's final state is known, which measurably improves the last
 few bits' reliability.
+
+Two implementations coexist for the hot paths:
+
+* the **fast** paths — a table-driven block encoder that steps the shift
+  register one *byte* at a time (:meth:`ConvolutionalCode.encode`, and the
+  batched :meth:`~ConvolutionalCode.encode_many`), and batched Viterbi
+  decoders (:meth:`~ConvolutionalCode.decode_many` /
+  :meth:`~ConvolutionalCode.decode_soft_many`) that stack same-length coded
+  packets along a leading batch axis so the per-time-step numpy work
+  amortises across the packets of an IAC session;
+* the **reference** paths — the original per-bit encoder
+  (:meth:`~ConvolutionalCode.encode_reference`) and the per-packet decoders
+  (:meth:`~ConvolutionalCode.decode` / :meth:`~ConvolutionalCode.decode_soft`),
+  kept as the readable specification the fast paths are equivalence-tested
+  against.  The hard-decision paths are bit-identical by construction (pure
+  integer arithmetic); the soft paths agree to floating-point noise.
 """
 
 from __future__ import annotations
@@ -39,7 +55,8 @@ class ConvolutionalCode:
     register shifted right by one.  Under this convention each trellis state
     has exactly two predecessors and the input bit that led to a state is the
     state's own most significant bit, which makes the Viterbi recursion fully
-    vectorisable over states.
+    vectorisable over states (and, in the ``*_many`` variants, over a batch
+    of packets at once).
     """
 
     def __init__(self, generators=(133, 171), constraint_length: int = 7):
@@ -60,10 +77,11 @@ class ConvolutionalCode:
         """Precompute next-state and packed-output tables for (state, bit)."""
         k = self.constraint_length
         n_states = self.n_states
+        r = self.rate_inverse
         self._next_state = np.zeros((n_states, 2), dtype=np.int64)
         # Outputs packed as an integer, generator 0 in the MSB.
         self._out_packed = np.zeros((n_states, 2), dtype=np.int64)
-        self._out_bits = np.zeros((n_states, 2, self.rate_inverse), dtype=np.uint8)
+        self._out_bits = np.zeros((n_states, 2, r), dtype=np.uint8)
         for state in range(n_states):
             for bit in (0, 1):
                 register = (bit << (k - 1)) | state
@@ -89,24 +107,125 @@ class ConvolutionalCode:
         )
         # Popcount table for branch metrics over packed outputs.
         self._popcount = np.array(
-            [bin(x).count("1") for x in range(1 << self.rate_inverse)], dtype=np.int64
+            [bin(x).count("1") for x in range(1 << r)], dtype=np.int64
         )
+        # Expected output bits per (destination, predecessor-choice) as
+        # +/-1 signs for the soft branch metric (bit 1 -> +1, bit 0 -> -1).
+        # Shape (n_states, 2, r); precomputed once instead of on every
+        # decode_soft call.
+        self._signs = np.empty((n_states, 2, r), dtype=float)
+        for choice in (0, 1):
+            bits = self._out_bits[self._pred[:, choice], self._bit_of_dest]
+            self._signs[:, choice, :] = 2.0 * bits - 1.0
+        # Radix-4 tables for the batched hard decoder: two trellis steps at
+        # once.  Candidate ``j = c2 * 2 + c1`` reaches destination ``d`` via
+        # the intermediate ``p = pred[d, c2]`` from ``q = pred2[d, j] =
+        # pred[p, c1]``, emitting the earlier output at (p, c1) and the later
+        # at (d, c2), packed into one ``2r``-bit word.  Candidate order is
+        # lexicographic in (c2, c1), so a first-minimum argmin reproduces the
+        # scalar decoder's tie-breaking (strict ``<`` at each of the two
+        # steps) exactly.
+        c1 = np.array([0, 1, 0, 1])[None, :]
+        mid = self._pred[:, [0, 0, 1, 1]]  # (n_states, 4): p for each j
+        self._pred2 = self._pred[mid, c1]
+        self._pout2 = (self._pred_out[mid, c1] << r) | self._pred_out[:, [0, 0, 1, 1]]
+        self._popcount2 = np.array(
+            [bin(x).count("1") for x in range(1 << (2 * r))], dtype=np.int32
+        )
+        # Byte-stepped encoder tables: feeding byte ``b`` (MSB first) from
+        # ``state`` lands in ``_byte_next[state, b]`` and emits the ``8 * r``
+        # bits ``_byte_out[state, b]``.  Built by running all (state, byte)
+        # pairs through the per-bit tables eight vectorised steps at a time.
+        byte_vals = np.arange(256, dtype=np.int64)[None, :]
+        state_grid = np.broadcast_to(
+            states[:, None], (n_states, 256)
+        ).copy()
+        self._byte_out = np.empty((n_states, 256, 8 * r), dtype=np.uint8)
+        for j in range(8):
+            bit = np.broadcast_to((byte_vals >> (7 - j)) & 1, state_grid.shape)
+            self._byte_out[:, :, j * r : (j + 1) * r] = self._out_bits[state_grid, bit]
+            state_grid = self._next_state[state_grid, bit]
+        self._byte_next = state_grid
 
     # ------------------------------------------------------------------ #
     # Encoding
     # ------------------------------------------------------------------ #
 
-    def encode(self, bits: np.ndarray) -> np.ndarray:
-        """Encode ``bits`` (zero-terminated) into coded bits."""
+    def _terminated_stream(self, bits: np.ndarray) -> np.ndarray:
         bits = np.asarray(bits, dtype=np.uint8).ravel()
         tail = np.zeros(self.constraint_length - 1, dtype=np.uint8)
-        stream = np.concatenate([bits, tail])
+        return np.concatenate([bits, tail])
+
+    def encode(self, bits: np.ndarray) -> np.ndarray:
+        """Encode ``bits`` (zero-terminated) into coded bits.
+
+        Table-driven block encoder: the zero-terminated stream is packed
+        into bytes and the shift register steps eight input bits per table
+        lookup; the sub-byte remainder uses the per-bit tables.  Output is
+        bit-identical to :meth:`encode_reference`.
+        """
+        stream = self._terminated_stream(bits)
+        r = self.rate_inverse
+        n = stream.size
+        n_bytes = n // 8
+        out = np.empty(n * r, dtype=np.uint8)
+        state = 0
+        if n_bytes:
+            byte_vals = np.packbits(stream[: n_bytes * 8])
+            states = np.empty(n_bytes, dtype=np.int64)
+            byte_next = self._byte_next
+            for i, byte in enumerate(byte_vals.tolist()):
+                states[i] = state
+                state = byte_next[state, byte]
+            out[: n_bytes * 8 * r] = self._byte_out[states, byte_vals].ravel()
+        pos = n_bytes * 8 * r
+        for bit in stream[n_bytes * 8 :].tolist():
+            out[pos : pos + r] = self._out_bits[state, bit]
+            state = self._next_state[state, bit]
+            pos += r
+        return out
+
+    def encode_reference(self, bits: np.ndarray) -> np.ndarray:
+        """Per-bit reference encoder (the original scalar implementation)."""
+        stream = self._terminated_stream(bits)
         out = np.empty((stream.size, self.rate_inverse), dtype=np.uint8)
         state = 0
         for i, bit in enumerate(stream):
             out[i] = self._out_bits[state, bit]
             state = self._next_state[state, bit]
         return out.ravel()
+
+    def encode_many(self, bits_batch: np.ndarray) -> np.ndarray:
+        """Encode a ``(B, n)`` batch of equal-length payloads at once.
+
+        Steps the byte tables once per byte position with the whole batch's
+        shift registers advancing together, so the per-step Python overhead
+        amortises across the batch.  Row ``b`` equals ``encode(bits[b])``.
+        """
+        batch = np.asarray(bits_batch, dtype=np.uint8)
+        if batch.ndim != 2:
+            raise ValueError("encode_many expects a (batch, bits) array")
+        n_packets = batch.shape[0]
+        tail = np.zeros((n_packets, self.constraint_length - 1), dtype=np.uint8)
+        stream = np.concatenate([batch, tail], axis=1)
+        r = self.rate_inverse
+        n = stream.shape[1]
+        n_bytes = n // 8
+        out = np.empty((n_packets, n * r), dtype=np.uint8)
+        state = np.zeros(n_packets, dtype=np.int64)
+        if n_bytes:
+            byte_vals = np.packbits(stream[:, : n_bytes * 8], axis=1)
+            for j in range(n_bytes):
+                col = byte_vals[:, j]
+                out[:, j * 8 * r : (j + 1) * 8 * r] = self._byte_out[state, col]
+                state = self._byte_next[state, col]
+        pos = n_bytes * 8 * r
+        for j in range(n_bytes * 8, n):
+            col = stream[:, j]
+            out[:, pos : pos + r] = self._out_bits[state, col]
+            state = self._next_state[state, col]
+            pos += r
+        return out
 
     def encoded_length(self, n_bits: int) -> int:
         """Coded bits produced for ``n_bits`` of payload."""
@@ -116,21 +235,71 @@ class ConvolutionalCode:
     # Viterbi decoding
     # ------------------------------------------------------------------ #
 
+    def _check_steps(self, size: int, what: str) -> int:
+        r = self.rate_inverse
+        if size % r != 0:
+            raise ValueError(f"{what} length is not a multiple of the inverse rate")
+        n_steps = size // r
+        if n_steps < self.constraint_length - 1:
+            raise ValueError(f"{what} stream shorter than the termination tail")
+        return n_steps
+
+    def _traceback(self, survivors: np.ndarray) -> np.ndarray:
+        """Walk one survivor table (n_steps, n_states) back from state 0.
+
+        Zero termination guarantees the trellis ends in state 0; the
+        returned array still includes the flush tail (callers drop it).
+        """
+        n_steps = survivors.shape[0]
+        state = 0
+        decoded = np.empty(n_steps, dtype=np.uint8)
+        bit_of_dest = self._bit_of_dest
+        pred = self._pred
+        for t in range(n_steps - 1, -1, -1):
+            decoded[t] = bit_of_dest[state]
+            state = pred[state, survivors[t, state]]
+        return decoded
+
+    def _traceback_many(self, survivors: np.ndarray) -> np.ndarray:
+        """Batched traceback over a (n_steps, B, n_states) survivor table.
+
+        The walk is a sequential chain of single-element lookups, so plain
+        Python ints over a flat bytes view beat per-step numpy dispatch by
+        an order of magnitude.
+        """
+        n_steps, n_packets, n_states = survivors.shape
+        flat = np.ascontiguousarray(survivors).tobytes()
+        bit_of_dest = self._bit_of_dest.tolist()
+        pred = self._pred.tolist()
+        decoded = np.empty((n_packets, n_steps), dtype=np.uint8)
+        for b in range(n_packets):
+            state = 0
+            out = [0] * n_steps
+            base = b * n_states
+            stride = n_packets * n_states
+            for t in range(n_steps - 1, -1, -1):
+                out[t] = bit_of_dest[state]
+                state = pred[state][flat[t * stride + base + state]]
+            decoded[b] = out
+        return decoded
+
+    def _pack_observations(self, coded: np.ndarray) -> np.ndarray:
+        """Pack r-bit observations into integers along the last axis."""
+        r = self.rate_inverse
+        weights = (1 << np.arange(r - 1, -1, -1)).astype(np.int32)
+        shaped = coded.reshape(coded.shape[:-1] + (coded.shape[-1] // r, r))
+        return shaped.astype(np.int32) @ weights
+
     def decode(self, coded: np.ndarray) -> np.ndarray:
         """Hard-decision Viterbi decode; returns the original payload bits.
 
-        The trellis starts and ends in state 0 (zero termination).
+        The trellis starts and ends in state 0 (zero termination).  This is
+        the per-packet reference path; :meth:`decode_many` is the batched
+        equivalent (bit-identical, integer arithmetic throughout).
         """
         coded = np.asarray(coded, dtype=np.uint8).ravel()
-        r = self.rate_inverse
-        if coded.size % r != 0:
-            raise ValueError("coded length is not a multiple of the inverse rate")
-        n_steps = coded.size // r
-        if n_steps < self.constraint_length - 1:
-            raise ValueError("coded stream shorter than the termination tail")
-        # Pack each r-bit observation into an integer for table lookups.
-        weights = 1 << np.arange(r - 1, -1, -1)
-        observed = (coded.reshape(n_steps, r).astype(np.int64) @ weights).astype(np.int64)
+        n_steps = self._check_steps(coded.size, "coded")
+        observed = self._pack_observations(coded)
 
         n_states = self.n_states
         inf = np.iinfo(np.int64).max // 4
@@ -148,14 +317,89 @@ class ConvolutionalCode:
             survivors[t] = choose1
             metric = np.where(choose1, cand1, cand0)
 
-        # Traceback from the zero state (termination guarantees it).
-        state = 0
-        decoded = np.empty(n_steps, dtype=np.uint8)
-        for t in range(n_steps - 1, -1, -1):
-            decoded[t] = self._bit_of_dest[state]
-            state = self._pred[state, survivors[t, state]]
+        decoded = self._traceback(survivors)
         # Drop the flush tail.
         return decoded[: n_steps - (self.constraint_length - 1)]
+
+    def decode_many(self, coded_batch: np.ndarray) -> np.ndarray:
+        """Hard-decision Viterbi decode of a ``(B, L)`` batch at once.
+
+        All packets must share the coded length ``L``.  The add-compare-
+        select recursion runs radix-4 (two trellis steps per iteration) over
+        a ``(B, n_states, 4)`` candidate array, so both the number of
+        sequential steps and the per-step numpy dispatch overhead amortise
+        across the batch (the 3-4 packets of an IAC session, or stacked
+        trials).  Row ``b`` of the result is bit-identical to
+        ``decode(coded_batch[b])`` — integer arithmetic throughout, and the
+        radix-4 candidate order reproduces the scalar tie-breaking.
+        """
+        coded = np.asarray(coded_batch, dtype=np.uint8)
+        if coded.ndim != 2:
+            raise ValueError("decode_many expects a (batch, coded bits) array")
+        n_packets = coded.shape[0]
+        n_steps = self._check_steps(coded.shape[1], "coded")
+        observed = self._pack_observations(coded)  # (B, n_steps)
+
+        n_states = self.n_states
+        # int32 metrics: paths accumulate at most 2r per step, far from
+        # overflow, and the smaller dtype roughly halves per-step traffic.
+        metric = np.full(
+            (n_packets, n_states), np.iinfo(np.int32).max // 4, dtype=np.int32
+        )
+        metric[:, 0] = 0
+
+        # A single leading radix-2 step when the step count is odd.
+        lead = n_steps % 2
+        if lead:
+            cand = metric[:, self._pred] + self._popcount[
+                self._pred_out[None, :, :] ^ observed[:, 0, None, None]
+            ]
+            lead_choose = cand[:, :, 1] < cand[:, :, 0]
+            metric = np.where(lead_choose, cand[:, :, 1], cand[:, :, 0]).astype(
+                np.int32
+            )
+
+        # Pack step pairs into 2r-bit observations; all branch metrics are
+        # computed up front in (step, batch, 4 * n_states) contiguous layout
+        # — only the ACS recursion is sequential.
+        n_pairs = (n_steps - lead) // 2
+        r = self.rate_inverse
+        obs_pairs = (observed[:, lead::2] << r) | observed[:, lead + 1 :: 2]
+        branches = self._popcount2[
+            self._pout2.ravel()[None, None, :] ^ obs_pairs.T[:, :, None]
+        ]  # (n_pairs, B, n_states * 4), int32
+        pred2_flat = self._pred2.ravel()
+        survivors = np.empty((n_pairs, n_packets, n_states), dtype=np.uint8)
+
+        for t in range(n_pairs):
+            cand = metric.take(pred2_flat, axis=1)
+            cand += branches[t]
+            cand = cand.reshape(n_packets, n_states, 4)
+            survivors[t] = cand.argmin(axis=2)
+            metric = cand.min(axis=2)
+
+        # Traceback from state 0, two decoded bits per radix-4 step; plain
+        # Python ints over a flat bytes view (the chain of single-element
+        # lookups is sequential, so numpy dispatch per step only adds cost).
+        flat = survivors.tobytes()
+        bit_of_dest = self._bit_of_dest.tolist()
+        pred = self._pred.tolist()
+        decoded = np.empty((n_packets, n_steps), dtype=np.uint8)
+        stride = n_packets * n_states
+        for b in range(n_packets):
+            state = 0
+            out = [0] * n_steps
+            base = b * n_states
+            for t in range(n_pairs - 1, -1, -1):
+                j = flat[t * stride + base + state]
+                out[lead + 2 * t + 1] = bit_of_dest[state]
+                p = pred[state][j >> 1]
+                out[lead + 2 * t] = bit_of_dest[p]
+                state = pred[p][j & 1]
+            if lead:
+                out[0] = bit_of_dest[state]
+            decoded[b] = out
+        return decoded[:, : n_steps - (self.constraint_length - 1)]
 
     def decode_soft(self, llrs: np.ndarray) -> np.ndarray:
         """Soft-decision Viterbi decode from per-coded-bit LLRs.
@@ -166,23 +410,12 @@ class ConvolutionalCode:
         """
         llrs = np.asarray(llrs, dtype=float).ravel()
         r = self.rate_inverse
-        if llrs.size % r != 0:
-            raise ValueError("LLR count is not a multiple of the inverse rate")
-        n_steps = llrs.size // r
-        if n_steps < self.constraint_length - 1:
-            raise ValueError("LLR stream shorter than the termination tail")
+        n_steps = self._check_steps(llrs.size, "LLR")
         observations = llrs.reshape(n_steps, r)
 
         n_states = self.n_states
-        # Expected output bits per (destination, predecessor-choice):
-        # shape (n_states, 2, r), as +/-1 signs for the metric.
-        signs = np.empty((n_states, 2, r), dtype=float)
-        for choice in (0, 1):
-            bits = self._out_bits[self._pred[:, choice], self._bit_of_dest]
-            signs[:, choice, :] = 2.0 * bits - 1.0  # bit 1 -> +1, bit 0 -> -1
-
-        inf = np.inf
-        metric = np.full(n_states, inf)
+        signs = self._signs  # (n_states, 2, r), precomputed in _build_trellis
+        metric = np.full(n_states, np.inf)
         metric[0] = 0.0
         survivors = np.empty((n_steps, n_states), dtype=np.uint8)
         for t in range(n_steps):
@@ -195,9 +428,40 @@ class ConvolutionalCode:
             survivors[t] = choose1
             metric = np.where(choose1, cand1, cand0)
 
-        state = 0
-        decoded = np.empty(n_steps, dtype=np.uint8)
-        for t in range(n_steps - 1, -1, -1):
-            decoded[t] = self._bit_of_dest[state]
-            state = self._pred[state, survivors[t, state]]
+        decoded = self._traceback(survivors)
         return decoded[: n_steps - (self.constraint_length - 1)]
+
+    def decode_soft_many(self, llrs_batch: np.ndarray) -> np.ndarray:
+        """Soft-decision Viterbi decode of a ``(B, L)`` LLR batch at once.
+
+        The batched counterpart of :meth:`decode_soft`; agrees with the
+        per-packet path to floating-point associativity (exactly, when the
+        LLR values make the branch sums exact, e.g. small integers).
+        """
+        llrs = np.asarray(llrs_batch, dtype=float)
+        if llrs.ndim != 2:
+            raise ValueError("decode_soft_many expects a (batch, LLRs) array")
+        n_packets = llrs.shape[0]
+        r = self.rate_inverse
+        n_steps = self._check_steps(llrs.shape[1], "LLR")
+        observations = llrs.reshape(n_packets, n_steps, r)
+
+        n_states = self.n_states
+        signs_mat = self._signs.reshape(n_states * 2, r)
+        metric = np.full((n_packets, n_states), np.inf)
+        metric[:, 0] = 0.0
+        survivors = np.empty((n_steps, n_packets, n_states), dtype=np.uint8)
+        # One matmul computes every branch metric: (B, T, r) @ (r, 2S).
+        branches = (observations @ signs_mat.T).reshape(
+            n_packets, n_steps, n_states, 2
+        )
+        pred = self._pred
+
+        for t in range(n_steps):
+            cand = metric[:, pred] + branches[:, t]  # (B, n_states, 2)
+            choose1 = cand[:, :, 1] < cand[:, :, 0]
+            survivors[t] = choose1
+            metric = np.where(choose1, cand[:, :, 1], cand[:, :, 0])
+
+        decoded = self._traceback_many(survivors)
+        return decoded[:, : n_steps - (self.constraint_length - 1)]

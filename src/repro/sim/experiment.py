@@ -3,9 +3,12 @@
 Each function reproduces one evaluation experiment at the rate level (the
 paper's metric is the achievable rate computed from measured SNRs, Eq. 9;
 our rate-level decoder computes the same quantity from the post-projection
-SINRs).  The signal-level pipeline is exercised by the integration tests
-and examples instead -- it agrees with the rate level but is too slow for
-thousand-trial sweeps.
+SINRs).  The sample-accurate pipeline is no longer too slow for sweeps:
+since it was vectorized (block phase tracking, batched Viterbi — see
+``BENCH_signal.json``) the registered ``fig12_signal``/``fig13b_signal``
+scenarios (:mod:`repro.experiments.signal_scenarios`) run thousand-trial
+scatter experiments at the signal level; the rate-level runners here
+remain the cheap analytic path the signal level is validated against.
 
 Runners:
 

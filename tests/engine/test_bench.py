@@ -49,3 +49,37 @@ class TestScenarioBench:
         assert entry["seconds"] > 0 and entry["n_trials"] == 2
         assert "mean_gain" in entry
         assert "fig14" in format_scenario_bench(doc)
+
+
+class TestSignalBench:
+    @pytest.fixture(scope="class")
+    def signal_doc(self):
+        from repro.engine.bench import bench_signal
+
+        return bench_signal(n_sessions=2, payload_bytes=60, repeats=1, seed=3)
+
+    def test_document_shape(self, signal_doc):
+        assert signal_doc["benchmark"] == "signal"
+        assert set(signal_doc["engines"]) == {"reference", "fast"}
+        for stats in signal_doc["engines"].values():
+            assert stats["seconds"] > 0
+        assert signal_doc["speedup"] > 0
+        assert signal_doc["config"]["n_sessions"] == 2
+
+    def test_engines_equivalent(self, signal_doc):
+        fast = signal_doc["engines"]["fast"]
+        ref = signal_doc["engines"]["reference"]
+        assert fast["delivered"] == ref["delivered"]
+        assert fast["total_rate"] == pytest.approx(ref["total_rate"], rel=1e-9)
+        assert signal_doc["max_snr_diff_db"] < 1e-6
+
+    def test_round_trips_through_json(self, signal_doc, tmp_path):
+        path = tmp_path / "BENCH_signal.json"
+        write_bench(signal_doc, str(path))
+        assert json.loads(path.read_text()) == signal_doc
+
+    def test_formatter_mentions_speedup(self, signal_doc):
+        from repro.engine.bench import format_signal_bench
+
+        text = format_signal_bench(signal_doc)
+        assert "speedup" in text and "fast" in text

@@ -34,7 +34,9 @@ class TestBuiltinScenarios:
 
     def test_tag_queries(self):
         scatter = {s.name for s in scenarios_by_tag("scatter")}
-        assert scatter == {"fig12", "fig13a", "fig13b", "fig14"}
+        assert scatter == {
+            "fig12", "fig13a", "fig13b", "fig14", "fig12_signal", "fig13b_signal",
+        }
         uplink = {s.name for s in scenarios_by_tag("uplink")}
         assert "fig12" in uplink and "fig13b" not in uplink
         assert scenarios_by_tag("no-such-tag") == []

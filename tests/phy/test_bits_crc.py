@@ -117,3 +117,45 @@ class TestCrc:
         bit = flip % (len(frame) * 8)
         frame[bit // 8] ^= 1 << (bit % 8)
         assert not check_crc(bytes(frame))
+
+
+class TestScramblerKeystreamEquivalence:
+    """The tiled (periodic) keystream must equal the stepped LFSR's."""
+
+    @pytest.mark.parametrize("seed", [1, 0x1F, 0x5B, 0x7F, Scrambler.DEFAULT_SEED])
+    @pytest.mark.parametrize("n", [0, 1, 64, 126, 127, 128, 254, 255, 1000])
+    def test_fast_matches_reference(self, seed, n):
+        s = Scrambler(seed)
+        assert np.array_equal(s._keystream(n), s._keystream_reference(n))
+
+    def test_period_is_maximal(self):
+        """x^7 + x^4 + 1 is maximal-length: every seed has period 127."""
+        for seed in range(1, 0x80):
+            assert Scrambler(seed)._period().size == 127
+
+    @given(st.integers(1, 0x7F), st.integers(0, 600))
+    @settings(max_examples=40, deadline=None)
+    def test_fast_matches_reference_property(self, seed, n):
+        s = Scrambler(seed)
+        assert np.array_equal(s._keystream(n), s._keystream_reference(n))
+
+
+class TestCrcSliced:
+    """Slicing-by-8 crc32 vs the bytewise reference (and zlib)."""
+
+    @pytest.mark.parametrize("n", [0, 1, 3, 4, 7, 8, 9, 15, 16, 17, 100, 1500])
+    def test_matches_bytewise_and_zlib(self, n):
+        from repro.phy.crc import crc32_bytewise
+
+        rng = np.random.default_rng(n)
+        data = bytes(rng.integers(0, 256, n, dtype=np.uint8))
+        assert crc32(data) == crc32_bytewise(data) == zlib.crc32(data)
+
+    @given(st.binary(max_size=300), st.integers(0, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_chaining_property(self, data, split):
+        from repro.phy.crc import crc32_bytewise
+
+        split = min(split, len(data))
+        assert crc32(data) == crc32_bytewise(data)
+        assert crc32(data[split:], crc32(data[:split])) == crc32(data)

@@ -90,3 +90,70 @@ class TestPreamble:
     def test_stream_shorter_than_preamble(self):
         p = preamble_matrix(1, 64)[0]
         assert detect_preamble(np.zeros(10), p) == -1
+
+
+class TestPreambleFFTPath:
+    """The FFT overlap-save correlation path vs the direct convolution."""
+
+    @pytest.mark.parametrize(
+        "n,m", [(64, 64), (65, 64), (500, 64), (5000, 64), (20000, 128), (12345, 100)]
+    )
+    def test_fft_matches_direct_index(self, n, m):
+        rng = np.random.default_rng(n * 31 + m)
+        p = pn_sequence(m, seed=7)
+        for _ in range(3):
+            start = int(rng.integers(0, n - m + 1))
+            stream = 0.3 * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+            stream[start : start + m] += (1.3 + 0.4j) * p
+            assert (
+                detect_preamble(stream, p, method="direct")
+                == detect_preamble(stream, p, method="fft")
+                == start
+            )
+
+    def test_fft_metric_exactness(self):
+        """Both paths compute the same normalised metric (allclose)."""
+        from repro.phy.preamble import _fft_valid_correlation
+
+        rng = np.random.default_rng(11)
+        m = 96
+        p = pn_sequence(m, seed=5)
+        stream = rng.standard_normal(4096) + 1j * rng.standard_normal(4096)
+        stream[777 : 777 + m] += 2.0 * p
+        kernel = np.conj(p[::-1])
+        direct = np.convolve(stream, kernel, mode="valid")
+        fft = _fft_valid_correlation(stream, kernel)
+        assert np.allclose(direct, fft, atol=1e-9 * np.abs(direct).max())
+
+    def test_fft_no_preamble_not_found(self):
+        rng = np.random.default_rng(13)
+        p = pn_sequence(64, seed=7)
+        noise = rng.standard_normal(3000) + 1j * rng.standard_normal(3000)
+        assert detect_preamble(noise, p, threshold=0.8, method="fft") == -1
+
+    def test_auto_dispatches_above_threshold(self, monkeypatch):
+        """Above FFT_THRESHOLD the auto path must call the FFT correlator."""
+        import repro.phy.preamble as pre
+
+        calls = []
+        real = pre._fft_valid_correlation
+
+        def spy(samples, kernel):
+            calls.append(samples.size)
+            return real(samples, kernel)
+
+        monkeypatch.setattr(pre, "_fft_valid_correlation", spy)
+        m = 64
+        p = pn_sequence(m, seed=7)
+        rng = np.random.default_rng(17)
+        short = rng.standard_normal(256) + 0j
+        detect_preamble(short, p, threshold=2.0)  # below threshold: direct
+        assert calls == []
+        n = pre.FFT_THRESHOLD // m + m
+        long = rng.standard_normal(n) + 0j
+        detect_preamble(long, p, threshold=2.0)
+        assert calls  # above threshold: FFT path taken
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            detect_preamble(np.zeros(128, dtype=complex), pn_sequence(64), method="nope")
