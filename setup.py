@@ -1,8 +1,12 @@
-"""Setuptools shim.
+"""Setuptools packaging — deliberately the single source of metadata.
 
-Project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works in offline environments whose setuptools cannot
-build PEP 660 editable wheels (no ``wheel`` package available).
+There is no ``pyproject.toml`` on purpose: its presence routes pip onto
+the PEP 517/660 build path, which needs the ``wheel`` package and (with
+build isolation) network access — both unavailable in the offline
+environments this repo targets.  Plain ``setup.py`` keeps two working
+install paths: ``pip install -e .`` where pip can build editable wheels,
+and ``python setup.py develop`` everywhere else.  Both install the
+``repro`` console script the README relies on.
 """
 
 from setuptools import find_packages, setup
@@ -15,4 +19,5 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy>=1.21"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

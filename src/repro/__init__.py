@@ -20,14 +20,17 @@ Package layout
 ``repro.baselines``
     802.11-MIMO (eigenmode + best AP) and the TDMA comparison discipline.
 ``repro.sim``
-    The synthetic 20-node testbed and per-figure experiment runners.
+    The synthetic 20-node testbed, per-figure experiment runners, the
+    integrated WLAN simulation and its dynamic workloads
+    (``repro.sim.traffic``: arrival processes, churn, mobility).
 ``repro.engine``
     The batched, memoised group-evaluation engine behind the WLAN
     simulation's hot path (``python -m repro bench`` times it).
 ``repro.experiments``
     The unified scenario/experiment API: the scenario registry, the
-    parallel ``ExperimentRunner`` and structured, JSON-serialisable
-    results.
+    parallel ``ExperimentRunner``, structured JSON-serialisable results
+    and the resumable parameter-sweep engine behind
+    ``python -m repro sweep``.
 
 Quickstart
 ----------
@@ -79,11 +82,13 @@ from repro.experiments import (
     ExperimentResult,
     ExperimentRunner,
     Scenario,
+    SweepResult,
     TrialRecord,
     get_scenario,
     list_scenarios,
     register_scenario,
     run_experiment,
+    run_sweep,
 )
 from repro.phy.packet import Packet
 
@@ -97,6 +102,7 @@ __all__ = [
     "PacketSpec",
     "Scenario",
     "SignalConfig",
+    "SweepResult",
     "TrialRecord",
     "__version__",
     "decode_rate_level",
@@ -105,6 +111,7 @@ __all__ = [
     "register_scenario",
     "run_experiment",
     "run_session",
+    "run_sweep",
     "solve_downlink_general",
     "solve_downlink_three_packets",
     "solve_uplink_four_packets",

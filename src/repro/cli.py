@@ -6,6 +6,8 @@ no per-figure wiring of its own.  Usage::
     python -m repro list [--tag TAG]
     python -m repro run SCENARIO [--trials N] [--seed S] [--workers N]
                         [--json PATH|-] [--quiet] [--param KEY=VALUE ...]
+    python -m repro sweep SCENARIO --grid KEY=V1,V2,... [--grid ...]
+                        [--workers N] [--cache PATH | --no-cache]
     python -m repro fig12 | fig13a | fig13b | fig14      (legacy aliases)
     python -m repro fig15 [--slots N] [--direction uplink|downlink]
     python -m repro fig16 | fig17
@@ -17,7 +19,10 @@ no per-figure wiring of its own.  Usage::
 structured result to stdout (and nothing else), ``--json PATH`` archives
 it next to the human-readable report, ``--quiet`` suppresses the ASCII
 plots, and ``--workers`` parallelises trials without changing a single
-output bit.  The ``figNN`` subcommands are thin aliases over the same
+output bit.  ``sweep`` fans the cartesian product of ``--grid`` axes
+across workers (one scenario run per cell, per-cell RNG streams) and
+memoises completed cells in a JSON cache so an interrupted sweep resumes
+bit-identically; see :mod:`repro.experiments.sweep`.  The ``figNN`` subcommands are thin aliases over the same
 registry.  ``bench`` times the WLAN hot path under both group-evaluation
 engines, the sample-accurate signal pipeline under its ``fast`` and
 ``reference`` engines, and a set of scenario trials, writing
@@ -31,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -61,6 +67,22 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _parse_value(raw: str) -> Any:
+    """A ``--param``/``--grid`` value: JSON, with a bare-string fallback
+    (so ``algorithm=brute`` works without quoting).
+
+    Python-style booleans are honoured: a bare ``False`` is not valid
+    JSON and would otherwise fall back to a *truthy* non-empty string,
+    silently enabling whatever feature flag it was meant to disable.
+    """
+    if raw in ("True", "False"):
+        return raw == "True"
+    try:
+        return json.loads(raw)
+    except ValueError:
+        return raw
+
+
 def _parse_params(pairs: Optional[List[str]]) -> Dict[str, Any]:
     """Parse repeated ``--param key=value`` overrides (values are JSON)."""
     params: Dict[str, Any] = {}
@@ -68,10 +90,7 @@ def _parse_params(pairs: Optional[List[str]]) -> Dict[str, Any]:
         key, sep, raw = pair.partition("=")
         if not sep or not key:
             raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
-        try:
-            params[key] = json.loads(raw)
-        except ValueError:
-            params[key] = raw  # bare strings like algorithm=brute
+        params[key] = _parse_value(raw)
     return params
 
 
@@ -79,6 +98,26 @@ def _runner(args) -> ExperimentRunner:
     return ExperimentRunner(
         testbed_seed=args.testbed_seed, workers=getattr(args, "workers", 1)
     )
+
+
+def _emit_json(doc: str, target: Optional[str]) -> Optional[int]:
+    """Handle a ``--json`` target; shared by every emitting subcommand.
+
+    ``"-"`` prints the document as the only stdout output and returns 0;
+    a path archives it (returning 1 on failure); otherwise returns
+    ``None`` — the caller proceeds with its human-readable report.
+    """
+    if target == "-":
+        print(doc)
+        return 0
+    if target:
+        try:
+            with open(target, "w", encoding="utf-8") as fh:
+                fh.write(doc + "\n")
+        except OSError as exc:
+            print(f"error: cannot write {target}: {exc}", file=sys.stderr)
+            return 1
+    return None
 
 
 def _emit(scenario: Scenario, result: ExperimentResult, args) -> int:
@@ -90,16 +129,9 @@ def _emit(scenario: Scenario, result: ExperimentResult, args) -> int:
     archives the structured result alongside it.
     """
     json_target = getattr(args, "json", None)
-    if json_target == "-":
-        print(result.to_json())
-        return 0
-    if json_target:
-        try:
-            with open(json_target, "w", encoding="utf-8") as fh:
-                fh.write(result.to_json() + "\n")
-        except OSError as exc:
-            print(f"error: cannot write {json_target}: {exc}", file=sys.stderr)
-            return 1
+    code = _emit_json(result.to_json(), json_target)
+    if code is not None:
+        return code
     if scenario.formatter is not None:
         print(scenario.formatter(result, quiet=args.quiet))
     else:
@@ -148,6 +180,86 @@ def _cmd_run(args) -> int:
         print(f"error running {scenario.name!r}: {exc}", file=sys.stderr)
         return 1
     return _emit(scenario, result, args)
+
+
+def _parse_grid(pairs: Optional[List[str]]) -> Dict[str, List[Any]]:
+    """Parse repeated ``--grid key=v1,v2,...`` axes (values are JSON)."""
+    grid: Dict[str, List[Any]] = {}
+    for pair in pairs or []:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key or not raw:
+            raise SystemExit(f"--grid expects KEY=V1,V2,..., got {pair!r}")
+        values = [_parse_value(item) for item in raw.split(",")]
+        if key in grid:
+            raise SystemExit(f"--grid axis {key!r} given twice")
+        grid[key] = values
+    return grid
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments.sweep import SweepCache, run_sweep
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except KeyError:
+        print(
+            f"unknown scenario {args.scenario!r}; "
+            f"available: {', '.join(scenario_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    grid = _parse_grid(args.grid)
+    if not grid:
+        print("sweep needs at least one --grid KEY=V1,V2,... axis", file=sys.stderr)
+        return 2
+    cache = None
+    if not args.no_cache:
+        path = args.cache or os.path.join(
+            ".sweep-cache", f"{scenario.name}-seed{args.seed}.json"
+        )
+        try:
+            cache = SweepCache(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot use sweep cache {path}: {exc}", file=sys.stderr)
+            return 1
+    def progress(cell, from_cache):
+        if not args.quiet and args.json != "-":
+            label = ", ".join(f"{k}={v}" for k, v in cell.params.items())
+            source = "cached" if from_cache else "ran"
+            print(f"  [{source}] {label}")
+
+    try:
+        result = run_sweep(
+            scenario,
+            grid,
+            params=_parse_params(args.param),
+            n_trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            cache=cache,
+            runner=_runner(args),
+            progress=progress,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"error sweeping {scenario.name!r}: {exc}", file=sys.stderr)
+        return 1
+    code = _emit_json(result.to_json(), args.json)
+    if code is not None:
+        return code
+    metrics = args.metrics.split(",") if args.metrics else None
+    fresh = len(result.cells) - result.cached_cells
+    print(
+        f"sweep {scenario.name}: {len(result.cells)} cells "
+        f"({result.cached_cells} cached, {fresh} ran), "
+        f"{args.workers} workers, seed {args.seed}"
+    )
+    print()
+    print(result.table(metrics))
+    if cache is not None:
+        print(f"\n  (cell cache: {cache.path})")
+    if args.json:
+        print(f"  (structured result written to {args.json})")
+    return 0
 
 
 def _cmd_scatter(name: str, args) -> int:
@@ -206,16 +318,9 @@ def _cmd_fig15(args) -> int:
          "runs": [r.to_dict() for r in results]},
         indent=2, sort_keys=True,
     )
-    if args.json == "-":
-        print(doc)
-        return 0
-    if args.json:
-        try:
-            with open(args.json, "w", encoding="utf-8") as fh:
-                fh.write(doc + "\n")
-        except OSError as exc:
-            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
-            return 1
+    code = _emit_json(doc, args.json)
+    if code is not None:
+        return code
     print("\n".join(lines))
     if args.json:
         print(f"  (structured results written to {args.json})")
@@ -236,8 +341,6 @@ def _cmd_fig17(args) -> int:
 
 def _cmd_bench(args) -> int:
     """Time the WLAN + signal hot paths + scenario trials; write BENCH_*.json."""
-    import os
-
     from repro.engine.bench import (
         bench_scenarios,
         bench_signal,
@@ -353,6 +456,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runnable(pr)
 
+    ps = sub.add_parser(
+        "sweep", help="run a scenario over a parameter grid (resumable)"
+    )
+    ps.add_argument("scenario", help="scenario name (see 'list')")
+    ps.add_argument(
+        "--grid", action="append", metavar="KEY=V1,V2,...",
+        help="one grid axis (repeatable; values are JSON)",
+    )
+    ps.add_argument(
+        "--trials", type=int, default=None,
+        help="trials per cell (default: the scenario's)",
+    )
+    ps.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="fixed parameter override applied to every cell (repeatable)",
+    )
+    cache_group = ps.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache", metavar="PATH", default=None,
+        help="cell cache file (default: .sweep-cache/<scenario>-seed<S>.json)",
+    )
+    cache_group.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell; do not read or write a cache",
+    )
+    ps.add_argument(
+        "--metrics", default=None,
+        help="comma-separated metric columns for the table",
+    )
+    runnable(ps)
+
     for name in _SCATTER_ALIASES:
         p = sub.add_parser(
             name, help=f"{get_scenario(name).description} scatter experiment"
@@ -412,6 +546,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     return {
         "list": _cmd_list,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "fig15": _cmd_fig15,
         "fig16": _cmd_fig16,
         "fig17": _cmd_fig17,

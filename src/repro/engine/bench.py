@@ -183,7 +183,10 @@ def bench_signal(
         (
             abs(a - b)
             for a, b in zip(snrs["fast"], snrs["reference"])
-            if not (np.isinf(a) and np.isinf(b))  # both failed: no discrepancy
+            # Identical infinities (both failed, or both perfect) carry no
+            # discrepancy; a +inf/-inf mismatch must NOT be masked — that
+            # is the engines disagreeing about whether a packet decoded.
+            if not (np.isinf(a) and np.isinf(b) and a == b)
         ),
         default=0.0,
     )

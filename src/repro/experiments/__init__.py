@@ -14,7 +14,13 @@ declarative surface:
 * :mod:`repro.experiments.scenarios` — the seven registered figures;
 * :mod:`repro.experiments.signal_scenarios` — sample-accurate scatter
   scenarios (``fig12_signal``/``fig13b_signal``) running the vectorized
-  signal pipeline per trial.
+  signal pipeline per trial;
+* :mod:`repro.experiments.dynamic_scenarios` — dynamic-traffic WLAN
+  scenarios (``fig15_dynamic``/``load_latency``/``churn_throughput``)
+  over the arrival/churn/mobility processes of :mod:`repro.sim.traffic`;
+* :mod:`repro.experiments.sweep` — the resumable parameter-grid sweep
+  engine behind ``python -m repro sweep`` (:func:`run_sweep`,
+  per-cell RNG streams, JSON cell cache, :class:`SweepResult` tables).
 
 Quickstart::
 
@@ -37,23 +43,36 @@ from repro.experiments.registry import (
 )
 from repro.experiments.results import ExperimentResult, TrialRecord
 from repro.experiments.runner import ExperimentRunner, run_experiment
+from repro.experiments.sweep import (
+    SweepCache,
+    SweepCell,
+    SweepResult,
+    grid_cells,
+    run_sweep,
+)
 
 # Importing the scenario definitions populates the registry.
 from repro.experiments import scenarios as _scenarios  # noqa: F401
 from repro.experiments import signal_scenarios as _signal_scenarios  # noqa: F401
+from repro.experiments import dynamic_scenarios as _dynamic_scenarios  # noqa: F401
 from repro.experiments.scenarios import gain_cdf_from_record, scatter_result
 
 __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "Scenario",
+    "SweepCache",
+    "SweepCell",
+    "SweepResult",
     "TrialContext",
     "TrialRecord",
     "gain_cdf_from_record",
     "get_scenario",
+    "grid_cells",
     "list_scenarios",
     "register_scenario",
     "run_experiment",
+    "run_sweep",
     "scatter_result",
     "scenario_names",
     "scenarios_by_tag",

@@ -46,6 +46,13 @@ class TrialContext:
 #: Renders an ExperimentResult for humans; ``quiet`` suppresses plots.
 Formatter = Callable[..., str]
 
+#: Maps a merged parameter map to its *effective* form: knobs that are
+#: inert under the current configuration (e.g. a Poisson rate while the
+#: traffic model is saturated) are dropped, so two configurations that
+#: compute identical numbers share one identity.  Consumed by the sweep
+#: engine when deriving cell keys/seeds.
+Canonicalizer = Callable[[Mapping[str, Any]], Mapping[str, Any]]
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -62,6 +69,13 @@ class Scenario:
     tags: Tuple[str, ...] = ()
     #: Optional human-readable renderer: ``formatter(result, quiet=False)``.
     formatter: Optional[Formatter] = None
+    #: Optional parameter canonicalizer (see :data:`Canonicalizer`).
+    canonicalize: Optional[Canonicalizer] = None
+
+    def canonical_params(self, params: Mapping[str, Any]) -> Mapping[str, Any]:
+        """``params`` with configuration-inert knobs stripped (identity
+        when the scenario declares no canonicalizer)."""
+        return params if self.canonicalize is None else self.canonicalize(params)
 
 
 _REGISTRY: Dict[str, Scenario] = {}
@@ -77,6 +91,7 @@ def register_scenario(
     default_trials: int = 25,
     tags: Tuple[str, ...] = (),
     formatter: Optional[Formatter] = None,
+    canonicalize: Optional[Canonicalizer] = None,
 ) -> Callable[[Callable[[TrialContext], Metrics]], Callable[[TrialContext], Metrics]]:
     """Decorator: register the decorated trial callable as ``name``.
 
@@ -97,6 +112,7 @@ def register_scenario(
             default_trials=default_trials,
             tags=tuple(tags),
             formatter=formatter,
+            canonicalize=canonicalize,
         )
         return trial
 

@@ -50,6 +50,22 @@ class ExperimentRunner:
         self.workers = workers
 
     @property
+    def testbed_seed(self) -> int:
+        """The *effective* channel seed: the attached testbed's if one was
+        given, else the seed a lazily-built testbed will use.  Part of a
+        sweep cell's identity (:mod:`repro.experiments.sweep`)."""
+        if self._testbed is not None:
+            return self._testbed.config.seed
+        return self._testbed_seed
+
+    @property
+    def testbed_nodes(self) -> int:
+        """The effective node count, by the same rule as :attr:`testbed_seed`."""
+        if self._testbed is not None:
+            return self._testbed.config.n_nodes
+        return self._n_nodes
+
+    @property
     def testbed(self) -> Testbed:
         if self._testbed is None:
             self._testbed = Testbed(

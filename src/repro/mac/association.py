@@ -124,6 +124,12 @@ class SubordinateAP:
     def channel_to(self, client_id: int) -> np.ndarray:
         return self._tracker.get(client_id)
 
+    def forget(self, client_id: int) -> None:
+        """Drop the client's tracked estimate (it disassociated), so a
+        later re-association starts from the fresh sounding rather than
+        blending it with pre-departure state."""
+        self._tracker.forget(client_id)
+
 
 class LeaderAP:
     """The leader: association registry plus the global channel map.
@@ -157,6 +163,20 @@ class LeaderAP:
         record.channels.update({ap: np.asarray(h, dtype=complex) for ap, h in estimates.items()})
         self._channel_versions[client_id] = self._channel_versions.get(client_id, 0) + 1
         return record
+
+    def handle_disassociation(self, client_id: int) -> None:
+        """Deregister a departing client (churn).
+
+        The association id returns to the free pool and the client's
+        channel-map version is bumped, so any group solution memoised by
+        the engine for a group containing this client is invalidated —
+        a later re-association re-sounds the channels (§8a) rather than
+        resurrecting stale state.
+        """
+        self.table.disassociate(client_id)
+        self._channel_versions[client_id] = (
+            self._channel_versions.get(client_id, 0) + 1
+        )
 
     def handle_update(self, update: ChannelUpdate) -> None:
         """Apply a subordinate's drift report; account its bytes."""

@@ -15,12 +15,19 @@ from typing import Deque, Iterable, List, Optional
 
 @dataclass(frozen=True)
 class QueuedPacket:
-    """A pending packet: owning client plus bookkeeping."""
+    """A pending packet: owning client plus bookkeeping.
+
+    ``enqueued_slot`` records when the packet entered the queue so the
+    simulation can account per-packet queueing latency (service slot
+    minus arrival slot); packets created outside a simulation default to
+    slot 0.
+    """
 
     client_id: int
     seq: int
     size_bytes: int = 1500
     retries: int = 0
+    enqueued_slot: int = 0
 
 
 class TransmissionQueue:
@@ -73,3 +80,13 @@ class TransmissionQueue:
 
     def packets_of(self, client_id: int) -> List[QueuedPacket]:
         return [p for p in self._queue if p.client_id == client_id]
+
+    def depth_of(self, client_id: int) -> int:
+        """Number of queued packets owned by ``client_id``."""
+        return len(self.packets_of(client_id))
+
+    def remove_client(self, client_id: int) -> int:
+        """Drop every packet of ``client_id`` (client departed); count them."""
+        before = len(self._queue)
+        self._queue = deque(p for p in self._queue if p.client_id != client_id)
+        return before - len(self._queue)

@@ -138,6 +138,14 @@ class ChannelTracker:
         self._estimates[key] = candidate
         return drifted
 
+    def forget(self, key) -> None:
+        """Drop a link's estimate (the peer disassociated).
+
+        The next :meth:`update` for the key starts from scratch instead
+        of smoothing the fresh sounding into pre-departure state.
+        """
+        self._estimates.pop(key, None)
+
     def get(self, key) -> np.ndarray:
         """Return the current estimate for a link key."""
         return self._estimates[key].h

@@ -109,6 +109,17 @@ class GaussMarkovFading:
         """The channel matrix at the current time step."""
         return self._h
 
+    def set_rho(self, rho: float) -> None:
+        """Change the per-step correlation (the terminal sped up/stopped).
+
+        Takes effect from the next :meth:`step`; the current matrix and
+        the stationary gain are untouched, so mobility changes never
+        cause an SNR discontinuity.
+        """
+        if not 0.0 <= rho <= 1.0:
+            raise ValueError("rho must be in [0, 1]")
+        self.rho = rho
+
     def step(self, n: int = 1) -> np.ndarray:
         """Advance the process ``n`` slots and return the new matrix."""
         if n < 0:
@@ -136,6 +147,10 @@ class FadingNetwork:
         rng=None,
     ):
         rng = default_rng(rng)
+        self._base_rho = rho
+        #: Per-node rho overrides (mobility); links take the minimum of
+        #: their endpoints' values, so the faster terminal dominates.
+        self._node_rho: Dict[int, float] = {}
         self._links: Dict[Tuple[int, int], GaussMarkovFading] = {}
         seen = set()
         for a, b in pairs:
@@ -152,6 +167,31 @@ class FadingNetwork:
         key = (min(tx, rx), max(tx, rx))
         h = self._links[key].current
         return h if (tx, rx) == key else h.T
+
+    def set_node_rho(self, node: int, rho: float) -> None:
+        """Set one terminal's per-slot correlation (mobility hook).
+
+        Every link touching ``node`` is re-tuned to the minimum of its
+        two endpoints' rho values (a link decorrelates as fast as its
+        fastest-moving end); nodes without an override keep the
+        network's base rho.  Used by the WLAN simulation's mobility
+        model when a client starts or stops moving.
+        """
+        if not 0.0 <= rho <= 1.0:
+            raise ValueError("rho must be in [0, 1]")
+        self._node_rho[node] = rho
+        for (a, b), link in self._links.items():
+            if node in (a, b):
+                link.set_rho(
+                    min(
+                        self._node_rho.get(a, self._base_rho),
+                        self._node_rho.get(b, self._base_rho),
+                    )
+                )
+
+    def node_rho(self, node: int) -> float:
+        """The per-slot correlation currently assigned to ``node``."""
+        return self._node_rho.get(node, self._base_rho)
 
     def step(self, n: int = 1) -> None:
         """Advance every link by ``n`` slots."""

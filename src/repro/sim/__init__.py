@@ -13,20 +13,40 @@ from repro.sim.experiment import (
 )
 from repro.sim.metrics import GainCDF, RatePair, ScatterResult, format_cdf_table
 from repro.sim.plotting import ascii_bars, ascii_cdf, ascii_scatter
-from repro.sim.wlan import WLANConfig, WLANSimulation
+from repro.sim.traffic import (
+    BurstyTraffic,
+    ClientChurn,
+    HeterogeneousTraffic,
+    MobilityModel,
+    PoissonTraffic,
+    SaturatedTraffic,
+    TrafficModel,
+    make_traffic,
+)
+from repro.sim.wlan import WLANConfig, WLANEvent, WLANSimulation, WLANStats
 from repro.sim.testbed import Testbed, TestbedConfig
 
 __all__ = [
+    "BurstyTraffic",
+    "ClientChurn",
     "ClusteredConfig",
     "ClusteredNetwork",
     "GainCDF",
     "GroupRateCache",
+    "HeterogeneousTraffic",
+    "MobilityModel",
+    "PoissonTraffic",
     "RatePair",
+    "SaturatedTraffic",
     "ScatterResult",
     "Testbed",
     "TestbedConfig",
+    "TrafficModel",
     "WLANConfig",
+    "WLANEvent",
     "WLANSimulation",
+    "WLANStats",
+    "make_traffic",
     "ascii_bars",
     "ascii_cdf",
     "ascii_scatter",

@@ -8,31 +8,44 @@ simulated deployment that runs, slot by slot,
 2. **channel evolution** -- Gauss-Markov fading
    (:mod:`repro.phy.channel.timevarying`); subordinate APs track their
    estimates from client acks and report significant drift to the leader;
-3. **scheduling** -- the leader's concurrency algorithm forms downlink
+3. **workload dynamics** -- an arrival process feeds the leader's FIFO
+   (:mod:`repro.sim.traffic`), clients churn (leave, re-associate) and
+   move (per-client Doppler via ``FadingNetwork.set_node_rho``); the
+   default ``saturated`` model reproduces the paper's infinite-demand
+   downlink bit-for-bit;
+4. **scheduling** -- the leader's concurrency algorithm forms downlink
    transmission groups from the backlog (:mod:`repro.mac.concurrency`);
-4. **transmission** -- each group is solved and decoded at rate level with
+   an empty backlog idles the slot, a backlog with fewer than three
+   distinct clients serves the head client point-to-point;
+5. **transmission** -- each group is solved and decoded at rate level with
    the leader's (possibly stale) channel estimates against the *true*
    current channels, so stale estimates genuinely cost SINR;
-5. **accounting** -- per-client goodput, control bytes, estimate staleness.
+6. **accounting** -- per-client goodput and queueing latency, queue
+   depth, idle slots, Jain fairness, churn/mobility event log, control
+   bytes, estimate staleness.
 
 Used by ``benchmarks/bench_wlan_integration.py`` to show the tracked
 system's throughput approaches the genie-channel bound, and that switching
-tracking off hurts under mobility.
+tracking off hurts under mobility; the dynamic scenarios
+(``fig15_dynamic``, ``load_latency``, ``churn_throughput``) and the
+``repro sweep`` engine drive it across workload grids.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.baselines.dot11_mimo import best_ap_link
 from repro.core.plans import ChannelSet
 from repro.engine import make_evaluator
 from repro.mac.association import LeaderAP, SubordinateAP, elect_leader
 from repro.mac.concurrency import make_selector
 from repro.mac.queueing import QueuedPacket, TransmissionQueue
 from repro.phy.channel.timevarying import FadingNetwork
+from repro.sim.traffic import ClientChurn, MobilityModel, TrafficModel, make_traffic
 from repro.utils.db import db_to_linear
 from repro.utils.rng import default_rng
 
@@ -57,7 +70,33 @@ class WLANConfig:
     #: Group-evaluation engine: ``"batched"`` (memoised ndarray batches,
     #: :mod:`repro.engine`) or ``"scalar"`` (the reference per-group path).
     engine: str = "batched"
+    #: Arrival process (:func:`repro.sim.traffic.make_traffic` name):
+    #: ``"saturated"`` (the paper's infinite-demand regime, default),
+    #: ``"poisson"``, ``"bursty"`` or ``"heterogeneous"``, parameterised
+    #: by ``traffic_params``.
+    traffic: str = "saturated"
+    traffic_params: Optional[Dict[str, Any]] = None
+    #: Client churn (:class:`repro.sim.traffic.ClientChurn` kwargs);
+    #: ``None`` disables churn.
+    churn_params: Optional[Dict[str, Any]] = None
+    #: Mobility (:class:`repro.sim.traffic.MobilityModel` kwargs);
+    #: ``None`` keeps every client at the base ``rho``.
+    mobility_params: Optional[Dict[str, Any]] = None
     seed: int = 0
+
+
+@dataclass(frozen=True)
+class WLANEvent:
+    """One entry of the simulation's event log.
+
+    ``kind`` is one of ``"join"``, ``"leave"``, ``"start_move"``,
+    ``"stop_move"``; ``slot`` is the absolute slot index (persistent
+    across repeated ``run()`` calls).
+    """
+
+    slot: int
+    kind: str
+    client: int
 
 
 @dataclass
@@ -72,6 +111,27 @@ class WLANStats:
     #: Total rate-level SINR loss (dB) due to estimate staleness, summed
     #: over slots; see :attr:`mean_staleness_loss_db` for the per-slot mean.
     staleness_loss_db: float = 0.0
+    #: Slots in which the downlink queue was empty (dynamic traffic only;
+    #: always 0 under the saturated model).
+    idle_slots: int = 0
+    #: Packets enqueued by the arrival process (0 under saturation —
+    #: demand is infinite, not enumerable).
+    offered_packets: int = 0
+    #: Packets served (popped from the queue by a transmission).
+    delivered_packets: int = 0
+    #: Packets purged because their owner left (churn).
+    dropped_packets: int = 0
+    joins: int = 0
+    leaves: int = 0
+    #: Sum over delivered packets of (service slot - arrival slot).
+    latency_slots_total: float = 0.0
+    #: Mean queueing latency per client, in slots (delivered packets only).
+    per_client_latency: Dict[int, float] = field(default_factory=dict)
+    #: Sum over simulated slots of the queue length at selection time.
+    queue_depth_total: int = 0
+    max_queue_depth: int = 0
+    #: Join/leave/mobility transitions, in slot order.
+    events: List[WLANEvent] = field(default_factory=list)
 
     @property
     def total_rate(self) -> float:
@@ -82,11 +142,52 @@ class WLANStats:
         """Mean per-slot rate-level SINR loss (dB) due to staleness."""
         return self.staleness_loss_db / self.slots if self.slots else 0.0
 
+    @property
+    def mean_latency_slots(self) -> float:
+        """Mean queueing latency of delivered packets, in slots."""
+        if not self.delivered_packets:
+            return 0.0
+        return self.latency_slots_total / self.delivered_packets
+
+    @property
+    def mean_queue_depth(self) -> float:
+        return self.queue_depth_total / self.slots if self.slots else 0.0
+
+    @property
+    def idle_fraction(self) -> float:
+        return self.idle_slots / self.slots if self.slots else 0.0
+
+    @property
+    def jain_fairness(self) -> float:
+        """Jain's index over per-client average rates (1.0 = perfectly fair)."""
+        rates = list(self.per_client_rate.values())
+        if not rates:
+            return 1.0
+        square_sum = sum(r * r for r in rates)
+        if square_sum == 0.0:
+            return 1.0
+        total = sum(rates)
+        return (total * total) / (len(rates) * square_sum)
+
 
 class WLANSimulation:
-    """A running IAC WLAN (downlink traffic, infinite demand)."""
+    """A running IAC WLAN (downlink traffic, saturated or dynamic).
 
-    def __init__(self, config: Optional[WLANConfig] = None):
+    ``traffic``, ``churn`` and ``mobility`` instances override the
+    config's string/params spelling (handy for tests and bespoke
+    models); each process draws from its own RNG stream spawned from
+    ``config.seed``, so enabling one never perturbs the fading, the
+    selector or the other processes.
+    """
+
+    def __init__(
+        self,
+        config: Optional[WLANConfig] = None,
+        *,
+        traffic: Optional[TrafficModel] = None,
+        churn: Optional[ClientChurn] = None,
+        mobility: Optional[MobilityModel] = None,
+    ):
         config = WLANConfig() if config is None else config
         if config.n_aps < 3:
             raise ValueError("IAC downlink groups need three APs")
@@ -117,10 +218,7 @@ class WLANSimulation:
         }
         # Association: every AP sounds every client once (paper §8a).
         for c in self.client_ids:
-            estimates = {a: self.fading.channel(a, c) for a in self.ap_ids}
-            self.leader.handle_association(c, estimates)
-            for a in self.ap_ids:
-                self.subordinates[a].observe(c, estimates[a])
+            self._associate(c)
 
         self.selector = make_selector(config.algorithm, group_size=3, rng=self.rng)
         #: Scores candidate groups against the leader's believed channels;
@@ -129,15 +227,69 @@ class WLANSimulation:
         self.evaluator = make_evaluator(
             config.engine, source=self.leader, aps=tuple(self.ap_ids[:3])
         )
+
+        # ---- dynamic-workload wiring (all default-off / saturated) ---- #
+        self.traffic = (
+            traffic
+            if traffic is not None
+            else make_traffic(config.traffic, **(config.traffic_params or {}))
+        )
+        # The association backlog: under saturation every client starts
+        # with a queued packet (and is replenished forever); a finite
+        # arrival process starts from an empty queue and fills it itself.
+        # The permutation is drawn either way so the selector's stream
+        # stays aligned with the pre-dynamic simulation's.
         order = list(self.rng.permutation(self.client_ids))
         self.queue = TransmissionQueue(
             QueuedPacket(client_id=int(c), seq=i) for i, c in enumerate(order)
-        )
+        ) if self.traffic.saturated else TransmissionQueue()
         self._seq = len(order)
         self.stats = WLANStats()
         self._cumulative_rate = {c: 0.0 for c in self.client_ids}
+        if churn is not None:
+            self.churn: Optional[ClientChurn] = churn
+        elif config.churn_params is not None:
+            self.churn = ClientChurn(**config.churn_params)
+        else:
+            self.churn = None
+        if mobility is not None:
+            self.mobility: Optional[MobilityModel] = mobility
+        elif config.mobility_params is not None:
+            self.mobility = MobilityModel(**config.mobility_params)
+        else:
+            self.mobility = None
+        # Dedicated streams: spawned from the config seed, independent of
+        # ``self.rng`` so the saturated default draws the exact sequence
+        # the pre-dynamic simulation drew.
+        traffic_seq, churn_seq, mobility_seq = np.random.SeedSequence(
+            config.seed
+        ).spawn(3)
+        self._traffic_rng = np.random.default_rng(traffic_seq)
+        self._churn_rng = np.random.default_rng(churn_seq)
+        self._mobility_rng = np.random.default_rng(mobility_seq)
+        self._active = set(self.client_ids)
+        self._latency_sum: Dict[int, float] = {}
+        self._latency_n: Dict[int, int] = {}
+        #: Absolute slot counter, persistent across ``run()`` calls (the
+        #: ack cadence and packet timestamps never reset mid-deployment).
+        self._slot = 0
 
     # ------------------------------------------------------------------ #
+
+    @property
+    def active_clients(self) -> List[int]:
+        """Currently associated clients, in id order."""
+        return sorted(self._active)
+
+    def _associate(self, client: int) -> None:
+        """§8a association: all APs sound the client's current channel,
+        the leader registers it.  Used at start-up and on every churn
+        re-join (the leave path forgets the subordinates' trackers, so
+        this sounding is genuinely fresh, not a smoothed blend)."""
+        estimates = {a: self.fading.channel(a, client) for a in self.ap_ids}
+        self.leader.handle_association(client, estimates)
+        for a in self.ap_ids:
+            self.subordinates[a].observe(client, estimates[a])
 
     def _true_channels(self, group: Tuple[int, ...]) -> ChannelSet:
         return ChannelSet(
@@ -157,17 +309,96 @@ class WLANSimulation:
         )
         return {c: float(np.log2(1.0 + actual[i])) for i, c in enumerate(group)}
 
+    def _serve_head_alone(self, client: int) -> Dict[int, float]:
+        """Degenerate backlog (< 3 distinct clients): point-to-point slot.
+
+        With too few clients to align, the leader falls back to plain
+        802.11 service of the head-of-queue client at its best AP's
+        eigenmode rate over the *true* current channels — the same
+        degenerate-group rule the Fig.-15 rate cache applies.
+        """
+        channels = ChannelSet(
+            {(a, client): self.fading.channel(a, client) for a in self.ap_ids}
+        )
+        rate = best_ap_link(
+            channels, client, self.ap_ids, noise_power=1.0, direction="downlink"
+        ).rate
+        return {client: float(rate)}
+
     def _track_channels(self, slot: int) -> None:
         """Clients ack; every AP re-estimates and reports drift (§7.1(c))."""
         if slot % self.config.ack_period:
             return
-        for c in self.client_ids:
+        for c in sorted(self._active):
             for a in self.ap_ids:
                 update = self.subordinates[a].observe(c, self.fading.channel(a, c))
                 if update is not None:
                     self.leader.handle_update(update)
                     self.stats.drift_reports += 1
         self.stats.update_bytes = self.leader.update_bytes
+
+    # ------------------------------------------------------------------ #
+    # Dynamic-workload steps (no-ops under the default configuration)
+    # ------------------------------------------------------------------ #
+
+    def _apply_churn(self, slot: int) -> None:
+        inactive = [c for c in self.client_ids if c not in self._active]
+        events = self.churn.step(sorted(self._active), inactive, self._churn_rng)
+        for c in events.leaves:
+            self._active.discard(c)
+            self.stats.dropped_packets += self.queue.remove_client(c)
+            self.leader.handle_disassociation(c)
+            # Subordinates drop their smoothed estimates too: a later
+            # re-association must start from the fresh sounding, not
+            # blend it with the pre-departure channel.
+            for a in self.ap_ids:
+                self.subordinates[a].forget(c)
+            self.stats.leaves += 1
+            self.stats.events.append(WLANEvent(slot, "leave", c))
+        for c in events.joins:
+            self._active.add(c)
+            # A join re-triggers association: all APs sound the channel
+            # afresh and the leader re-registers the client (§8a).
+            self._associate(c)
+            self.stats.joins += 1
+            self.stats.events.append(WLANEvent(slot, "join", c))
+            if self.traffic.saturated:
+                self._seq += 1
+                self.queue.push(
+                    QueuedPacket(client_id=int(c), seq=self._seq, enqueued_slot=slot)
+                )
+
+    def _apply_mobility(self, slot: int) -> None:
+        changed = self.mobility.step(sorted(self._active), self._mobility_rng)
+        for c, rho in changed.items():
+            self.fading.set_node_rho(c, rho)
+            kind = "start_move" if self.mobility.is_moving(c) else "stop_move"
+            self.stats.events.append(WLANEvent(slot, kind, c))
+
+    def _apply_arrivals(self, slot: int) -> None:
+        arrivals = self.traffic.arrivals(slot, sorted(self._active), self._traffic_rng)
+        for c in sorted(arrivals):
+            for _ in range(int(arrivals[c])):
+                self._seq += 1
+                self.queue.push(
+                    QueuedPacket(client_id=int(c), seq=self._seq, enqueued_slot=slot)
+                )
+                self.stats.offered_packets += 1
+
+    def _account_service(self, client: int, rate: float, slot: int) -> None:
+        """Pop the client's head packet and account rate + latency."""
+        packet = self.queue.pop_client(client)
+        self._cumulative_rate[client] = (
+            self._cumulative_rate.get(client, 0.0) + rate
+        )
+        self.stats.delivered_packets += 1
+        if packet is not None:
+            waited = float(slot - packet.enqueued_slot)
+            self.stats.latency_slots_total += waited
+            self._latency_sum[client] = self._latency_sum.get(client, 0.0) + waited
+            self._latency_n[client] = self._latency_n.get(client, 0) + 1
+
+    # ------------------------------------------------------------------ #
 
     def run(self, n_slots: int, track: bool = True) -> WLANStats:
         """Simulate ``n_slots`` downlink slots; returns the statistics.
@@ -176,19 +407,50 @@ class WLANSimulation:
         deployment, and ``stats.per_client_rate`` always averages over
         every slot simulated so far.
         """
-        for slot in range(n_slots):
+        saturated = self.traffic.saturated
+        for _ in range(n_slots):
+            slot = self._slot
+            self._slot += 1
             self.fading.step()
+            if self.churn is not None:
+                self._apply_churn(slot)
+            if self.mobility is not None:
+                self._apply_mobility(slot)
             if track:
                 self._track_channels(slot)
-            group = self.selector.select(self.queue, self.evaluator)
-            rates = self._transmit_group(group)
-            for c in group:
-                self._cumulative_rate[c] += rates.get(c, 0.0)
-                self.queue.pop_client(c)
-                self._seq += 1
-                self.queue.push(QueuedPacket(client_id=int(c), seq=self._seq))
+            if not saturated:
+                self._apply_arrivals(slot)
+            depth = len(self.queue)
+            self.stats.queue_depth_total += depth
+            self.stats.max_queue_depth = max(self.stats.max_queue_depth, depth)
+            if not self.queue:
+                self.stats.idle_slots += 1
+                continue
+            # The selector only runs when a full group can form: invoking
+            # it on a 1-2 client backlog would let BestOfTwo reset the
+            # fairness credits of companions that never get served (and
+            # solve candidate groups the degenerate slot then ignores).
+            if len(self.queue.clients_in_order()) >= 3:
+                served = tuple(self.selector.select(self.queue, self.evaluator))
+                rates = self._transmit_group(served)
+            else:
+                served = (self.queue.head().client_id,)
+                rates = self._serve_head_alone(served[0])
+            for c in served:
+                self._account_service(c, rates.get(c, 0.0), slot)
+                if saturated:
+                    self._seq += 1
+                    self.queue.push(
+                        QueuedPacket(
+                            client_id=int(c), seq=self._seq, enqueued_slot=slot + 1
+                        )
+                    )
         self.stats.slots += n_slots
         self.stats.per_client_rate = {
             c: total / self.stats.slots for c, total in self._cumulative_rate.items()
+        }
+        self.stats.per_client_latency = {
+            c: self._latency_sum[c] / self._latency_n[c]
+            for c in sorted(self._latency_n)
         }
         return self.stats

@@ -1,0 +1,224 @@
+"""Tests for the dynamic-traffic WLAN scenarios."""
+
+import pytest
+
+from repro.experiments import get_scenario, run_experiment
+from repro.experiments.dynamic_scenarios import build_wlan_config
+from repro.sim.wlan import WLANSimulation
+from repro.utils.rng import spawn_rngs
+
+#: Small-but-real settings shared by the cheap tests below.
+_FAST = {"n_clients": 6, "n_slots": 60}
+
+
+class TestRegistration:
+    def test_all_registered_with_tags(self):
+        for name in ("fig15_dynamic", "load_latency", "churn_throughput"):
+            scenario = get_scenario(name)
+            assert "dynamic" in scenario.tags
+            assert scenario.formatter is not None
+
+
+class TestFig15Dynamic:
+    def test_saturated_limit_matches_plain_simulation(self):
+        """The dynamic scenario's saturated default IS the paper's regime.
+
+        The trial must produce exactly the numbers of a plain
+        ``WLANSimulation`` run with the same derived seed — the dynamic
+        machinery is provably inert in the limiting case.
+        """
+        seed = 5
+        result = run_experiment("fig15_dynamic", n_trials=1, seed=seed, params=_FAST)
+        metrics = result.records[0].metrics
+
+        # Reproduce the trial's seed derivation by hand.
+        rng = spawn_rngs(seed, 1)[0]
+        sim_seed = int(rng.integers(2**31 - 1))
+        params = dict(get_scenario("fig15_dynamic").default_params)
+        params.update(_FAST)
+        sim = WLANSimulation(build_wlan_config(params, sim_seed))
+        stats = sim.run(int(params["n_slots"]))
+
+        assert metrics["total_rate"] == stats.total_rate
+        assert metrics["idle_fraction"] == 0.0
+        assert metrics["joins"] == metrics["leaves"] == 0.0
+
+    def test_saturated_static_limit_reproduces_fig15_band(self):
+        """Mean downlink gain of best2 lands in the Fig.-15 neighbourhood.
+
+        The paper reports 1.52x for best2 downlink on its testbed; the
+        Gauss-Markov deployment's static saturated limit lands in the
+        same band (~1.4-2.1x), and best2's fairness credits keep even
+        the unluckiest client near or above parity.
+        """
+        result = run_experiment(
+            "fig15_dynamic", n_trials=1, seed=0,
+            params={"n_clients": 17, "n_slots": 300},
+        )
+        m = result.records[0].metrics
+        assert 1.3 < m["mean_gain"] < 2.2
+        assert m["min_gain"] > 0.85
+        assert m["fraction_below_1x"] <= 0.2
+
+    def test_mobility_regime_costs_throughput(self):
+        """Opening the mobility knob must genuinely hurt (stale estimates)."""
+        static = run_experiment(
+            "fig15_dynamic", n_trials=1, seed=2, params=_FAST
+        ).records[0].metrics
+        mobile = run_experiment(
+            "fig15_dynamic", n_trials=1, seed=2,
+            params={**_FAST, "rho": 0.99, "mobility": True,
+                    "rho_moving": 0.9, "p_start": 0.3},
+        ).records[0].metrics
+        assert mobile["mean_staleness_loss_db"] > static["mean_staleness_loss_db"]
+        assert mobile["mean_gain"] < static["mean_gain"]
+
+    def test_per_client_gains_flattened(self):
+        result = run_experiment("fig15_dynamic", n_trials=1, seed=1, params=_FAST)
+        gains = [
+            v for k, v in result.records[0].metrics.items()
+            if k.startswith("client_gain_")
+        ]
+        assert len(gains) == _FAST["n_clients"]
+
+
+class TestLoadLatency:
+    def test_latency_knee(self):
+        """Latency explodes and idling vanishes as load approaches 1."""
+        def at(load):
+            return run_experiment(
+                "load_latency", n_trials=2, seed=3,
+                params={**_FAST, "n_slots": 150, "load": load},
+            )
+
+        light, heavy = at(0.2), at(0.95)
+        assert (
+            heavy.metric("mean_latency_slots").mean()
+            > light.metric("mean_latency_slots").mean()
+        )
+        assert (
+            heavy.metric("idle_fraction").mean()
+            < light.metric("idle_fraction").mean()
+        )
+
+    def test_bursty_traffic_selectable(self):
+        result = run_experiment(
+            "load_latency", n_trials=1, seed=4,
+            params={**_FAST, "n_slots": 100, "traffic": "bursty", "load": 0.5},
+        )
+        m = result.records[0].metrics
+        assert m["offered"] > 0 and m["delivered"] > 0
+
+    def test_throughput_tracks_offered_load_when_underloaded(self):
+        result = run_experiment(
+            "load_latency", n_trials=2, seed=5,
+            params={**_FAST, "n_slots": 200, "load": 0.3},
+        )
+        # Nearly everything offered gets delivered when underloaded.
+        delivered = result.metric("delivered").sum()
+        offered = result.metric("offered").sum()
+        assert delivered >= 0.9 * offered
+
+
+class TestChurnThroughput:
+    def test_churn_happens_and_is_accounted(self):
+        result = run_experiment(
+            "churn_throughput", n_trials=1, seed=6,
+            params={**_FAST, "n_slots": 150},
+        )
+        m = result.records[0].metrics
+        assert m["leaves"] > 0 and m["joins"] > 0
+        assert m["n_events"] == m["joins"] + m["leaves"]
+        assert m["total_rate"] > 0
+
+    def test_heavier_churn_hurts_fairness_but_refreshes_estimates(self):
+        """Churn's two faces: service over the universe gets less fair
+        (absent clients earn nothing), while every re-association
+        re-sounds the channel, so the *staleness* loss actually drops —
+        throughput under saturated demand need not fall."""
+        calm = run_experiment(
+            "churn_throughput", n_trials=2, seed=7,
+            params={**_FAST, "n_slots": 150, "p_leave": 0.0, "p_join": 0.0},
+        )
+        stormy = run_experiment(
+            "churn_throughput", n_trials=2, seed=7,
+            params={**_FAST, "n_slots": 150, "p_leave": 0.15, "p_join": 0.05},
+        )
+        assert (
+            stormy.metric("jain_fairness").mean()
+            < calm.metric("jain_fairness").mean()
+        )
+        assert (
+            stormy.metric("mean_staleness_loss_db").mean()
+            < calm.metric("mean_staleness_loss_db").mean()
+        )
+        assert stormy.metric("dropped").sum() > 0
+
+
+class TestBuildConfig:
+    def test_load_conversion_poisson(self):
+        config = build_wlan_config(
+            {"n_clients": 6, "traffic": "poisson", "load": 0.5}, seed=0
+        )
+        assert config.traffic_params["rate_per_client"] == pytest.approx(
+            0.5 * 3 / 6
+        )
+
+    def test_load_conversion_bursty_preserves_mean(self):
+        config = build_wlan_config(
+            {"n_clients": 10, "traffic": "bursty", "load": 0.4,
+             "p_on": 0.1, "p_off": 0.3}, seed=0
+        )
+        duty = 0.1 / 0.4
+        assert config.traffic_params["rate_on"] * duty == pytest.approx(
+            0.4 * 3 / 10
+        )
+
+    def test_unknown_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            build_wlan_config({"n_clients": 6, "traffic": "fractal"}, seed=0)
+
+    def test_inert_knobs_leave_cell_identity(self):
+        """Sweeping a knob the configuration never reads must yield
+        identical rows, not seed noise dressed up as an effect."""
+        from repro.experiments import run_sweep
+
+        executed = []
+        result = run_sweep(
+            "fig15_dynamic", {"load": [0.2, 0.9]}, n_trials=1,
+            params={"n_slots": 30, "n_clients": 6},
+            progress=lambda cell, reused: executed.append(not reused),
+        )
+        a, b = result.cells
+        assert a.key == b.key
+        assert a.summary == b.summary
+        # ...and the duplicate identity is executed exactly once.
+        assert sum(executed) == 1
+        assert result.cached_cells == 1
+
+    def test_canonicalizer_keeps_live_knobs(self):
+        from repro.experiments.dynamic_scenarios import canonical_dynamic_params
+
+        live = canonical_dynamic_params(
+            {"traffic": "poisson", "load": 0.5, "churn": True, "p_leave": 0.1}
+        )
+        assert live["load"] == 0.5 and live["p_leave"] == 0.1
+        inert = canonical_dynamic_params(
+            {"traffic": "saturated", "load": 0.5, "churn": False, "p_leave": 0.1}
+        )
+        assert "load" not in inert and "p_leave" not in inert
+        # Spelling aliases and the numerically-equivalent engine choice
+        # collapse to one identity.
+        assert canonical_dynamic_params({"traffic": "hetero"}) == (
+            canonical_dynamic_params({"traffic": "heterogeneous"})
+        )
+        assert canonical_dynamic_params({"engine": "scalar"}) == (
+            canonical_dynamic_params({"engine": "batched"})
+        )
+
+    def test_bursty_never_on_rejected(self):
+        """p_on=0 must surface as ValueError, not ZeroDivisionError."""
+        with pytest.raises(ValueError, match="p_on"):
+            build_wlan_config(
+                {"n_clients": 6, "traffic": "bursty", "p_on": 0.0}, seed=0
+            )
