@@ -10,15 +10,14 @@ USRP1 hardware; this benchmark tests it in simulation.
 Sweep: RMS delay spread from 0 (flat) to 4 samples over a 64-bin OFDM
 grid; compare the band rate of per-subcarrier alignment vs a single flat
 alignment computed at the band centre.
+
+The experiment itself is the registered ``ofdm_subcarrier`` scenario
+(:mod:`repro.experiments.ofdm_scenarios`) — this benchmark and
+``repro sweep ofdm_subcarrier --grid delay_spread=0,0.5,1,2,4`` drive
+the identical code path through the experiment runner.
 """
 
-import functools
-
-import numpy as np
-
-from repro.core.alignment import solve_uplink_three_packets
-from repro.core.ofdm_alignment import conjecture_experiment
-from repro.phy.channel.selective import MultiTapChannel, exponential_pdp
+from repro.experiments import ExperimentRunner
 
 DELAY_SPREADS = [0.0, 0.5, 1.0, 2.0, 4.0]
 N_FFT = 64
@@ -27,26 +26,27 @@ NOISE = 1e-3
 
 
 def _run_sweep():
+    runner = ExperimentRunner()
     rows = []
     for spread in DELAY_SPREADS:
-        rng = np.random.default_rng(int(spread * 10) + 63)
-        pdp = exponential_pdp(8, spread)
-        selective = {
-            (c, a): MultiTapChannel.random(2, 2, pdp, rng)
-            for c in (0, 1)
-            for a in (0, 1)
-        }
-        solver = functools.partial(solve_uplink_three_packets, rng=rng, n_candidates=2)
-        results = conjecture_experiment(
-            selective, solver, n_fft=N_FFT, n_bins=N_BINS, noise_power=NOISE
+        result = runner.run(
+            "ofdm_subcarrier",
+            n_trials=1,
+            seed=int(spread * 10) + 63,
+            params={
+                "delay_spread": spread,
+                "n_fft": N_FFT,
+                "n_bins": N_BINS,
+                "noise_power": NOISE,
+            },
         )
-        coherence = selective[(0, 0)].coherence_bandwidth_bins(N_FFT)
+        m = result.records[0].metrics
         rows.append(
             (
                 spread,
-                coherence,
-                results["per_subcarrier"].total_rate,
-                results["flat_approximation"].total_rate,
+                int(m["coherence_bins"]),
+                m["per_subcarrier_rate"],
+                m["flat_rate"],
             )
         )
     return rows

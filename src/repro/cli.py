@@ -12,7 +12,7 @@ no per-figure wiring of its own.  Usage::
     python -m repro fig15 [--slots N] [--direction uplink|downlink]
     python -m repro fig16 | fig17
     python -m repro lemmas | overhead
-    python -m repro bench [--quick] [--out-dir DIR]
+    python -m repro bench [--quick] [--ofdm] [--out-dir DIR]
     python -m repro --version
 
 ``run`` executes any registered scenario; ``--json -`` writes the
@@ -27,9 +27,10 @@ registry.  ``bench`` times the WLAN hot path under both group-evaluation
 engines, the sample-accurate signal pipeline under its ``fast`` and
 ``reference`` engines, and a set of scenario trials, writing
 ``BENCH_wlan.json`` / ``BENCH_signal.json`` / ``BENCH_scenarios.json``
-(``--quick`` for the CI smoke variant).  See ``EXPERIMENTS.md`` for every
-scenario, its paper figure, the expected gain ranges and the benchmark
-JSON schemas.
+(``--quick`` for the CI smoke variant; ``--ofdm`` adds the subcarrier-
+batched band solver vs the per-bin reference loop, ``BENCH_ofdm.json``).
+See ``EXPERIMENTS.md`` for every scenario, its paper figure, the
+expected gain ranges and the benchmark JSON schemas.
 """
 
 from __future__ import annotations
@@ -342,9 +343,11 @@ def _cmd_fig17(args) -> int:
 def _cmd_bench(args) -> int:
     """Time the WLAN + signal hot paths + scenario trials; write BENCH_*.json."""
     from repro.engine.bench import (
+        bench_ofdm,
         bench_scenarios,
         bench_signal,
         bench_wlan,
+        format_ofdm_bench,
         format_scenario_bench,
         format_signal_bench,
         format_wlan_bench,
@@ -353,8 +356,10 @@ def _cmd_bench(args) -> int:
 
     if args.quick:
         slots, repeats, trials, sessions = min(args.slots, 40), 1, 2, min(args.sessions, 4)
+        ofdm_groups = min(args.ofdm_groups, 8)
     else:
         slots, repeats, trials, sessions = args.slots, args.repeats, args.trials, args.sessions
+        ofdm_groups = args.ofdm_groups
     wlan_doc = bench_wlan(
         n_slots=slots,
         n_clients=args.clients,
@@ -370,6 +375,15 @@ def _cmd_bench(args) -> int:
         print()
         print(format_signal_bench(signal_doc))
         docs["BENCH_signal.json"] = signal_doc
+    if args.ofdm:
+        # 64 bins always: the acceptance number (>=3x at 64 bins) is only
+        # meaningful at the full grid; --quick shrinks the group count.
+        ofdm_doc = bench_ofdm(
+            n_groups=ofdm_groups, repeats=repeats, seed=args.seed
+        )
+        print()
+        print(format_ofdm_bench(ofdm_doc))
+        docs["BENCH_ofdm.json"] = ofdm_doc
     if not args.skip_scenarios:
         scen_doc = bench_scenarios(n_trials=trials, seed=args.seed)
         print()
@@ -530,6 +544,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip the scenario timing suite")
     pb.add_argument("--skip-signal", action="store_true",
                     help="skip the signal-pipeline timing suite")
+    pb.add_argument("--ofdm", action="store_true",
+                    help="also time the subcarrier-batched band solver "
+                         "against the per-bin reference loop (BENCH_ofdm.json)")
+    pb.add_argument("--ofdm-groups", type=_positive_int, default=16,
+                    help="candidate groups in the OFDM band-solver suite")
 
     pl2 = sub.add_parser("lemmas", help="print the DoF table (Lemmas 5.1/5.2)")
     common(pl2)

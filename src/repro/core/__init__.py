@@ -33,11 +33,18 @@ from repro.core.general import (
     solve_downlink_general,
     solve_uplink_general,
 )
-from repro.core.plans import AlignmentSolution, ChannelSet, DecodeStage, PacketSpec
+from repro.core.plans import (
+    AlignmentSolution,
+    BandedChannelSet,
+    ChannelSet,
+    DecodeStage,
+    PacketSpec,
+)
 from repro.core.session import SessionReport, SignalConfig, run_session
 
 __all__ = [
     "AlignmentSolution",
+    "BandedChannelSet",
     "ChannelSet",
     "DecodeReport",
     "DecodeStage",

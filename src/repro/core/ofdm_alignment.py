@@ -24,7 +24,7 @@ approximation stays acceptable, exactly as §6c conjectures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -68,7 +68,8 @@ def channel_set_at_bin(
 def _responses(
     selective: Mapping[Tuple[int, int], MultiTapChannel],
     n_fft: int,
-) -> Dict[Tuple[int, int], List[np.ndarray]]:
+) -> Dict[Tuple[int, int], np.ndarray]:
+    """One ``(n_fft, n_rx, n_tx)`` stacked response per link."""
     return {pair: ch.frequency_response(n_fft) for pair, ch in selective.items()}
 
 

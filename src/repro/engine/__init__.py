@@ -34,11 +34,16 @@ and records the speedup trajectory in ``BENCH_*.json`` files.
 """
 
 from repro.engine.batched import (
+    downlink_sinrs_band,
     downlink_sinrs_batch,
+    downlink_transmit_sinrs_band,
+    solve_downlink_three_band,
     solve_downlink_three_batch,
     stack_downlink_channels,
+    stack_downlink_channels_band,
 )
 from repro.engine.evaluator import (
+    ALIGNMENT_MODES,
     BatchedGroupEvaluator,
     ChannelSource,
     GroupEvaluator,
@@ -48,13 +53,18 @@ from repro.engine.evaluator import (
 )
 
 __all__ = [
+    "ALIGNMENT_MODES",
     "BatchedGroupEvaluator",
     "ChannelSource",
     "GroupEvaluator",
     "ScalarGroupEvaluator",
     "StaticChannelSource",
+    "downlink_sinrs_band",
     "downlink_sinrs_batch",
+    "downlink_transmit_sinrs_band",
     "make_evaluator",
+    "solve_downlink_three_band",
     "solve_downlink_three_batch",
     "stack_downlink_channels",
+    "stack_downlink_channels_band",
 ]

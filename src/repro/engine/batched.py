@@ -23,8 +23,19 @@ once by stacking their believed channel matrices into an
   from :func:`repro.phy.mimo.detection.max_sinr_vectors` and SINRs from
   :func:`repro.phy.mimo.detection.post_projection_sinr_batch`.
 
+The wideband (per-subcarrier, §6c) layer stacks one more axis on the
+same machinery: :func:`stack_downlink_channels_band` builds a
+``(G, B, 3, 3, M, M)`` band batch from banded channel maps,
+:func:`solve_downlink_three_band` flattens the ``(G, B)`` grid into one
+``(G*B,)`` batch — every subcarrier of every group solved in the same
+single stacked ``np.linalg`` calls — and
+:func:`downlink_transmit_sinrs_band` decodes a transmitted group on all
+bins at once.  ``B = 1`` reduces to the flat route bit-identically.
+
 Numerical equivalence with the scalar path is asserted by
-``tests/engine/test_evaluator.py`` (all selectors, 2-4 antennas).
+``tests/engine/test_evaluator.py`` (all selectors, 2-4 antennas) and,
+for the banded solver against the per-bin scalar loop, by
+``tests/engine/test_band.py``.
 """
 
 from __future__ import annotations
@@ -121,6 +132,109 @@ def downlink_sinrs_batch(h: np.ndarray, v: np.ndarray, noise_power: float) -> np
     return np.stack(sinrs, axis=-1)
 
 
+def stack_downlink_channels_band(
+    groups: Sequence[Tuple[int, ...]],
+    channel_maps: Mapping[int, Mapping[int, np.ndarray]],
+    aps: Sequence[int],
+) -> np.ndarray:
+    """Banded counterpart of :func:`stack_downlink_channels`.
+
+    ``channel_maps`` values are per-AP ``(B, M, M)`` subcarrier stacks
+    (a flat ``(M, M)`` matrix is accepted as the ``B = 1`` case).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(G, B, 3, 3, M, M)`` complex batch: ``h[g, b, i, j]`` is the
+        bin-``b`` channel from AP ``aps[i]`` to client ``groups[g][j]``.
+    """
+    if len(aps) != GROUP_SIZE:
+        raise ValueError(f"downlink groups use exactly {GROUP_SIZE} APs")
+    first = np.asarray(next(iter(next(iter(channel_maps.values())).values())))
+    if first.ndim == 2:
+        first = first[None]
+    n_bins, m = first.shape[0], first.shape[-1]
+    h = np.empty((len(groups), n_bins, GROUP_SIZE, GROUP_SIZE, m, m), dtype=complex)
+    for g, group in enumerate(groups):
+        if len(group) != GROUP_SIZE:
+            raise ValueError(f"group {group} does not have {GROUP_SIZE} clients")
+        for j, client in enumerate(group):
+            cmap = channel_maps[client]
+            for i, ap in enumerate(aps):
+                hb = np.asarray(cmap[ap])
+                h[g, :, i, j] = hb if hb.ndim == 3 else hb[None]
+    return h
+
+
+def solve_downlink_three_band(
+    h: np.ndarray,
+    noise_power: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-subcarrier downlink-3 alignment for a batch of banded groups.
+
+    The §6c operating mode: every subcarrier of every group is solved
+    *independently* — bin ``b`` of group ``g`` is exactly the flat
+    problem :func:`solve_downlink_three_batch` solves, so the whole
+    ``(G, B)`` grid is flattened into one ``(G*B,)`` batch and solved in
+    the same single stacked ``np.linalg`` calls.  ``B = 1`` is therefore
+    bit-identical to the flat route by construction (the reshape is a
+    view; the arithmetic is the same).
+
+    Parameters
+    ----------
+    h:
+        ``(G, B, 3, 3, M, M)`` believed-channel band batch
+        (see :func:`stack_downlink_channels_band`).
+    noise_power:
+        Noise power used to score eigenvector candidates per bin.
+
+    Returns
+    -------
+    (encodings, rates, sinrs):
+        ``encodings`` is ``(G, B, 3, M)`` — per-bin winning unit-norm
+        vectors; ``rates`` is ``(G, B)`` per-bin estimated throughput;
+        ``sinrs`` is ``(G, B, 3)`` per-bin per-packet SINRs.
+    """
+    g, b = h.shape[:2]
+    v, rates, sinrs = solve_downlink_three_batch(
+        h.reshape((g * b,) + h.shape[2:]), noise_power
+    )
+    return (
+        v.reshape(g, b, GROUP_SIZE, -1),
+        rates.reshape(g, b),
+        sinrs.reshape(g, b, GROUP_SIZE),
+    )
+
+
+def downlink_sinrs_band(h: np.ndarray, v: np.ndarray, noise_power: float) -> np.ndarray:
+    """Per-bin rate-level SINRs of banded groups under given encodings.
+
+    Used by the flat-anchor mode to score one band-wide encoding (solved
+    at the anchor subcarrier) against every bin's believed channel.
+
+    Parameters
+    ----------
+    h:
+        ``(G, B, 3, 3, M, M)`` channel band batch.
+    v:
+        ``(G, B, 3, M)`` encoding vectors (broadcast a ``(G, 1, 3, M)``
+        anchor solution across bins with ``np.broadcast_to``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(G, B, 3)`` SINRs, packet ``i`` decoded at client ``i``.
+    """
+    g, b = h.shape[:2]
+    v = np.broadcast_to(v, (g, b) + v.shape[2:])
+    flat = downlink_sinrs_batch(
+        h.reshape((g * b,) + h.shape[2:]),
+        np.ascontiguousarray(v).reshape((g * b,) + v.shape[2:]),
+        noise_power,
+    )
+    return flat.reshape(g, b, GROUP_SIZE)
+
+
 #: Interfering-packet indices per receiver for the 3-packet downlink.
 _OTHERS = np.array([[1, 2], [0, 2], [0, 1]])
 
@@ -163,6 +277,52 @@ def downlink_transmit_sinrs(
     interf_true = d_true[rx[:, None], _OTHERS]  # (3, 2, M)
     desired_bel = d_bel[rx, rx]
     interf_bel = d_bel[rx[:, None], _OTHERS]
+    # Axis 0: filter design — 0 = believed (actual), 1 = true (genie).
+    design_desired = np.stack([desired_bel, desired_true])
+    design_interf = np.stack([interf_bel, interf_true])
+    w = max_sinr_vectors(design_desired, design_interf, noise_power)
+    sinr = post_projection_sinr_batch(
+        w, desired_true[None], interf_true[None], noise_power
+    )
+    return sinr[0], sinr[1]
+
+
+def downlink_transmit_sinrs_band(
+    h_true: np.ndarray,
+    h_believed: np.ndarray,
+    v: np.ndarray,
+    noise_power: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Banded :func:`downlink_transmit_sinrs`: all subcarriers at once.
+
+    Every evaluated bin of one transmitted group is decoded against its
+    own true channel, with receive filters designed per bin from the
+    believed (actual) and true (genie) channels — the bin axis is just
+    one more batch axis on the same vectorised pass.
+
+    Parameters
+    ----------
+    h_true, h_believed:
+        ``(B, 3, 3, M, M)`` channel bands for one group.
+    v:
+        ``(B, 3, M)`` per-bin unit-norm encoding vectors; a flat-anchor
+        solution broadcasts its single ``(1, 3, M)`` entry across bins.
+
+    Returns
+    -------
+    (actual, ideal):
+        Two ``(B, 3)`` per-bin per-packet SINR arrays.
+    """
+    n_bins = h_true.shape[0]
+    v = np.broadcast_to(v, (n_bins,) + v.shape[1:])
+    rx = np.arange(GROUP_SIZE)
+    # d[b, j, i] = H_b(ap_i, k_j) v_i under each channel belief.
+    d_true = np.einsum("bjimn,bin->bjim", np.swapaxes(h_true, 1, 2), v)
+    d_bel = np.einsum("bjimn,bin->bjim", np.swapaxes(h_believed, 1, 2), v)
+    desired_true = d_true[:, rx, rx]  # (B, 3, M)
+    interf_true = d_true[:, rx[:, None], _OTHERS]  # (B, 3, 2, M)
+    desired_bel = d_bel[:, rx, rx]
+    interf_bel = d_bel[:, rx[:, None], _OTHERS]
     # Axis 0: filter design — 0 = believed (actual), 1 = true (genie).
     design_desired = np.stack([desired_bel, desired_true])
     design_interf = np.stack([interf_bel, interf_true])

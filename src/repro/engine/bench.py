@@ -1,8 +1,8 @@
 """Wall-clock benchmarks for the engine and the scenario registry.
 
-``python -m repro bench`` runs three timing suites and writes one JSON
-document each, so the repository's performance trajectory is recorded
-alongside its correctness results:
+``python -m repro bench`` runs up to four timing suites and writes one
+JSON document each, so the repository's performance trajectory is
+recorded alongside its correctness results:
 
 * :func:`bench_wlan` times ``WLANSimulation.run`` under both group-
   evaluation engines (``scalar`` — the pre-engine reference path — and
@@ -17,6 +17,10 @@ alongside its correctness results:
   visible in the artifact; ``BENCH_signal.json``.
 * :func:`bench_scenarios` times registered scenarios end to end through
   :class:`~repro.experiments.ExperimentRunner`; ``BENCH_scenarios.json``.
+* :func:`bench_ofdm` (``repro bench --ofdm``) times the subcarrier-
+  batched downlink solver against the per-bin scalar reference loop on a
+  64-bin OFDM grid and records the worst per-packet SINR discrepancy;
+  ``BENCH_ofdm.json``.
 
 JSON schemas are documented in ``EXPERIMENTS.md``.  Timings use the best
 of ``repeats`` runs (fresh simulation each run, so caches never carry
@@ -210,6 +214,119 @@ def bench_signal(
     }
 
 
+def bench_ofdm(
+    n_groups: int = 16,
+    n_bins: int = 64,
+    n_antennas: int = 2,
+    n_taps: int = 8,
+    delay_spread: float = 2.0,
+    repeats: int = 3,
+    seed: int = 7,
+) -> dict:
+    """Time the subcarrier-batched downlink solver against the per-bin loop.
+
+    One fixed scene — ``n_groups`` candidate 3-client downlink groups over
+    multi-tap Rayleigh channels, ``n_bins`` evaluated subcarriers of a
+    64-point OFDM grid — is solved two ways:
+
+    * ``batched``: the whole ``(G, B)`` grid flattened into one stacked
+      ``np.linalg`` pass (:func:`repro.engine.batched.solve_downlink_three_band`);
+    * ``reference``: the per-bin scalar loop — one
+      :func:`~repro.core.alignment.solve_downlink_three_packets` +
+      :func:`~repro.core.decoder.decode_rate_level` per (group, bin),
+      exactly what the pre-wideband code would have done bin by bin.
+
+    Returns the ``BENCH_ofdm.json`` document: per-engine seconds, the
+    speedup, and the worst absolute per-packet SINR discrepancy between
+    the two paths in dB (``max_sinr_diff_db``) — the §6c acceptance
+    numbers (speedup >= 3x at 64 bins, discrepancy <= 1e-6 dB).
+    """
+    # Deferred imports: keep ``repro.engine`` light for non-bench users.
+    from repro.core.alignment import solve_downlink_three_packets
+    from repro.core.decoder import decode_rate_level
+    from repro.core.plans import ChannelSet
+    from repro.engine.batched import solve_downlink_three_band
+    from repro.phy.channel.provider import evaluation_bins
+    from repro.phy.channel.selective import MultiTapChannel, exponential_pdp
+
+    n_fft = 64
+    if not 1 <= n_bins <= n_fft:
+        raise ValueError(f"n_bins must be in [1, {n_fft}]")
+    rng = np.random.default_rng(seed)
+    pdp = exponential_pdp(n_taps, delay_spread)
+    # The provider's evaluation grid, or — for the full-FFT acceptance
+    # run (n_bins == 64) — every subcarrier including DC, so all bins
+    # are distinct and "64 bins" means 64 solved subcarriers.
+    bins = (
+        np.arange(n_fft) if n_bins == n_fft else evaluation_bins(n_fft, n_bins)
+    )
+    aps = (0, 1, 2)
+    # Independent scenes per group: h[g, :, i, j] is the band of the
+    # channel from AP i to client j of candidate group g.
+    m = n_antennas
+    h = np.empty((n_groups, n_bins, 3, 3, m, m), dtype=complex)
+    for g in range(n_groups):
+        for i in range(3):
+            for j in range(3):
+                ch = MultiTapChannel.random(m, m, pdp, rng)
+                h[g, :, i, j] = ch.frequency_response(n_fft)[bins]
+
+    def run_batched():
+        _, _, sinrs = solve_downlink_three_band(h, noise_power=1.0)
+        return sinrs  # (G, B, 3)
+
+    def run_reference():
+        sinrs = np.empty((n_groups, n_bins, 3))
+        for g in range(n_groups):
+            for b in range(n_bins):
+                chans = ChannelSet(
+                    {(aps[i], 100 + j): h[g, b, i, j] for i in range(3) for j in range(3)}
+                )
+                solution = solve_downlink_three_packets(
+                    chans, aps=aps, clients=(100, 101, 102), noise_power=1.0
+                )
+                report = decode_rate_level(solution, chans, noise_power=1.0)
+                sinrs[g, b] = [r.sinr for r in report.results]
+        return sinrs
+
+    engines: Dict[str, Dict[str, float]] = {}
+    results = {}
+    for engine, fn in (("reference", run_reference), ("batched", run_batched)):
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            results[engine] = fn()
+            best = min(best, time.perf_counter() - start)
+        engines[engine] = {
+            "seconds": best,
+            "mean_rate": float(
+                np.log2(1.0 + results[engine]).sum(axis=-1).mean()
+            ),
+        }
+    max_sinr_diff = float(
+        np.max(np.abs(10 * np.log10(results["batched"]) - 10 * np.log10(results["reference"])))
+    )
+    return {
+        "benchmark": "ofdm",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "config": {
+            "n_groups": n_groups,
+            "n_bins": n_bins,
+            "n_fft": n_fft,
+            "n_antennas": n_antennas,
+            "n_taps": n_taps,
+            "delay_spread": delay_spread,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "engines": engines,
+        "speedup": engines["reference"]["seconds"] / engines["batched"]["seconds"],
+        "max_sinr_diff_db": max_sinr_diff,
+        "environment": _environment(),
+        "timestamp": _timestamp(),
+    }
+
+
 def bench_scenarios(
     names: Sequence[str] = DEFAULT_SCENARIOS,
     n_trials: int = 8,
@@ -284,6 +401,26 @@ def format_signal_bench(doc: dict) -> str:
     lines.append(
         f"  speedup : {doc['speedup']:.2f}x (fast vs reference), "
         f"max SNR diff {doc['max_snr_diff_db']:.2e} dB"
+    )
+    return "\n".join(lines)
+
+
+def format_ofdm_bench(doc: dict) -> str:
+    """Human-readable summary of a ``BENCH_ofdm.json`` document."""
+    cfg = doc["config"]
+    lines = [
+        f"OFDM band solver: {cfg['n_groups']} groups x {cfg['n_bins']} bins, "
+        f"M={cfg['n_antennas']}, delay spread {cfg['delay_spread']}, "
+        f"best of {cfg['repeats']}",
+    ]
+    for engine, stats in sorted(doc["engines"].items()):
+        lines.append(
+            f"  {engine:>9s}: {stats['seconds']*1e3:8.1f} ms   "
+            f"mean bin rate {stats['mean_rate']:.3f} b/s/Hz"
+        )
+    lines.append(
+        f"  speedup : {doc['speedup']:.2f}x (band-batched vs per-bin loop), "
+        f"max SINR diff {doc['max_sinr_diff_db']:.2e} dB"
     )
     return "\n".join(lines)
 

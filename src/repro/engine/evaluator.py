@@ -29,25 +29,68 @@ import numpy as np
 
 from repro.core.alignment import solve_downlink_three_packets
 from repro.core.decoder import decode_rate_level
-from repro.core.plans import AlignmentSolution, ChannelSet, DecodeStage, PacketSpec
+from repro.core.plans import (
+    AlignmentSolution,
+    BandedChannelSet,
+    ChannelSet,
+    DecodeStage,
+    PacketSpec,
+)
 from repro.engine.batched import (
     GROUP_SIZE,
+    downlink_sinrs_band,
     downlink_transmit_sinrs,
+    downlink_transmit_sinrs_band,
+    solve_downlink_three_band,
     solve_downlink_three_batch,
     stack_downlink_channels,
+    stack_downlink_channels_band,
 )
 
 Group = Tuple[int, ...]
+
+#: How a wideband (banded) evaluator aligns across the subcarrier grid:
+#: ``"per_subcarrier"`` solves every bin independently (the §6c
+#: conjecture's operating mode); ``"flat_anchor"`` solves once at the
+#: band-centre bin and reuses those encoding vectors band-wide (the
+#: paper's baseline worry — alignment decays as the band decorrelates).
+#: Receivers always decode each bin against that bin's own channels.
+ALIGNMENT_MODES = ("per_subcarrier", "flat_anchor")
+
+
+def _map_n_bins(channel_maps: Mapping[int, Mapping[int, np.ndarray]]) -> int:
+    """Bin count of a believed channel map (1 when entries are flat)."""
+    first = np.asarray(next(iter(next(iter(channel_maps.values())).values())))
+    return first.shape[0] if first.ndim == 3 else 1
+
+
+def _flatten_one_bin(
+    channel_maps: Mapping[int, Mapping[int, np.ndarray]]
+) -> Dict[int, Dict[int, np.ndarray]]:
+    """Squeeze ``(1, M, M)`` one-bin stacks to flat matrices, so a one-bin
+    banded source runs the literal flat (pre-wideband) route."""
+    out: Dict[int, Dict[int, np.ndarray]] = {}
+    for c, cmap in channel_maps.items():
+        flat = {}
+        for ap, h in cmap.items():
+            h = np.asarray(h)
+            flat[ap] = h[0] if h.ndim == 3 else h
+        out[c] = flat
+    return out
 
 
 class ChannelSource(ABC):
     """Where an evaluator reads believed channels and their versions.
 
-    ``channel_map(client)`` returns ``{ap_id: (M, M) matrix}``;
-    ``channel_version(client)`` returns a counter that changes whenever
-    that client's map changes (the memoisation key).  The leader AP
+    ``channel_map(client)`` returns ``{ap_id: (M, M) matrix}`` — or, for
+    a wideband deployment whose sounding carries per-subcarrier
+    estimates, ``{ap_id: (B, M, M) stack}``; evaluators treat the flat
+    matrix as the ``B = 1`` case.  ``channel_version(client)`` returns a
+    counter that changes whenever that client's map changes (the
+    memoisation key).  The leader AP
     (:class:`repro.mac.association.LeaderAP`) implements this natively;
-    :class:`StaticChannelSource` adapts a fixed :class:`ChannelSet`.
+    :class:`StaticChannelSource` adapts a fixed :class:`ChannelSet` or
+    :class:`BandedChannelSet`.
     """
 
     @abstractmethod
@@ -60,13 +103,16 @@ class ChannelSource(ABC):
 
 
 class StaticChannelSource(ChannelSource):
-    """A frozen :class:`ChannelSet` (downlink ``(ap, client)`` keys)."""
+    """A frozen :class:`ChannelSet` or :class:`BandedChannelSet`
+    (downlink ``(ap, client)`` keys)."""
 
-    def __init__(self, channels: ChannelSet, aps: Sequence[int]):
+    def __init__(self, channels, aps: Sequence[int]):
         self._channels = channels
         self._aps = tuple(aps)
 
     def channel_map(self, client_id: int) -> Dict[int, np.ndarray]:
+        if isinstance(self._channels, BandedChannelSet):
+            return {ap: self._channels.h_bins(ap, client_id) for ap in self._aps}
         return {ap: self._channels.h(ap, client_id) for ap in self._aps}
 
     def channel_version(self, client_id: int) -> int:
@@ -82,12 +128,25 @@ class GroupEvaluator(ABC):
     the solver just has nothing to batch).
     """
 
-    def __init__(self, source: ChannelSource, aps: Sequence[int], noise_power: float = 1.0):
+    def __init__(
+        self,
+        source: ChannelSource,
+        aps: Sequence[int],
+        noise_power: float = 1.0,
+        alignment: str = "per_subcarrier",
+    ):
         if len(aps) != GROUP_SIZE:
             raise ValueError(f"downlink groups use exactly {GROUP_SIZE} APs")
+        if alignment not in ALIGNMENT_MODES:
+            raise ValueError(
+                f"unknown alignment mode {alignment!r} (expected one of {ALIGNMENT_MODES})"
+            )
         self.source = source
         self.aps = tuple(aps)
         self.noise_power = float(noise_power)
+        #: Wideband alignment strategy; irrelevant when the source is flat
+        #: (one bin *is* its own anchor).
+        self.alignment = alignment
 
     @abstractmethod
     def evaluate_many(self, groups: Sequence[Group]) -> List[float]:
@@ -128,10 +187,20 @@ class GroupEvaluator(ABC):
 
     def _believed(self, group: Group) -> ChannelSet:
         out = {}
+        for c, cmap in _flatten_one_bin(self._group_maps(group)).items():
+            for ap, h in cmap.items():
+                out[(ap, c)] = h
+        return ChannelSet(out)
+
+    def _believed_band(self, group: Group) -> BandedChannelSet:
+        out = {}
         for c in group:
             for ap, h in self.source.channel_map(c).items():
                 out[(ap, c)] = h
-        return ChannelSet(out)
+        return BandedChannelSet(out)
+
+    def _group_maps(self, group: Group) -> Dict[int, Mapping[int, np.ndarray]]:
+        return {c: self.source.channel_map(c) for c in group}
 
     def _solution_from_encodings(self, group: Group, encodings: np.ndarray) -> AlignmentSolution:
         packets = [PacketSpec(i, self.aps[i], group[i]) for i in range(GROUP_SIZE)]
@@ -144,7 +213,36 @@ class GroupEvaluator(ABC):
 
 
 class ScalarGroupEvaluator(GroupEvaluator):
-    """The pre-engine reference path: re-solve every probe from scratch."""
+    """The pre-engine reference path: re-solve every probe from scratch.
+
+    On a banded (wideband) channel source this is the **per-bin scalar
+    loop**: every evaluated subcarrier is treated as its own flat
+    problem — one :func:`solve_downlink_three_packets` +
+    :func:`decode_rate_level` per bin — against which the
+    subcarrier-batched engine is equivalence-tested and benchmarked.
+    """
+
+    def _is_banded(self, group: Group) -> bool:
+        return _map_n_bins(self._group_maps(group)) > 1
+
+    def _band_solutions(
+        self, group: Group, believed: BandedChannelSet
+    ) -> List[AlignmentSolution]:
+        """One alignment solution per bin (the anchor's, repeated, in
+        flat-anchor mode)."""
+        if self.alignment == "flat_anchor":
+            anchor = solve_downlink_three_packets(
+                believed.at_bin(believed.n_bins // 2),
+                aps=self.aps, clients=group, noise_power=self.noise_power,
+            )
+            return [anchor] * believed.n_bins
+        return [
+            solve_downlink_three_packets(
+                believed.at_bin(b),
+                aps=self.aps, clients=group, noise_power=self.noise_power,
+            )
+            for b in range(believed.n_bins)
+        ]
 
     def evaluate_many(self, groups: Sequence[Group]) -> List[float]:
         rates = []
@@ -152,6 +250,18 @@ class ScalarGroupEvaluator(GroupEvaluator):
             group = tuple(group)
             if len(group) < GROUP_SIZE:
                 rates.append(0.0)
+                continue
+            if self._is_banded(group):
+                believed = self._believed_band(group)
+                solutions = self._band_solutions(group, believed)
+                rates.append(
+                    float(np.mean([
+                        decode_rate_level(
+                            sol, believed.at_bin(b), noise_power=self.noise_power
+                        ).total_rate
+                        for b, sol in enumerate(solutions)
+                    ]))
+                )
                 continue
             believed = self._believed(group)
             solution = solve_downlink_three_packets(
@@ -163,19 +273,53 @@ class ScalarGroupEvaluator(GroupEvaluator):
         return rates
 
     def solve(self, group: Group) -> AlignmentSolution:
+        """The flat solution (banded sources: the anchor bin's)."""
         group = tuple(group)
+        if self._is_banded(group):
+            believed = self._believed_band(group)
+            return solve_downlink_three_packets(
+                believed.at_bin(believed.n_bins // 2),
+                aps=self.aps, clients=group, noise_power=self.noise_power,
+            )
         return solve_downlink_three_packets(
             self._believed(group), aps=self.aps, clients=group,
             noise_power=self.noise_power,
         )
+
+    def transmit_sinrs(self, group: Group, true_channels) -> Tuple[np.ndarray, np.ndarray]:
+        """Reference transmission decode; banded sources loop the bins.
+
+        With a banded source ``true_channels`` must be a
+        :class:`BandedChannelSet`; the return arrays are ``(B, 3)``.
+        """
+        group = tuple(group)
+        if not self._is_banded(group):
+            return super().transmit_sinrs(group, true_channels)
+        believed = self._believed_band(group)
+        solutions = self._band_solutions(group, believed)
+        actual = np.empty((believed.n_bins, GROUP_SIZE))
+        ideal = np.empty((believed.n_bins, GROUP_SIZE))
+        for b, sol in enumerate(solutions):
+            true_b = true_channels.at_bin(b)
+            report = decode_rate_level(
+                sol, true_b, self.noise_power,
+                estimated_channels=believed.at_bin(b),
+            )
+            genie = decode_rate_level(sol, true_b, self.noise_power)
+            actual[b] = [r.sinr for r in report.results]
+            ideal[b] = [r.sinr for r in genie.results]
+        return actual, ideal
 
 
 @dataclass
 class _CacheEntry:
     versions: Tuple[int, ...]
     rate: float
-    encodings: np.ndarray  # (3, M) unit-norm
-    sinrs: np.ndarray  # (3,)
+    #: Unit-norm encoding vectors: ``(3, M)`` on flat sources (also the
+    #: flat-anchor band solution, broadcast at transmit time); ``(B, 3, M)``
+    #: per-bin on banded sources in per-subcarrier mode.
+    encodings: np.ndarray
+    sinrs: np.ndarray  # (3,) flat, (B, 3) banded
 
 
 class BatchedGroupEvaluator(GroupEvaluator):
@@ -189,8 +333,14 @@ class BatchedGroupEvaluator(GroupEvaluator):
     that client — everything else stays warm across slots.
     """
 
-    def __init__(self, source: ChannelSource, aps: Sequence[int], noise_power: float = 1.0):
-        super().__init__(source, aps, noise_power)
+    def __init__(
+        self,
+        source: ChannelSource,
+        aps: Sequence[int],
+        noise_power: float = 1.0,
+        alignment: str = "per_subcarrier",
+    ):
+        super().__init__(source, aps, noise_power, alignment)
         self._cache: Dict[Group, _CacheEntry] = {}
         self.hits = 0
         self.misses = 0
@@ -242,8 +392,28 @@ class BatchedGroupEvaluator(GroupEvaluator):
         clients = {c for g in groups for c in g}
         channel_maps = {c: self.source.channel_map(c) for c in clients}
         versions = {c: self.source.channel_version(c) for c in clients}
-        h = stack_downlink_channels(groups, channel_maps, self.aps)
-        encodings, rates, sinrs = solve_downlink_three_batch(h, self.noise_power)
+        if _map_n_bins(channel_maps) == 1:
+            # Flat route (also the wideband n_bins == 1 limit): exactly the
+            # pre-wideband computation, preserved bit-identically.
+            h = stack_downlink_channels(
+                groups, _flatten_one_bin(channel_maps), self.aps
+            )
+            encodings, rates, sinrs = solve_downlink_three_batch(h, self.noise_power)
+        else:
+            h = stack_downlink_channels_band(groups, channel_maps, self.aps)
+            if self.alignment == "flat_anchor":
+                # Solve once at the band-centre anchor, score the stale
+                # encodings against every bin's believed channel.
+                anchor = h.shape[1] // 2
+                encodings, _, _ = solve_downlink_three_batch(
+                    h[:, anchor], self.noise_power
+                )
+                sinrs = downlink_sinrs_band(h, encodings[:, None], self.noise_power)
+            else:
+                encodings, _, sinrs = solve_downlink_three_band(h, self.noise_power)
+            # Band throughput: per-subcarrier sum rate averaged over the
+            # evaluated bins (b/s/Hz, comparable across bin counts).
+            rates = np.log2(1.0 + sinrs).sum(axis=-1).mean(axis=-1)
         for g, group in enumerate(groups):
             self._cache[group] = _CacheEntry(
                 versions=tuple(versions[c] for c in group),
@@ -264,25 +434,45 @@ class BatchedGroupEvaluator(GroupEvaluator):
         return entry
 
     def solve(self, group: Group) -> AlignmentSolution:
+        """The flat solution (banded per-subcarrier: the anchor bin's)."""
         group = tuple(group)
-        return self._solution_from_encodings(group, self._cached_entry(group).encodings)
+        encodings = self._cached_entry(group).encodings
+        if encodings.ndim == 3:
+            encodings = encodings[encodings.shape[0] // 2]
+        return self._solution_from_encodings(group, encodings)
 
-    def transmit_sinrs(self, group: Group, true_channels: ChannelSet) -> Tuple[np.ndarray, np.ndarray]:
+    def transmit_sinrs(self, group: Group, true_channels) -> Tuple[np.ndarray, np.ndarray]:
         """Batched transmission decode: no per-packet Python machinery.
 
         Uses the memoised encodings (the selector just scored this group)
         and one vectorised pass over receivers x {believed, true} filter
         designs — see :func:`repro.engine.batched.downlink_transmit_sinrs`.
+        On a banded source ``true_channels`` is a
+        :class:`BandedChannelSet` and the bins ride along as one more
+        batch axis (``(B, 3)`` outputs, see
+        :func:`repro.engine.batched.downlink_transmit_sinrs_band`).
         """
         group = tuple(group)
         entry = self._cached_entry(group)
-        maps = {c: self.source.channel_map(c) for c in group}
-        h_bel = stack_downlink_channels([group], maps, self.aps)[0]
+        maps = self._group_maps(group)
+        if _map_n_bins(maps) == 1:
+            h_bel = stack_downlink_channels([group], _flatten_one_bin(maps), self.aps)[0]
+            h_true = np.empty_like(h_bel)
+            for i, ap in enumerate(self.aps):
+                for j, client in enumerate(group):
+                    h_true[i, j] = true_channels.h(ap, client)
+            return downlink_transmit_sinrs(
+                h_true, h_bel, entry.encodings, self.noise_power
+            )
+        h_bel = stack_downlink_channels_band([group], maps, self.aps)[0]
         h_true = np.empty_like(h_bel)
         for i, ap in enumerate(self.aps):
             for j, client in enumerate(group):
-                h_true[i, j] = true_channels.h(ap, client)
-        return downlink_transmit_sinrs(h_true, h_bel, entry.encodings, self.noise_power)
+                h_true[:, i, j] = true_channels.h_bins(ap, client)
+        v = entry.encodings
+        if v.ndim == 2:  # flat-anchor: one solution band-wide
+            v = v[None]
+        return downlink_transmit_sinrs_band(h_true, h_bel, v, self.noise_power)
 
 
 def make_evaluator(
@@ -290,11 +480,17 @@ def make_evaluator(
     source: ChannelSource,
     aps: Sequence[int],
     noise_power: float = 1.0,
+    alignment: str = "per_subcarrier",
 ) -> GroupEvaluator:
-    """Factory: ``"batched"`` (default engine) or ``"scalar"`` (reference)."""
+    """Factory: ``"batched"`` (default engine) or ``"scalar"`` (reference).
+
+    ``alignment`` selects the wideband strategy (``"per_subcarrier"`` or
+    ``"flat_anchor"``); it only matters when the channel source carries
+    banded (``(B, M, M)``) believed channels.
+    """
     key = name.lower()
     if key == "batched":
-        return BatchedGroupEvaluator(source, aps, noise_power)
+        return BatchedGroupEvaluator(source, aps, noise_power, alignment)
     if key == "scalar":
-        return ScalarGroupEvaluator(source, aps, noise_power)
+        return ScalarGroupEvaluator(source, aps, noise_power, alignment)
     raise ValueError(f"unknown engine {name!r} (expected 'batched' or 'scalar')")

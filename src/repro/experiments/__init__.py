@@ -18,6 +18,9 @@ declarative surface:
 * :mod:`repro.experiments.dynamic_scenarios` — dynamic-traffic WLAN
   scenarios (``fig15_dynamic``/``load_latency``/``churn_throughput``)
   over the arrival/churn/mobility processes of :mod:`repro.sim.traffic`;
+* :mod:`repro.experiments.ofdm_scenarios` — wideband (§6c) scenarios:
+  the ``ofdm_subcarrier`` ablation and the full-stack
+  ``fig_ofdm_dynamic`` per-subcarrier WLAN regime;
 * :mod:`repro.experiments.sweep` — the resumable parameter-grid sweep
   engine behind ``python -m repro sweep`` (:func:`run_sweep`,
   per-cell RNG streams, JSON cell cache, :class:`SweepResult` tables).
@@ -55,6 +58,7 @@ from repro.experiments.sweep import (
 from repro.experiments import scenarios as _scenarios  # noqa: F401
 from repro.experiments import signal_scenarios as _signal_scenarios  # noqa: F401
 from repro.experiments import dynamic_scenarios as _dynamic_scenarios  # noqa: F401
+from repro.experiments import ofdm_scenarios as _ofdm_scenarios  # noqa: F401
 from repro.experiments.scenarios import gain_cdf_from_record, scatter_result
 
 __all__ = [

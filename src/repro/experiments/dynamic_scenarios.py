@@ -69,6 +69,19 @@ def canonical_dynamic_params(p: Mapping[str, Any]) -> Mapping[str, Any]:
     if not q.get("mobility", False):
         for knob in ("rho_moving", "p_start", "p_stop"):
             q.pop(knob, None)
+    if str(q.get("channel", "flat")) == "flat":
+        # Wideband knobs never reach a flat FadingNetwork.
+        for knob in ("n_taps", "delay_spread", "n_fft", "n_bins", "alignment"):
+            q.pop(knob, None)
+    else:
+        if float(q.get("delay_spread", 0.0)) == 0.0:
+            # A zero-spread profile has one non-zero tap whatever the tap
+            # count; extra taps draw no RNG and shape no response.
+            q.pop("n_taps", None)
+        if int(q.get("n_bins", 1)) == 1:
+            # One bin is its own anchor: both alignment modes run the
+            # identical flat route.
+            q.pop("alignment", None)
     # The group-evaluation engines are numerically equivalent (pinned by
     # tests/engine/test_evaluator.py), so the engine choice affects
     # timing only — never the numbers — and stays out of the identity.
@@ -169,6 +182,12 @@ def build_wlan_config(p: Mapping[str, Any], seed: int) -> WLANConfig:
         traffic_params=traffic_params,
         churn_params=churn_params,
         mobility_params=mobility_params,
+        channel=str(p.get("channel", "flat")),
+        n_taps=int(p.get("n_taps", 8)),
+        delay_spread=float(p.get("delay_spread", 0.0)),
+        n_fft=int(p.get("n_fft", 64)),
+        n_bins=int(p.get("n_bins", 4)),
+        alignment=str(p.get("alignment", "per_subcarrier")),
         seed=seed,
     )
 

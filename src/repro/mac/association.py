@@ -37,7 +37,9 @@ class AssociationRecord:
 
     client_id: int
     association_id: int
-    #: Last known channel estimate per AP (ap_id -> matrix).
+    #: Last known channel estimate per AP: ``ap_id -> (M, M)`` matrix in
+    #: a narrowband deployment, ``ap_id -> (n_bins, M, M)`` per-subcarrier
+    #: stack when sounding covers a wideband (OFDM) channel.
     channels: Dict[int, np.ndarray] = field(default_factory=dict)
 
 
@@ -88,7 +90,14 @@ class AssociationTable:
 
 @dataclass
 class ChannelUpdate:
-    """A subordinate AP's channel-change report to the leader."""
+    """A subordinate AP's channel-change report to the leader.
+
+    ``h`` is the tracked estimate: a flat ``(M, M)`` matrix, or the full
+    ``(n_bins, M, M)`` per-subcarrier stack in a wideband deployment —
+    the annotation then carries every bin, so the §6c operating mode
+    pays ``n_bins`` times the flat report on the Ethernet (accounted by
+    :meth:`nbytes`, asserted in the WLAN overhead stats).
+    """
 
     ap_id: int
     client_id: int
@@ -106,6 +115,11 @@ class SubordinateAP:
     overheard ack/data frame refreshes the estimate and a report is
     emitted only when the smoothed estimate moved by more than the
     threshold -- keeping the Ethernet annotation traffic small.
+
+    Estimates may be flat matrices or per-subcarrier ``(n_bins, M, M)``
+    stacks (wideband sounding): smoothing is elementwise and the drift
+    norm spans the whole band, so one report refreshes every bin at
+    once — per-bin staleness ages together, exactly like the flat case.
     """
 
     def __init__(self, ap_id: int, drift_threshold: float = 0.1):

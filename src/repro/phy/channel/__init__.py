@@ -20,7 +20,13 @@ from repro.phy.channel.model import (
     noise_power_for_snr,
     rayleigh_channel,
 )
+from repro.phy.channel.provider import (
+    ChannelProvider,
+    WidebandFadingNetwork,
+    evaluation_bins,
+)
 from repro.phy.channel.selective import MultiTapChannel, exponential_pdp
+from repro.phy.channel.timevarying import FadingNetwork, GaussMarkovFading
 from repro.phy.channel.reciprocity import (
     RadioHardware,
     ReciprocityCalibrator,
@@ -33,16 +39,21 @@ from repro.phy.channel.reciprocity import (
 
 __all__ = [
     "ChannelEstimate",
+    "ChannelProvider",
     "ChannelTracker",
+    "FadingNetwork",
+    "GaussMarkovFading",
     "Link",
     "MIMOChannel",
     "MultiTapChannel",
     "RadioHardware",
     "ReciprocityCalibrator",
+    "WidebandFadingNetwork",
     "apply_cfo",
     "awgn",
     "estimate_cfo",
     "estimate_channel",
+    "evaluation_bins",
     "exponential_pdp",
     "fractional_error",
     "noise_power_for_snr",

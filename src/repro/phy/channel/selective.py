@@ -20,7 +20,7 @@ The §6c experiment itself lives in :mod:`repro.core.ofdm_alignment` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -110,22 +110,24 @@ class MultiTapChannel:
             out[:, k : k + n] += h @ tx
         return out
 
-    def frequency_response(self, n_fft: int) -> List[np.ndarray]:
+    def frequency_response(self, n_fft: int) -> np.ndarray:
         """Per-bin channel matrices ``H(f)`` for an ``n_fft``-point OFDM system.
 
         With a cyclic prefix at least ``n_taps - 1`` samples long, each OFDM
         subcarrier ``f`` sees the flat matrix channel ``H(f)`` -- which is
         exactly what makes per-subcarrier alignment possible.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_fft, n_rx, n_tx)`` stacked response, ``response[f]`` the
+            flat matrix channel of subcarrier ``f`` (one FFT over the tap
+            axis; a single-tap channel yields ``n_fft`` identical copies).
         """
         if n_fft < self.n_taps:
             raise ValueError("FFT shorter than the channel impulse response")
-        response = []
-        for f in range(n_fft):
-            h = np.zeros((self.n_rx, self.n_tx), dtype=complex)
-            for k, tap in enumerate(self.taps):
-                h = h + tap * np.exp(-2j * np.pi * f * k / n_fft)
-            response.append(h)
-        return response
+        stacked = np.stack(self.taps, axis=0)  # (n_taps, n_rx, n_tx)
+        return np.fft.fft(stacked, n_fft, axis=0)
 
     def coherence_bandwidth_bins(self, n_fft: int, threshold: float = 0.9) -> int:
         """Bins over which the channel stays correlated above ``threshold``.
@@ -133,12 +135,8 @@ class MultiTapChannel:
         The paper's conjecture leans on "nearby subcarriers typically have
         similar frequency response"; this quantifies 'nearby'.
         """
-        response = self.frequency_response(n_fft)
-        h0 = response[0].ravel()
-        h0n = h0 / np.linalg.norm(h0)
-        for f in range(1, n_fft):
-            hf = response[f].ravel()
-            corr = abs(np.vdot(h0n, hf / np.linalg.norm(hf)))
-            if corr < threshold:
-                return f
-        return n_fft
+        flat = self.frequency_response(n_fft).reshape(n_fft, -1)
+        flat = flat / np.linalg.norm(flat, axis=1, keepdims=True)
+        corr = np.abs(flat[1:] @ np.conj(flat[0]))
+        below = np.flatnonzero(corr < threshold)
+        return int(below[0]) + 1 if below.size else n_fft

@@ -20,11 +20,10 @@ for all t, so long simulations do not drift in SNR.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
-
 import numpy as np
 
 from repro.phy.channel.model import rayleigh_channel
+from repro.phy.channel.provider import PairedFadingNetwork
 from repro.utils.rng import default_rng
 
 
@@ -131,69 +130,36 @@ class GaussMarkovFading:
         return self._h
 
 
-class FadingNetwork:
+class FadingNetwork(PairedFadingNetwork):
     """A set of Gauss-Markov links keyed by (tx, rx), stepped together.
 
     Keeps over-the-air reciprocity at every instant: the (b, a) channel is
     the transpose of (a, b).
+
+    This is the narrowband :class:`~repro.phy.channel.provider.ChannelProvider`:
+    ``n_bins == 1`` and :meth:`channel_bins` stacks the flat matrix as a
+    one-bin band, so every consumer of the banded contract handles the
+    paper's flat regime as the ``n_bins = 1`` special case.  The wideband
+    counterpart is
+    :class:`~repro.phy.channel.provider.WidebandFadingNetwork`; both
+    share the pair/gains/mobility machinery of
+    :class:`~repro.phy.channel.provider.PairedFadingNetwork`.
     """
 
-    def __init__(
-        self,
-        pairs,
-        n_antennas: int,
-        rho: float = 0.995,
-        gains: Optional[Dict[Tuple[int, int], float]] = None,
-        rng=None,
-    ):
-        rng = default_rng(rng)
-        self._base_rho = rho
-        #: Per-node rho overrides (mobility); links take the minimum of
-        #: their endpoints' values, so the faster terminal dominates.
-        self._node_rho: Dict[int, float] = {}
-        self._links: Dict[Tuple[int, int], GaussMarkovFading] = {}
-        seen = set()
-        for a, b in pairs:
-            key = (min(a, b), max(a, b))
-            if key in seen or a == b:
-                continue
-            seen.add(key)
-            gain = 1.0 if gains is None else gains.get(key, gains.get((key[1], key[0]), 1.0))
-            self._links[key] = GaussMarkovFading(
-                n_rx=n_antennas, n_tx=n_antennas, rho=rho, gain=gain, rng=rng
-            )
+    def _make_link(self, n_antennas: int, rho: float, gain: float, rng) -> GaussMarkovFading:
+        return GaussMarkovFading(
+            n_rx=n_antennas, n_tx=n_antennas, rho=rho, gain=gain, rng=rng
+        )
+
+    @property
+    def n_bins(self) -> int:
+        return 1
 
     def channel(self, tx: int, rx: int) -> np.ndarray:
         key = (min(tx, rx), max(tx, rx))
         h = self._links[key].current
         return h if (tx, rx) == key else h.T
 
-    def set_node_rho(self, node: int, rho: float) -> None:
-        """Set one terminal's per-slot correlation (mobility hook).
-
-        Every link touching ``node`` is re-tuned to the minimum of its
-        two endpoints' rho values (a link decorrelates as fast as its
-        fastest-moving end); nodes without an override keep the
-        network's base rho.  Used by the WLAN simulation's mobility
-        model when a client starts or stops moving.
-        """
-        if not 0.0 <= rho <= 1.0:
-            raise ValueError("rho must be in [0, 1]")
-        self._node_rho[node] = rho
-        for (a, b), link in self._links.items():
-            if node in (a, b):
-                link.set_rho(
-                    min(
-                        self._node_rho.get(a, self._base_rho),
-                        self._node_rho.get(b, self._base_rho),
-                    )
-                )
-
-    def node_rho(self, node: int) -> float:
-        """The per-slot correlation currently assigned to ``node``."""
-        return self._node_rho.get(node, self._base_rho)
-
-    def step(self, n: int = 1) -> None:
-        """Advance every link by ``n`` slots."""
-        for link in self._links.values():
-            link.step(n)
+    def channel_bins(self, tx: int, rx: int) -> np.ndarray:
+        """The flat channel as a one-bin ``(1, n_rx, n_tx)`` band."""
+        return self.channel(tx, rx)[None]

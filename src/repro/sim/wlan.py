@@ -5,9 +5,13 @@ simulated deployment that runs, slot by slot,
 
 1. **association** -- clients join, all APs sound their channels, the
    leader registers them (:mod:`repro.mac.association`);
-2. **channel evolution** -- Gauss-Markov fading
-   (:mod:`repro.phy.channel.timevarying`); subordinate APs track their
-   estimates from client acks and report significant drift to the leader;
+2. **channel evolution** -- Gauss-Markov fading behind the
+   :class:`~repro.phy.channel.provider.ChannelProvider` contract: flat
+   (:mod:`repro.phy.channel.timevarying`) or frequency-selective
+   wideband (:class:`~repro.phy.channel.provider.WidebandFadingNetwork`,
+   per-subcarrier estimates and alignment -- the paper's §6c conjecture
+   as an operating mode); subordinate APs track their estimates from
+   client acks and report significant drift to the leader;
 3. **workload dynamics** -- an arrival process feeds the leader's FIFO
    (:mod:`repro.sim.traffic`), clients churn (leave, re-associate) and
    move (per-client Doppler via ``FadingNetwork.set_node_rho``); the
@@ -39,11 +43,12 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.baselines.dot11_mimo import best_ap_link
-from repro.core.plans import ChannelSet
+from repro.core.plans import BandedChannelSet, ChannelSet
 from repro.engine import make_evaluator
 from repro.mac.association import LeaderAP, SubordinateAP, elect_leader
 from repro.mac.concurrency import make_selector
 from repro.mac.queueing import QueuedPacket, TransmissionQueue
+from repro.phy.channel.provider import ChannelProvider, WidebandFadingNetwork
 from repro.phy.channel.timevarying import FadingNetwork
 from repro.sim.traffic import ClientChurn, MobilityModel, TrafficModel, make_traffic
 from repro.utils.db import db_to_linear
@@ -82,6 +87,25 @@ class WLANConfig:
     #: Mobility (:class:`repro.sim.traffic.MobilityModel` kwargs);
     #: ``None`` keeps every client at the base ``rho``.
     mobility_params: Optional[Dict[str, Any]] = None
+    #: Channel substrate: ``"flat"`` (the paper's narrowband regime,
+    #: :class:`~repro.phy.channel.timevarying.FadingNetwork`) or
+    #: ``"wideband"`` (frequency-selective
+    #: :class:`~repro.phy.channel.provider.WidebandFadingNetwork`; the
+    #: §6c per-subcarrier operating mode).  A single-tap wideband channel
+    #: with ``n_bins=1`` reproduces the flat run bit-identically.
+    channel: str = "flat"
+    #: Wideband knobs (ignored under ``channel="flat"``): taps of the
+    #: exponential power-delay profile, its RMS delay spread in samples,
+    #: the OFDM FFT size and the number of evaluated subcarriers.
+    n_taps: int = 8
+    delay_spread: float = 0.0
+    n_fft: int = 64
+    n_bins: int = 4
+    #: Wideband alignment strategy (:data:`repro.engine.ALIGNMENT_MODES`):
+    #: ``"per_subcarrier"`` solves every evaluated bin independently,
+    #: ``"flat_anchor"`` reuses one band-centre solution band-wide (the
+    #: paper's baseline worry).
+    alignment: str = "per_subcarrier"
     seed: int = 0
 
 
@@ -199,16 +223,31 @@ class WLANSimulation:
         self.ap_ids = list(range(config.n_aps))
         self.client_ids = list(range(100, 100 + config.n_clients))
         pairs = [(a, c) for a in self.ap_ids for c in self.client_ids]
-        self.fading = FadingNetwork(
-            pairs,
-            n_antennas=config.n_antennas,
-            rho=config.rho,
-            gains={
-                (min(a, c), max(a, c)): db_to_linear(config.mean_gain_db)
-                for a, c in pairs
-            },
-            rng=self.rng,
-        )
+        gains = {
+            (min(a, c), max(a, c)): db_to_linear(config.mean_gain_db)
+            for a, c in pairs
+        }
+        #: The channel substrate, behind the ChannelProvider contract.
+        self.fading: ChannelProvider
+        if config.channel == "flat":
+            self.fading = FadingNetwork(
+                pairs, n_antennas=config.n_antennas, rho=config.rho,
+                gains=gains, rng=self.rng,
+            )
+        elif config.channel == "wideband":
+            self.fading = WidebandFadingNetwork(
+                pairs, n_antennas=config.n_antennas, rho=config.rho,
+                gains=gains, rng=self.rng,
+                n_taps=config.n_taps, delay_spread=config.delay_spread,
+                n_fft=config.n_fft, n_bins=config.n_bins,
+            )
+        else:
+            raise ValueError(
+                f"unknown channel substrate {config.channel!r} "
+                "(expected 'flat' or 'wideband')"
+            )
+        #: Whether sounding/tracking/solving carry per-subcarrier bands.
+        self._banded = self.fading.n_bins > 1
 
         leader_id = elect_leader(self.ap_ids)
         self.leader = LeaderAP(ap_id=leader_id, ap_ids=self.ap_ids)
@@ -225,7 +264,8 @@ class WLANSimulation:
         #: the batched engine memoises solutions on the leader's per-client
         #: channel-map versions (see :mod:`repro.engine`).
         self.evaluator = make_evaluator(
-            config.engine, source=self.leader, aps=tuple(self.ap_ids[:3])
+            config.engine, source=self.leader, aps=tuple(self.ap_ids[:3]),
+            alignment=config.alignment,
         )
 
         # ---- dynamic-workload wiring (all default-off / saturated) ---- #
@@ -281,17 +321,38 @@ class WLANSimulation:
         """Currently associated clients, in id order."""
         return sorted(self._active)
 
+    def _sound(self, ap: int, client: int) -> np.ndarray:
+        """One sounding: the flat matrix, or the per-subcarrier band.
+
+        Wideband deployments estimate every evaluated subcarrier from the
+        OFDM preamble, so association, tracking and drift reports all
+        carry ``(n_bins, M, M)`` stacks; the flat path (and the wideband
+        ``n_bins=1`` limit) carries the plain ``(M, M)`` matrix, keeping
+        its computation — and its update-byte accounting — unchanged.
+        """
+        if self._banded:
+            return self.fading.channel_bins(ap, client)
+        return self.fading.channel(ap, client)
+
     def _associate(self, client: int) -> None:
         """§8a association: all APs sound the client's current channel,
         the leader registers it.  Used at start-up and on every churn
         re-join (the leave path forgets the subordinates' trackers, so
         this sounding is genuinely fresh, not a smoothed blend)."""
-        estimates = {a: self.fading.channel(a, client) for a in self.ap_ids}
+        estimates = {a: self._sound(a, client) for a in self.ap_ids}
         self.leader.handle_association(client, estimates)
         for a in self.ap_ids:
             self.subordinates[a].observe(client, estimates[a])
 
-    def _true_channels(self, group: Tuple[int, ...]) -> ChannelSet:
+    def _true_channels(self, group: Tuple[int, ...]):
+        if self._banded:
+            return BandedChannelSet(
+                {
+                    (a, c): self.fading.channel_bins(a, c)
+                    for a in self.ap_ids
+                    for c in group
+                }
+            )
         return ChannelSet(
             {(a, c): self.fading.channel(a, c) for a in self.ap_ids for c in group}
         )
@@ -307,7 +368,15 @@ class WLANSimulation:
         self.stats.staleness_loss_db += max(
             0.0, 10 * np.log10((1 + ideal.min()) / (1 + actual.min()))
         )
-        return {c: float(np.log2(1.0 + actual[i])) for i, c in enumerate(group)}
+        if actual.ndim == 1:
+            return {c: float(np.log2(1.0 + actual[i])) for i, c in enumerate(group)}
+        # Banded: per-client goodput is the band-averaged spectral
+        # efficiency — the sum over evaluated subcarriers divided by the
+        # band width, so flat and wideband rates stay comparable.
+        return {
+            c: float(np.mean(np.log2(1.0 + actual[:, i])))
+            for i, c in enumerate(group)
+        }
 
     def _serve_head_alone(self, client: int) -> Dict[int, float]:
         """Degenerate backlog (< 3 distinct clients): point-to-point slot.
@@ -315,8 +384,24 @@ class WLANSimulation:
         With too few clients to align, the leader falls back to plain
         802.11 service of the head-of-queue client at its best AP's
         eigenmode rate over the *true* current channels — the same
-        degenerate-group rule the Fig.-15 rate cache applies.
+        degenerate-group rule the Fig.-15 rate cache applies.  Wideband
+        deployments average the per-subcarrier eigenmode rate over the
+        evaluated band.
         """
+        if self._banded:
+            bands = {a: self.fading.channel_bins(a, client) for a in self.ap_ids}
+            rates = []
+            for b in range(self.fading.n_bins):
+                channels = ChannelSet(
+                    {(a, client): bands[a][b] for a in self.ap_ids}
+                )
+                rates.append(
+                    best_ap_link(
+                        channels, client, self.ap_ids,
+                        noise_power=1.0, direction="downlink",
+                    ).rate
+                )
+            return {client: float(np.mean(rates))}
         channels = ChannelSet(
             {(a, client): self.fading.channel(a, client) for a in self.ap_ids}
         )
@@ -326,12 +411,18 @@ class WLANSimulation:
         return {client: float(rate)}
 
     def _track_channels(self, slot: int) -> None:
-        """Clients ack; every AP re-estimates and reports drift (§7.1(c))."""
+        """Clients ack; every AP re-estimates and reports drift (§7.1(c)).
+
+        Wideband: the ack covers the whole OFDM band, so the smoothed
+        estimate, the drift norm and the reported annotation all span the
+        per-subcarrier stack (a drift report costs ``n_bins`` times the
+        flat annotation bytes — the §6c price on the Ethernet).
+        """
         if slot % self.config.ack_period:
             return
         for c in sorted(self._active):
             for a in self.ap_ids:
-                update = self.subordinates[a].observe(c, self.fading.channel(a, c))
+                update = self.subordinates[a].observe(c, self._sound(a, c))
                 if update is not None:
                     self.leader.handle_update(update)
                     self.stats.drift_reports += 1

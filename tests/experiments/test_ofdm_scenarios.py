@@ -1,0 +1,167 @@
+"""Tests for the wideband (§6c) scenarios and their sweep integration."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_scenario, run_experiment, run_sweep
+from repro.experiments.ofdm_scenarios import (
+    fig_ofdm_dynamic_trial,
+    ofdm_subcarrier_trial,
+)
+
+
+class TestRegistration:
+    def test_scenarios_registered(self):
+        assert get_scenario("ofdm_subcarrier").trial is ofdm_subcarrier_trial
+        assert get_scenario("fig_ofdm_dynamic").trial is fig_ofdm_dynamic_trial
+
+    def test_delay_spread_is_a_sweepable_knob(self):
+        """`repro sweep --grid delay_spread=...` validates grid axes
+        against default_params — the §6c axis must be declared."""
+        for name in ("ofdm_subcarrier", "fig_ofdm_dynamic"):
+            assert "delay_spread" in get_scenario(name).default_params
+        assert "alignment" in get_scenario("fig_ofdm_dynamic").default_params
+
+
+class TestOfdmSubcarrier:
+    def test_trial_metrics(self):
+        result = run_experiment("ofdm_subcarrier", n_trials=2, seed=0)
+        for record in result.records:
+            m = record.metrics
+            assert m["per_subcarrier_rate"] > 0
+            assert m["flat_ratio"] == pytest.approx(
+                m["flat_rate"] / m["per_subcarrier_rate"]
+            )
+            assert 1 <= m["coherence_bins"] <= 64
+
+    def test_flat_channel_needs_no_per_subcarrier_solving(self):
+        """Zero spread: both strategies coincide (ratio ~ 1).
+
+        ``n_candidates=8`` pins the free-vector choice near the optimum
+        on every bin, so the only remaining difference is solver draw
+        noise (the per-subcarrier path redraws candidates per bin).
+        """
+        result = run_experiment(
+            "ofdm_subcarrier", n_trials=2, seed=1,
+            params={"delay_spread": 0.0, "n_taps": 1, "n_candidates": 8},
+        )
+        for record in result.records:
+            assert record.metrics["flat_ratio"] == pytest.approx(1.0, abs=0.15)
+
+    def test_dispersion_degrades_flat_approximation(self):
+        mild = run_experiment(
+            "ofdm_subcarrier", n_trials=3, seed=2, params={"delay_spread": 0.3}
+        ).metric("flat_ratio").mean()
+        strong = run_experiment(
+            "ofdm_subcarrier", n_trials=3, seed=2, params={"delay_spread": 4.0}
+        ).metric("flat_ratio").mean()
+        assert strong < mild
+
+    def test_sweepable_over_delay_spread(self, tmp_path):
+        result = run_sweep(
+            "ofdm_subcarrier",
+            {"delay_spread": [0.3, 4.0]},
+            n_trials=3,
+            cache=tmp_path / "cache.json",
+        )
+        assert len(result.cells) == 2
+        ratios = [c.metric_mean("flat_ratio") for c in result.cells]
+        assert ratios[1] < ratios[0]
+        # Resume: the cached sweep reproduces the table bit-identically.
+        again = run_sweep(
+            "ofdm_subcarrier",
+            {"delay_spread": [0.3, 4.0]},
+            n_trials=3,
+            cache=tmp_path / "cache.json",
+        )
+        assert again.cached_cells == 2
+        assert again == result
+
+
+class TestFigOfdmDynamic:
+    def test_trial_runs_and_gains_positive(self):
+        result = run_experiment(
+            "fig_ofdm_dynamic", n_trials=1, seed=0,
+            params={"n_clients": 6, "n_slots": 40},
+        )
+        m = result.records[0].metrics
+        assert m["mean_gain"] > 0
+        assert m["min_gain"] > 0
+
+    def test_flat_limit_reproduces_fig15_dynamic(self):
+        """Single-tap, one-bin wideband == the flat fig15_dynamic trial,
+        gain for gain (same sim seed derivation, same trajectory)."""
+        params = {"n_clients": 6, "n_slots": 30}
+        flat = run_experiment("fig15_dynamic", n_trials=1, seed=3, params=params)
+        wide = run_experiment(
+            "fig_ofdm_dynamic", n_trials=1, seed=3,
+            params={**params, "delay_spread": 0.0, "n_taps": 1, "n_bins": 1},
+        )
+        assert wide.records[0].metrics["mean_gain"] == pytest.approx(
+            flat.records[0].metrics["mean_gain"], rel=1e-12
+        )
+
+    def test_per_subcarrier_holds_gain_anchor_decays(self):
+        """The tentpole claim at scenario level, on one seed."""
+        params = {"n_clients": 6, "n_slots": 60, "delay_spread": 3.0}
+        per_bin = run_experiment(
+            "fig_ofdm_dynamic", n_trials=1, seed=1,
+            params={**params, "alignment": "per_subcarrier"},
+        ).records[0].metrics["mean_gain"]
+        anchor = run_experiment(
+            "fig_ofdm_dynamic", n_trials=1, seed=1,
+            params={**params, "alignment": "flat_anchor"},
+        ).records[0].metrics["mean_gain"]
+        assert per_bin > anchor
+
+    def test_worker_count_invariance(self):
+        kwargs = dict(n_trials=2, seed=5, params={"n_clients": 6, "n_slots": 20})
+        serial = run_experiment("fig_ofdm_dynamic", workers=1, **kwargs)
+        parallel = run_experiment("fig_ofdm_dynamic", workers=2, **kwargs)
+        for a, b in zip(serial.records, parallel.records):
+            assert a.metrics == b.metrics
+
+
+class TestCanonicalization:
+    def test_wideband_knobs_inert_on_flat_channel(self):
+        scenario = get_scenario("fig15_dynamic")
+        base = dict(scenario.default_params)
+        a = scenario.canonical_params({**base, "n_taps": 4})
+        b = scenario.canonical_params({**base, "n_taps": 12})
+        assert a == b
+
+    def test_n_taps_inert_at_zero_spread(self):
+        scenario = get_scenario("fig_ofdm_dynamic")
+        base = {**dict(scenario.default_params), "delay_spread": 0.0}
+        a = scenario.canonical_params({**base, "n_taps": 4})
+        b = scenario.canonical_params({**base, "n_taps": 12})
+        assert a == b
+
+    def test_alignment_inert_with_one_bin(self):
+        scenario = get_scenario("fig_ofdm_dynamic")
+        base = {**dict(scenario.default_params), "n_bins": 1}
+        a = scenario.canonical_params({**base, "alignment": "per_subcarrier"})
+        b = scenario.canonical_params({**base, "alignment": "flat_anchor"})
+        assert a == b
+
+    def test_live_wideband_knobs_stay_in_identity(self):
+        scenario = get_scenario("fig_ofdm_dynamic")
+        base = dict(scenario.default_params)
+        a = scenario.canonical_params({**base, "delay_spread": 1.0})
+        b = scenario.canonical_params({**base, "delay_spread": 2.0})
+        assert a != b
+
+
+class TestBenchOfdm:
+    def test_quick_bench_document(self):
+        from repro.engine.bench import bench_ofdm
+
+        doc = bench_ofdm(n_groups=2, n_bins=8, repeats=1, seed=0)
+        assert doc["benchmark"] == "ofdm"
+        assert set(doc["engines"]) == {"batched", "reference"}
+        assert doc["speedup"] > 0
+        # The acceptance bound at any size: the two paths agree.
+        assert doc["max_sinr_diff_db"] <= 1e-6
+        assert doc["engines"]["batched"]["mean_rate"] == pytest.approx(
+            doc["engines"]["reference"]["mean_rate"]
+        )

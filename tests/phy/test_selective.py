@@ -54,6 +54,17 @@ class TestMultiTap:
         for hf in resp:
             assert np.allclose(hf, h)
 
+    def test_frequency_response_is_one_stacked_ndarray(self, rng):
+        """The response is a single (n_fft, n_rx, n_tx) array (one FFT
+        over the tap axis), not a Python list of matrices."""
+        ch = MultiTapChannel.random(3, 2, exponential_pdp(4, 1.0), rng)
+        resp = ch.frequency_response(16)
+        assert isinstance(resp, np.ndarray)
+        assert resp.shape == (16, 3, 2)
+        # Fancy-indexing a bin subset gives the engine's band directly.
+        bins = np.array([1, 5, 9])
+        assert np.array_equal(resp[bins][1], resp[5])
+
     def test_frequency_response_matches_dft(self, rng):
         ch = MultiTapChannel.random(2, 2, exponential_pdp(4, 1.5), rng)
         n_fft = 16

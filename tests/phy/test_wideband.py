@@ -1,0 +1,153 @@
+"""Tests for the ChannelProvider contract and the wideband fading network."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel.provider import (
+    ChannelProvider,
+    WidebandFadingNetwork,
+    evaluation_bins,
+)
+from repro.phy.channel.selective import MultiTapChannel
+from repro.phy.channel.timevarying import FadingNetwork
+
+PAIRS = [(0, 100), (0, 101), (1, 100), (1, 101), (2, 100), (2, 101)]
+
+
+def make_wideband(seed=0, **kwargs):
+    defaults = dict(
+        n_antennas=2, rho=0.99, rng=seed, n_taps=8, delay_spread=2.0,
+        n_fft=64, n_bins=8,
+    )
+    defaults.update(kwargs)
+    return WidebandFadingNetwork(PAIRS, **defaults)
+
+
+class TestEvaluationBins:
+    def test_single_bin_is_band_centre(self):
+        assert list(evaluation_bins(64, 1)) == [32]
+
+    def test_grid_spans_band_without_dc(self):
+        bins = evaluation_bins(64, 8)
+        assert bins[0] >= 1 and bins[-1] == 63 and len(bins) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            evaluation_bins(64, 0)
+        with pytest.raises(ValueError):
+            evaluation_bins(64, 64)
+
+
+class TestProviderContract:
+    def test_flat_network_is_a_provider(self):
+        flat = FadingNetwork(PAIRS, n_antennas=2, rng=0)
+        assert isinstance(flat, ChannelProvider)
+        assert flat.n_bins == 1
+        bins = flat.channel_bins(0, 100)
+        assert bins.shape == (1, 2, 2)
+        assert np.array_equal(bins[0], flat.channel(0, 100))
+
+    def test_wideband_network_is_a_provider(self):
+        wide = make_wideband()
+        assert isinstance(wide, ChannelProvider)
+        assert wide.n_bins == 8
+        assert wide.channel_bins(0, 100).shape == (8, 2, 2)
+
+    def test_anchor_channel_is_band_centre_bin(self):
+        wide = make_wideband()
+        bins = wide.channel_bins(0, 100)
+        assert np.array_equal(wide.channel(0, 100), bins[len(wide.bins) // 2])
+
+
+class TestFlatLimit:
+    """delay_spread=0 / one tap must reproduce FadingNetwork exactly."""
+
+    @pytest.mark.parametrize("n_taps", [1, 8])
+    def test_bit_identical_draws_and_steps(self, n_taps):
+        gains = {(0, 100): 2.0, (1, 101): 0.5}
+        flat = FadingNetwork(PAIRS, n_antennas=2, rho=0.98, gains=gains, rng=11)
+        wide = WidebandFadingNetwork(
+            PAIRS, n_antennas=2, rho=0.98, gains=gains, rng=11,
+            n_taps=n_taps, delay_spread=0.0, n_fft=64, n_bins=1,
+        )
+        for _ in range(4):
+            for a, b in PAIRS + [(100, 0), (101, 2)]:
+                assert np.array_equal(flat.channel(a, b), wide.channel(a, b))
+                assert np.array_equal(
+                    flat.channel_bins(a, b), wide.channel_bins(a, b)
+                )
+            flat.step()
+            wide.step()
+
+    def test_flat_limit_survives_mobility_overrides(self):
+        flat = FadingNetwork(PAIRS, n_antennas=2, rho=0.99, rng=3)
+        wide = make_wideband(seed=3, rho=0.99, n_taps=1, delay_spread=0.0, n_bins=1)
+        flat.set_node_rho(100, 0.5)
+        wide.set_node_rho(100, 0.5)
+        assert flat.node_rho(100) == wide.node_rho(100) == 0.5
+        flat.step(3)
+        wide.step(3)
+        assert np.array_equal(flat.channel(0, 100), wide.channel(0, 100))
+
+    def test_single_tap_band_is_constant_across_bins(self):
+        wide = make_wideband(n_taps=1, delay_spread=0.0, n_bins=8)
+        bins = wide.channel_bins(0, 100)
+        for b in range(1, 8):
+            assert np.allclose(bins[b], bins[0])
+
+
+class TestWidebandBehaviour:
+    def test_reciprocity_per_bin(self):
+        wide = make_wideband()
+        forward = wide.channel_bins(0, 100)
+        assert np.array_equal(wide.channel_bins(100, 0), forward.transpose(0, 2, 1))
+
+    def test_bins_decorrelate_with_dispersion(self):
+        wide = make_wideband(delay_spread=3.0)
+        bins = wide.channel_bins(0, 100)
+        assert not np.allclose(bins[0], bins[-1])
+
+    def test_frequency_response_matches_multitap(self):
+        """channel_bins is exactly the MultiTapChannel response of the
+        current taps at the provider's evaluation grid."""
+        wide = make_wideband(seed=5)
+        taps = wide.taps_of(0, 100)
+        ch = MultiTapChannel(taps=tuple(taps))
+        expected = ch.frequency_response(wide.n_fft)[wide.bins]
+        assert np.allclose(wide.channel_bins(0, 100), expected)
+
+    def test_stationary_band_power(self):
+        wide = make_wideband(seed=7, rho=0.9)
+        def band_power():
+            return float(np.mean([
+                np.mean(np.abs(wide.channel_bins(a, b)) ** 2) for a, b in PAIRS
+            ]))
+        before = band_power()
+        wide.step(300)
+        after = band_power()
+        assert after == pytest.approx(before, rel=0.5)
+
+    def test_mobility_decorrelates_faster(self):
+        slow = make_wideband(seed=9, rho=0.999)
+        fast = make_wideband(seed=9, rho=0.999)
+        fast.set_node_rho(100, 0.8)
+        h_slow = slow.channel_bins(0, 100).copy()
+        h_fast = fast.channel_bins(0, 100).copy()
+        slow.step(20)
+        fast.step(20)
+        drift_slow = np.linalg.norm(slow.channel_bins(0, 100) - h_slow)
+        drift_fast = np.linalg.norm(fast.channel_bins(0, 100) - h_fast)
+        assert drift_fast > drift_slow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_wideband(n_taps=128)  # impulse response longer than FFT
+        with pytest.raises(ValueError):
+            make_wideband(n_bins=64)  # bins must fit in [1, n_fft - 1]
+        with pytest.raises(ValueError):
+            WidebandFadingNetwork([], n_antennas=2)
+        wide = make_wideband()
+        with pytest.raises(ValueError):
+            wide.set_node_rho(100, 1.5)
+        with pytest.raises(ValueError):
+            wide.step(-1)
