@@ -1,0 +1,93 @@
+"""City-scale benchmark: clients simulated per second vs worker count.
+
+Not a paper figure — the paper's testbed is one interference
+neighbourhood — but the §11 conjecture taken to deployment scale: a
+grid of cells, each a full ``WLANSimulation`` with its own elected
+leader, coupled only by slot-barrier boundary interference
+(:mod:`repro.sim.multicell`).  Measured here:
+
+* **throughput vs workers**: client-slots simulated per wall second at
+  1, 2 and 4 shard processes.  The sharded executor is real process
+  parallelism, so the scaling is honest to the host: it climbs with
+  worker count on multi-core machines and *inverts* on a single-core
+  one (forks and pipes cost, spare cores pay) — which is why the
+  recorded ``cpu_count`` travels with the numbers;
+* **worker-count bit-identity**: whatever the wall clock does, every
+  worker count must produce the same ``MultiCellStats.digest()`` — the
+  subsystem's correctness contract, asserted here and in CI;
+* **boundary-interference tax**: the coupled city must deliver less
+  than the same city with its coupling zeroed, and the gap must come
+  with non-zero recorded edge floors.
+"""
+
+import os
+
+from repro.sim.multicell import MultiCellConfig, MultiCellSimulation
+
+N_CELLS = 16
+CLIENTS_PER_CELL = 8
+N_SLOTS = 40
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _config(**overrides):
+    defaults = dict(
+        n_cells=N_CELLS,
+        clients_per_cell=CLIENTS_PER_CELL,
+        barrier_slots=10,
+        seed=21,
+    )
+    defaults.update(overrides)
+    return MultiCellConfig(**defaults)
+
+
+def test_city_scale(benchmark, record):
+    import time
+
+    config = _config()
+
+    def run_all():
+        results = {}
+        for workers in WORKER_COUNTS:
+            start = time.perf_counter()
+            stats = MultiCellSimulation(config).run(N_SLOTS, workers=workers)
+            seconds = time.perf_counter() - start
+            results[workers] = (stats, seconds)
+        quiet = MultiCellSimulation(_config(interference_radius=0.5)).run(
+            N_SLOTS
+        )
+        return results, quiet
+
+    results, quiet = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    n_client_slots = config.n_clients * N_SLOTS
+    rates = {
+        w: n_client_slots / seconds for w, (_, seconds) in results.items()
+    }
+    record(
+        "city scale",
+        "client-slots/s @ 1/2/4 workers",
+        f"scales with {os.cpu_count()} cpu(s)",
+        " / ".join(f"{rates[w]:.0f}" for w in WORKER_COUNTS),
+    )
+
+    digests = {w: stats.digest() for w, (stats, _) in results.items()}
+    assert len(set(digests.values())) == 1
+    record("city scale", "bit-identical across workers", "yes", "yes")
+
+    coupled = results[1][0]
+    record(
+        "city scale",
+        "network rate coupled vs quiet",
+        "coupled lower",
+        f"{coupled.network_rate:.1f} vs {quiet.network_rate:.1f} b/s/Hz",
+    )
+    print(
+        f"\n  {config.n_cells} cells x {config.clients_per_cell} clients, "
+        f"{N_SLOTS} slots: Jain {coupled.jain_fairness:.2f}, "
+        f"edge floor mean/max {coupled.mean_interference_floor:.3f}/"
+        f"{coupled.max_interference_floor:.3f}"
+    )
+    assert coupled.max_interference_floor > 0.0
+    assert quiet.max_interference_floor == 0.0
+    assert coupled.network_rate < quiet.network_rate

@@ -12,7 +12,7 @@ no per-figure wiring of its own.  Usage::
     python -m repro fig15 [--slots N] [--direction uplink|downlink]
     python -m repro fig16 | fig17
     python -m repro lemmas | overhead
-    python -m repro bench [--quick] [--ofdm] [--out-dir DIR]
+    python -m repro bench [--quick] [--ofdm] [--city] [--out-dir DIR]
     python -m repro --version
 
 ``run`` executes any registered scenario; ``--json -`` writes the
@@ -28,7 +28,9 @@ engines, the sample-accurate signal pipeline under its ``fast`` and
 ``reference`` engines, and a set of scenario trials, writing
 ``BENCH_wlan.json`` / ``BENCH_signal.json`` / ``BENCH_scenarios.json``
 (``--quick`` for the CI smoke variant; ``--ofdm`` adds the subcarrier-
-batched band solver vs the per-bin reference loop, ``BENCH_ofdm.json``).
+batched band solver vs the per-bin reference loop, ``BENCH_ofdm.json``;
+``--city`` adds the sharded multi-cell city vs worker count with its
+bit-identity check, ``BENCH_city.json``).
 See ``EXPERIMENTS.md`` for every scenario, its paper figure, the
 expected gain ranges and the benchmark JSON schemas.
 """
@@ -343,10 +345,12 @@ def _cmd_fig17(args) -> int:
 def _cmd_bench(args) -> int:
     """Time the WLAN + signal hot paths + scenario trials; write BENCH_*.json."""
     from repro.engine.bench import (
+        bench_city,
         bench_ofdm,
         bench_scenarios,
         bench_signal,
         bench_wlan,
+        format_city_bench,
         format_ofdm_bench,
         format_scenario_bench,
         format_signal_bench,
@@ -357,9 +361,11 @@ def _cmd_bench(args) -> int:
     if args.quick:
         slots, repeats, trials, sessions = min(args.slots, 40), 1, 2, min(args.sessions, 4)
         ofdm_groups = min(args.ofdm_groups, 8)
+        city_cells, city_slots = min(args.city_cells, 9), 20
     else:
         slots, repeats, trials, sessions = args.slots, args.repeats, args.trials, args.sessions
         ofdm_groups = args.ofdm_groups
+        city_cells, city_slots = args.city_cells, args.city_slots
     wlan_doc = bench_wlan(
         n_slots=slots,
         n_clients=args.clients,
@@ -384,6 +390,23 @@ def _cmd_bench(args) -> int:
         print()
         print(format_ofdm_bench(ofdm_doc))
         docs["BENCH_ofdm.json"] = ofdm_doc
+    if args.city:
+        city_doc = bench_city(
+            n_cells=city_cells,
+            n_slots=city_slots,
+            worker_counts=tuple(args.city_workers),
+            repeats=1 if args.quick else repeats,
+            seed=args.seed,
+        )
+        print()
+        print(format_city_bench(city_doc))
+        docs["BENCH_city.json"] = city_doc
+        if not city_doc["bit_identical"]:
+            print(
+                "error: multi-cell stats differ across worker counts",
+                file=sys.stderr,
+            )
+            return 1
     if not args.skip_scenarios:
         scen_doc = bench_scenarios(n_trials=trials, seed=args.seed)
         print()
@@ -549,6 +572,16 @@ def build_parser() -> argparse.ArgumentParser:
                          "against the per-bin reference loop (BENCH_ofdm.json)")
     pb.add_argument("--ofdm-groups", type=_positive_int, default=16,
                     help="candidate groups in the OFDM band-solver suite")
+    pb.add_argument("--city", action="store_true",
+                    help="also time the sharded multi-cell city vs worker "
+                         "count and check bit-identity (BENCH_city.json)")
+    pb.add_argument("--city-cells", type=_positive_int, default=64,
+                    help="cells in the multi-cell city suite")
+    pb.add_argument("--city-slots", type=_positive_int, default=60,
+                    help="slots to simulate in the multi-cell city suite")
+    pb.add_argument("--city-workers", type=_positive_int, nargs="+",
+                    default=[1, 2, 4],
+                    help="worker counts to time in the multi-cell city suite")
 
     pl2 = sub.add_parser("lemmas", help="print the DoF table (Lemmas 5.1/5.2)")
     common(pl2)

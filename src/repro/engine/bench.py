@@ -21,6 +21,11 @@ recorded alongside its correctness results:
   batched downlink solver against the per-bin scalar reference loop on a
   64-bin OFDM grid and records the worst per-packet SINR discrepancy;
   ``BENCH_ofdm.json``.
+* :func:`bench_city` (``repro bench --city``) times the sharded
+  multi-cell simulation (:mod:`repro.sim.multicell`) at each worker
+  count, records client-slots simulated per second, and asserts the
+  network-wide stats digest is bit-identical across worker counts;
+  ``BENCH_city.json``.
 
 JSON schemas are documented in ``EXPERIMENTS.md``.  Timings use the best
 of ``repeats`` runs (fresh simulation each run, so caches never carry
@@ -30,6 +35,7 @@ over between measurements).
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from typing import Dict, Sequence
@@ -327,6 +333,84 @@ def bench_ofdm(
     }
 
 
+def bench_city(
+    n_cells: int = 64,
+    aps_per_cell: int = 3,
+    clients_per_cell: int = 16,
+    n_slots: int = 60,
+    barrier_slots: int = 20,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    repeats: int = 1,
+    seed: int = 7,
+) -> dict:
+    """Time the multi-cell city at each worker count; check bit-identity.
+
+    Returns the ``BENCH_city.json`` document (see ``EXPERIMENTS.md``):
+    per-worker-count seconds and throughput in *client-slots per second*
+    (``clients_per_second = n_clients * n_slots / seconds``), the
+    ``MultiCellStats`` digest of every run, ``bit_identical`` (all
+    digests equal — the subsystem's correctness contract), the speedup
+    of the largest worker count over one worker, and ``cpu_count`` so a
+    reader can judge the speedup against the cores actually available
+    (process sharding cannot beat 1x on a single-core host).
+    """
+    from repro.sim.multicell import MultiCellConfig, MultiCellSimulation  # deferred
+
+    config = MultiCellConfig(
+        n_cells=n_cells,
+        aps_per_cell=aps_per_cell,
+        clients_per_cell=clients_per_cell,
+        barrier_slots=barrier_slots,
+        seed=seed,
+    )
+    workers_doc: Dict[str, Dict[str, float]] = {}
+    digests: Dict[int, str] = {}
+    network_rate = 0.0
+    jain = 0.0
+    for workers in worker_counts:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            sim = MultiCellSimulation(config)
+            start = time.perf_counter()
+            stats = sim.run(n_slots, workers=workers)
+            best = min(best, time.perf_counter() - start)
+        digests[workers] = stats.digest()
+        network_rate = stats.network_rate
+        jain = stats.jain_fairness
+        workers_doc[str(workers)] = {
+            "seconds": best,
+            "clients_per_second": config.n_clients * n_slots / best,
+            "digest": digests[workers],
+        }
+    baseline = min(worker_counts)
+    peak = max(worker_counts)
+    return {
+        "benchmark": "city",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "config": {
+            "n_cells": n_cells,
+            "aps_per_cell": aps_per_cell,
+            "clients_per_cell": clients_per_cell,
+            "n_clients": config.n_clients,
+            "n_slots": n_slots,
+            "barrier_slots": barrier_slots,
+            "worker_counts": list(worker_counts),
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "workers": workers_doc,
+        "speedup": (
+            workers_doc[str(baseline)]["seconds"] / workers_doc[str(peak)]["seconds"]
+        ),
+        "bit_identical": len(set(digests.values())) == 1,
+        "network_rate": network_rate,
+        "jain_fairness": jain,
+        "cpu_count": os.cpu_count(),
+        "environment": _environment(),
+        "timestamp": _timestamp(),
+    }
+
+
 def bench_scenarios(
     names: Sequence[str] = DEFAULT_SCENARIOS,
     n_trials: int = 8,
@@ -421,6 +505,33 @@ def format_ofdm_bench(doc: dict) -> str:
     lines.append(
         f"  speedup : {doc['speedup']:.2f}x (band-batched vs per-bin loop), "
         f"max SINR diff {doc['max_sinr_diff_db']:.2e} dB"
+    )
+    return "\n".join(lines)
+
+
+def format_city_bench(doc: dict) -> str:
+    """Human-readable summary of a ``BENCH_city.json`` document."""
+    cfg = doc["config"]
+    lines = [
+        f"Multi-cell city: {cfg['n_cells']} cells x "
+        f"({cfg['aps_per_cell']} APs + {cfg['clients_per_cell']} clients) "
+        f"= {cfg['n_clients']} clients, {cfg['n_slots']} slots, "
+        f"barrier every {cfg['barrier_slots']}, best of {cfg['repeats']} "
+        f"({doc['cpu_count']} CPU(s))",
+    ]
+    for workers, stats in sorted(doc["workers"].items(), key=lambda kv: int(kv[0])):
+        lines.append(
+            f"  {workers:>2s} worker(s): {stats['seconds']:8.2f} s   "
+            f"{stats['clients_per_second']:10.0f} client-slots/s"
+        )
+    identical = "yes" if doc["bit_identical"] else "NO - BROKEN"
+    lines.append(
+        f"  speedup : {doc['speedup']:.2f}x "
+        f"(max vs min workers), bit-identical across workers: {identical}"
+    )
+    lines.append(
+        f"  network rate {doc['network_rate']:.1f} b/s/Hz, "
+        f"Jain {doc['jain_fairness']:.3f}"
     )
     return "\n".join(lines)
 

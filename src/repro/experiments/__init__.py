@@ -21,6 +21,10 @@ declarative surface:
 * :mod:`repro.experiments.ofdm_scenarios` — wideband (§6c) scenarios:
   the ``ofdm_subcarrier`` ablation and the full-stack
   ``fig_ofdm_dynamic`` per-subcarrier WLAN regime;
+* :mod:`repro.experiments.multicell_scenarios` — the ``city_scale``
+  scenario over the sharded multi-cell layer
+  (:mod:`repro.sim.multicell`): K interference neighbourhoods with
+  per-cell leaders and slot-barrier boundary exchange;
 * :mod:`repro.experiments.sweep` — the resumable parameter-grid sweep
   engine behind ``python -m repro sweep`` (:func:`run_sweep`,
   per-cell RNG streams, JSON cell cache, :class:`SweepResult` tables).
@@ -59,6 +63,7 @@ from repro.experiments import scenarios as _scenarios  # noqa: F401
 from repro.experiments import signal_scenarios as _signal_scenarios  # noqa: F401
 from repro.experiments import dynamic_scenarios as _dynamic_scenarios  # noqa: F401
 from repro.experiments import ofdm_scenarios as _ofdm_scenarios  # noqa: F401
+from repro.experiments import multicell_scenarios as _multicell_scenarios  # noqa: F401
 from repro.experiments.scenarios import gain_cdf_from_record, scatter_result
 
 __all__ = [

@@ -24,7 +24,7 @@ IAC gain on the bottleneck carries through to the flow.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.core.decoder import decode_rate_level
 from repro.core.plans import ChannelSet
 from repro.phy.channel.model import rayleigh_channel
 from repro.phy.mimo.eigenmode import eigenmode_link
+from repro.sim.geometry import contiguous_labels, two_level_gain_db
 from repro.utils.db import db_to_linear
 from repro.utils.rng import default_rng
 
@@ -55,21 +56,26 @@ class ClusteredConfig:
 class ClusteredNetwork:
     """Two clusters with strong intra- and weak inter-cluster channels."""
 
-    def __init__(self, config: ClusteredConfig = ClusteredConfig()):
+    def __init__(self, config: Optional[ClusteredConfig] = None):
+        config = ClusteredConfig() if config is None else config
         if config.nodes_per_cluster < 2:
             raise ValueError("clusters need at least two nodes for IAC")
         self.config = config
         rng = default_rng(config.seed)
         n = config.nodes_per_cluster
         m = config.n_antennas
-        #: Node ids: cluster A = 0..n-1, cluster B = n..2n-1.
-        self.cluster_a = list(range(n))
-        self.cluster_b = list(range(n, 2 * n))
+        #: Node ids: cluster A = 0..n-1, cluster B = n..2n-1 — the
+        #: contiguous two-cluster special case of the shared layout
+        #: helpers (:mod:`repro.sim.geometry`).
+        labels = contiguous_labels(2 * n, 2)
+        self.cluster_a = [int(i) for i in np.flatnonzero(labels == 0)]
+        self.cluster_b = [int(i) for i in np.flatnonzero(labels == 1)]
         self._channels: Dict[Tuple[int, int], np.ndarray] = {}
         for a in range(2 * n):
             for b in range(a + 1, 2 * n):
-                same = (a < n) == (b < n)
-                gain_db = config.intra_gain_db if same else config.inter_gain_db
+                gain_db = two_level_gain_db(
+                    labels[a], labels[b], config.intra_gain_db, config.inter_gain_db
+                )
                 h = rayleigh_channel(m, m, rng, gain=db_to_linear(gain_db))
                 self._channels[(a, b)] = h
                 self._channels[(b, a)] = h.T

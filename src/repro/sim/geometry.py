@@ -1,0 +1,153 @@
+"""Planar cluster geometry shared by the clustered mesh and the city.
+
+Both multi-neighbourhood topologies in this repository — the two-cluster
+ad-hoc mesh of the paper's §11 (:mod:`repro.sim.clustered`, Fig. 17) and
+the K-cell city of :mod:`repro.sim.multicell` — need the same geometric
+vocabulary: lay cluster centres out on a plane, scatter nodes around
+them, assign every node to exactly one cluster, and turn positions (or
+cluster membership) into link gains.  This module is that one shared
+implementation:
+
+* **Layouts** — :func:`grid_centers` places K cluster centres on a
+  square grid; :func:`disk_positions` scatters nodes uniformly in a
+  disk around a centre.
+* **Membership** — :func:`contiguous_labels` partitions node ids into K
+  contiguous blocks (the Fig.-17 convention: cluster A is ``0..n-1``,
+  cluster B is ``n..2n-1``); :func:`nearest_center` recovers membership
+  from positions, which doubles as the partition-correctness oracle in
+  the multicell property tests.
+* **Gain models** — :func:`two_level_gain_db` is the paper's clustered
+  rule (strong intra-cluster links, weak inter-cluster links);
+  :func:`path_gain_db` is the log-distance rule the city uses for
+  cross-cell interference coupling.
+
+Everything is pure geometry: no RNG state lives here (callers pass a
+generator to :func:`disk_positions`), so these helpers never perturb a
+simulation's stream discipline.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "contiguous_labels",
+    "disk_positions",
+    "grid_centers",
+    "nearest_center",
+    "pairwise_distances",
+    "path_gain_db",
+    "two_level_gain_db",
+]
+
+
+def grid_centers(n_clusters: int, spacing: float = 1.0) -> np.ndarray:
+    """``(K, 2)`` cluster centres on a row-major square grid.
+
+    The grid has ``ceil(sqrt(K))`` columns, so 64 clusters form an 8x8
+    city block and a non-square count leaves the last row short.  The
+    layout is deterministic: centre ``k`` sits at
+    ``(spacing * (k % cols), spacing * (k // cols))``.
+    """
+    if n_clusters < 1:
+        raise ValueError("need at least one cluster")
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    cols = math.ceil(math.sqrt(n_clusters))
+    k = np.arange(n_clusters)
+    return np.column_stack((spacing * (k % cols), spacing * (k // cols))).astype(float)
+
+
+def disk_positions(
+    center: np.ndarray, n: int, radius: float, rng: np.random.Generator
+) -> np.ndarray:
+    """``(n, 2)`` positions uniform in the disk of ``radius`` at ``center``.
+
+    Uses the ``sqrt``-radius trick so density is uniform in *area*, not
+    radius — the outer half of the area really holds half the nodes,
+    which is what makes an area-fraction edge rule meaningful.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    r = radius * np.sqrt(rng.uniform(size=n))
+    theta = rng.uniform(0.0, 2.0 * np.pi, size=n)
+    return np.asarray(center, dtype=float) + np.column_stack(
+        (r * np.cos(theta), r * np.sin(theta))
+    )
+
+
+def contiguous_labels(n_nodes: int, n_clusters: int) -> np.ndarray:
+    """``(n_nodes,)`` cluster labels in contiguous, near-equal blocks.
+
+    ``contiguous_labels(2 * n, 2)`` reproduces the Fig.-17 convention
+    (first ``n`` ids are cluster A, the rest cluster B); uneven counts
+    split as evenly as possible with earlier clusters never smaller.
+    """
+    if n_clusters < 1:
+        raise ValueError("need at least one cluster")
+    if n_nodes < 0:
+        raise ValueError("n_nodes must be non-negative")
+    return (np.arange(n_nodes) * n_clusters) // n_nodes if n_nodes else np.empty(
+        0, dtype=int
+    )
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(len(a), len(b))`` Euclidean distances between two point sets."""
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt((diff**2).sum(axis=-1))
+
+
+def nearest_center(positions: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Cluster label of each position: the index of its nearest centre.
+
+    This is the membership *oracle*: a partition built by scattering
+    nodes around their own centre (with scatter radius below half the
+    centre spacing) must agree with it exactly — the multicell property
+    tests assert that no node is orphaned or claimed by two cells.
+    """
+    return np.argmin(pairwise_distances(positions, centers), axis=1)
+
+
+def two_level_gain_db(
+    label_a: Union[int, np.ndarray],
+    label_b: Union[int, np.ndarray],
+    intra_gain_db: float,
+    inter_gain_db: float,
+):
+    """The paper's clustered gain rule: strong within, weak across.
+
+    Links between nodes of the same cluster average ``intra_gain_db``;
+    links crossing a cluster boundary average ``inter_gain_db`` (the
+    Fig.-17 bottleneck).  Accepts scalars or label arrays.
+    """
+    same = np.asarray(label_a) == np.asarray(label_b)
+    result = np.where(same, float(intra_gain_db), float(inter_gain_db))
+    return float(result) if result.ndim == 0 else result
+
+
+def path_gain_db(
+    distance: Union[float, np.ndarray],
+    gain_at_ref_db: float,
+    ref_distance: float = 1.0,
+    exponent: float = 3.5,
+):
+    """Log-distance path gain: ``gain_at_ref_db`` at the reference range,
+    decaying ``10 * exponent * log10(d / ref)`` dB beyond it.
+
+    Distances inside the reference range are clamped to it (the model
+    is a far-field rule; letting it diverge at zero distance would hand
+    adjacent nodes unbounded gain).
+    """
+    if ref_distance <= 0:
+        raise ValueError("ref_distance must be positive")
+    d = np.maximum(np.asarray(distance, dtype=float), ref_distance)
+    result = gain_at_ref_db - 10.0 * exponent * np.log10(d / ref_distance)
+    return float(result) if result.ndim == 0 else result

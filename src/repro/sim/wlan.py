@@ -23,7 +23,10 @@ simulated deployment that runs, slot by slot,
    distinct clients serves the head client point-to-point;
 5. **transmission** -- each group is solved and decoded at rate level with
    the leader's (possibly stale) channel estimates against the *true*
-   current channels, so stale estimates genuinely cost SINR;
+   current channels, so stale estimates genuinely cost SINR; per-client
+   cross-cell interference floors (injected by the multi-cell layer via
+   :meth:`WLANSimulation.set_interference_floor`) raise the noise floor
+   of boundary clients;
 6. **accounting** -- per-client goodput and queueing latency, queue
    depth, idle slots, Jain fairness, churn/mobility event log, control
    bytes, estimate staleness.
@@ -38,7 +41,7 @@ tracking off hurts under mobility; the dynamic scenarios
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -308,6 +311,10 @@ class WLANSimulation:
         self._churn_rng = np.random.default_rng(churn_seq)
         self._mobility_rng = np.random.default_rng(mobility_seq)
         self._active = set(self.client_ids)
+        #: Extra interference power per client (in noise units), injected
+        #: by an enclosing multi-cell simulation at slot barriers; empty
+        #: means the original single-cell behaviour, bit for bit.
+        self._interference: Dict[int, float] = {}
         self._latency_sum: Dict[int, float] = {}
         self._latency_n: Dict[int, int] = {}
         #: Absolute slot counter, persistent across ``run()`` calls (the
@@ -320,6 +327,30 @@ class WLANSimulation:
     def active_clients(self) -> List[int]:
         """Currently associated clients, in id order."""
         return sorted(self._active)
+
+    def set_interference_floor(
+        self, floors: Optional[Mapping[int, float]] = None
+    ) -> None:
+        """Set per-client cross-cell interference power, in noise units.
+
+        The hook a :class:`~repro.sim.multicell.MultiCellSimulation`
+        uses to inject boundary interference at slot barriers: a client
+        with floor ``f`` sees every SINR (aligned groups and degenerate
+        point-to-point service alike) divided by ``1 + f`` — its noise
+        floor rises from 1 to ``1 + f``.  An empty or all-zero mapping
+        restores the exact single-cell trajectory (the floors touch no
+        RNG stream, so setting and clearing them is side-effect free).
+        """
+        self._interference = {
+            int(c): float(v) for c, v in (floors or {}).items() if float(v) > 0.0
+        }
+
+    def _derate(self, rate: float, client: int) -> float:
+        """A point-to-point rate under the client's interference floor."""
+        floor = self._interference.get(int(client), 0.0)
+        if not floor:
+            return float(rate)
+        return float(np.log2(1.0 + (2.0**rate - 1.0) / (1.0 + floor)))
 
     def _sound(self, ap: int, client: int) -> np.ndarray:
         """One sounding: the flat matrix, or the per-subcarrier band.
@@ -365,6 +396,15 @@ class WLANSimulation:
         # The selector just scored this group, so the engine reuses its
         # memoised solution instead of re-solving from scratch.
         actual, ideal = self.evaluator.transmit_sinrs(group, self._true_channels(group))
+        if self._interference:
+            # Boundary interference raises the noise floor from 1 to
+            # 1 + f for both the achieved and the genie SINR (it is not
+            # staleness), uniformly across subcarriers.
+            scale = np.array(
+                [1.0 + self._interference.get(int(c), 0.0) for c in group]
+            )
+            actual = actual / scale
+            ideal = ideal / scale
         self.stats.staleness_loss_db += max(
             0.0, 10 * np.log10((1 + ideal.min()) / (1 + actual.min()))
         )
@@ -396,10 +436,13 @@ class WLANSimulation:
                     {(a, client): bands[a][b] for a in self.ap_ids}
                 )
                 rates.append(
-                    best_ap_link(
-                        channels, client, self.ap_ids,
-                        noise_power=1.0, direction="downlink",
-                    ).rate
+                    self._derate(
+                        best_ap_link(
+                            channels, client, self.ap_ids,
+                            noise_power=1.0, direction="downlink",
+                        ).rate,
+                        client,
+                    )
                 )
             return {client: float(np.mean(rates))}
         channels = ChannelSet(
@@ -408,7 +451,7 @@ class WLANSimulation:
         rate = best_ap_link(
             channels, client, self.ap_ids, noise_power=1.0, direction="downlink"
         ).rate
-        return {client: float(rate)}
+        return {client: self._derate(rate, client)}
 
     def _track_channels(self, slot: int) -> None:
         """Clients ack; every AP re-estimates and reports drift (§7.1(c)).

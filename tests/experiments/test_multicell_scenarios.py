@@ -1,0 +1,111 @@
+"""Tests for the city-scale multi-cell scenario."""
+
+import pytest
+
+from repro.experiments import get_scenario, run_experiment
+from repro.experiments.multicell_scenarios import (
+    build_multicell_config,
+    canonical_city_params,
+)
+from repro.experiments.sweep import run_sweep
+from repro.sim.multicell import MultiCellSimulation
+from repro.utils.rng import spawn_rngs
+
+#: Small-but-real settings shared by the cheap tests below.
+_FAST = {
+    "n_cells": 3,
+    "clients_per_cell": 4,
+    "n_slots": 10,
+    "barrier_slots": 5,
+}
+
+
+class TestRegistration:
+    def test_registered_with_tags_and_formatter(self):
+        scenario = get_scenario("city_scale")
+        assert "multicell" in scenario.tags
+        assert scenario.formatter is not None
+        assert scenario.canonicalize is not None
+        # Every sweepable knob of the tentpole appears in the defaults.
+        for knob in ("n_cells", "aps_per_cell", "clients_per_cell", "workers"):
+            assert knob in scenario.default_params
+
+
+class TestCanonicalization:
+    def test_execution_knobs_stripped(self):
+        p = dict(get_scenario("city_scale").default_params)
+        q = canonical_city_params(p)
+        assert "workers" not in q
+        assert "engine" not in q
+        assert q["n_cells"] == p["n_cells"]
+
+    def test_load_inert_under_saturated_traffic(self):
+        q = canonical_city_params({"traffic": "saturated", "load": 0.9})
+        assert "load" not in q
+        q = canonical_city_params({"traffic": "poisson", "load": 0.9})
+        assert q["load"] == 0.9
+
+
+class TestTrial:
+    def test_trial_matches_direct_simulation(self):
+        """The scenario is a thin veneer over ``MultiCellSimulation``."""
+        seed = 5
+        result = run_experiment("city_scale", n_trials=1, seed=seed, params=_FAST)
+        metrics = result.records[0].metrics
+
+        rng = spawn_rngs(seed, 1)[0]
+        sim_seed = int(rng.integers(2**31 - 1))
+        params = dict(get_scenario("city_scale").default_params)
+        params.update(_FAST)
+        stats = MultiCellSimulation(build_multicell_config(params, sim_seed)).run(
+            int(params["n_slots"])
+        )
+        assert metrics["network_rate"] == stats.network_rate
+        assert metrics["jain_fairness"] == stats.jain_fairness
+        assert metrics["n_clients"] == float(stats.n_clients)
+
+    def test_workers_param_does_not_change_metrics(self):
+        serial = run_experiment(
+            "city_scale", n_trials=1, seed=3, params=_FAST
+        ).records[0].metrics
+        sharded = run_experiment(
+            "city_scale", n_trials=1, seed=3, params={**_FAST, "workers": 2}
+        ).records[0].metrics
+        assert serial == sharded
+
+    def test_formatter_renders(self):
+        scenario = get_scenario("city_scale")
+        result = run_experiment("city_scale", n_trials=1, seed=1, params=_FAST)
+        text = scenario.formatter(result)
+        assert "city_scale" in text
+        assert "network" in text
+
+
+class TestSweepIntegration:
+    def test_workers_axis_collapses_to_one_identity(self, tmp_path):
+        """Sweeping ``workers`` is pure execution noise: every cell of the
+        axis shares one canonical identity, so the sweep computes one
+        result and the rows agree exactly."""
+        result = run_sweep(
+            "city_scale",
+            {"workers": [1, 2]},
+            params=_FAST,
+            n_trials=1,
+            seed=0,
+            cache=str(tmp_path / "cache.json"),
+        )
+        assert len(result.cells) == 2
+        a, b = (cell.metric_mean("network_rate") for cell in result.cells)
+        assert a == b
+
+    def test_n_cells_axis_changes_results(self, tmp_path):
+        result = run_sweep(
+            "city_scale",
+            {"n_cells": [2, 4]},
+            params={**_FAST, "n_slots": 6},
+            n_trials=1,
+            seed=0,
+            cache=str(tmp_path / "cache.json"),
+        )
+        rates = [cell.metric_mean("network_rate") for cell in result.cells]
+        assert rates[0] != rates[1]

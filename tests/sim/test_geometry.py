@@ -1,0 +1,147 @@
+"""Shared cluster-geometry helpers (:mod:`repro.sim.geometry`)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.geometry import (
+    contiguous_labels,
+    disk_positions,
+    grid_centers,
+    nearest_center,
+    pairwise_distances,
+    path_gain_db,
+    two_level_gain_db,
+)
+
+
+class TestGridCenters:
+    def test_square_count_forms_square_grid(self):
+        centers = grid_centers(9, spacing=2.0)
+        assert centers.shape == (9, 2)
+        assert np.array_equal(centers[0], [0.0, 0.0])
+        assert np.array_equal(centers[4], [2.0, 2.0])  # middle of 3x3
+        assert np.array_equal(centers[8], [4.0, 4.0])
+
+    def test_non_square_count_leaves_last_row_short(self):
+        centers = grid_centers(5)  # 3 columns, rows of 3 + 2
+        assert centers.shape == (5, 2)
+        assert np.array_equal(centers[3], [0.0, 1.0])
+        assert np.array_equal(centers[4], [1.0, 1.0])
+
+    def test_centers_are_distinct(self):
+        centers = grid_centers(37, spacing=0.5)
+        assert len({tuple(c) for c in centers}) == 37
+
+    def test_min_center_distance_is_spacing(self):
+        centers = grid_centers(12, spacing=1.5)
+        d = pairwise_distances(centers, centers)
+        np.fill_diagonal(d, np.inf)
+        assert d.min() == pytest.approx(1.5)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            grid_centers(0)
+        with pytest.raises(ValueError):
+            grid_centers(4, spacing=0.0)
+
+
+class TestDiskPositions:
+    def test_stays_inside_radius(self):
+        rng = np.random.default_rng(0)
+        pos = disk_positions(np.array([3.0, -1.0]), 500, 0.4, rng)
+        dist = np.linalg.norm(pos - [3.0, -1.0], axis=1)
+        assert pos.shape == (500, 2)
+        assert dist.max() <= 0.4
+
+    def test_uniform_in_area_not_radius(self):
+        # With sqrt-radius sampling, the inner half of the *area*
+        # (r < R/sqrt(2)) holds about half the nodes.
+        rng = np.random.default_rng(1)
+        pos = disk_positions(np.zeros(2), 4000, 1.0, rng)
+        inner = np.linalg.norm(pos, axis=1) < 1.0 / math.sqrt(2.0)
+        assert abs(inner.mean() - 0.5) < 0.05
+
+    def test_zero_nodes(self):
+        rng = np.random.default_rng(2)
+        assert disk_positions(np.zeros(2), 0, 1.0, rng).shape == (0, 2)
+
+
+class TestContiguousLabels:
+    def test_two_cluster_convention_matches_fig17(self):
+        labels = contiguous_labels(8, 2)
+        assert labels.tolist() == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    @given(
+        n_nodes=st.integers(min_value=0, max_value=200),
+        n_clusters=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_blocks_are_contiguous_and_balanced(self, n_nodes, n_clusters):
+        labels = contiguous_labels(n_nodes, n_clusters)
+        assert len(labels) == n_nodes
+        assert np.all(np.diff(labels) >= 0)  # contiguous blocks
+        if n_nodes >= n_clusters:
+            counts = np.bincount(labels, minlength=n_clusters)
+            assert counts.min() >= 1
+            assert counts.max() - counts.min() <= 1
+
+
+class TestNearestCenter:
+    def test_recovers_scatter_assignment(self):
+        # Scatter radius below half the pitch => oracle agrees exactly.
+        rng = np.random.default_rng(3)
+        centers = grid_centers(6, spacing=1.0)
+        labels = []
+        positions = []
+        for k, c in enumerate(centers):
+            pts = disk_positions(c, 20, 0.45, rng)
+            positions.append(pts)
+            labels.extend([k] * 20)
+        recovered = nearest_center(np.vstack(positions), centers)
+        assert recovered.tolist() == labels
+
+
+class TestGainModels:
+    def test_two_level_scalar_and_array(self):
+        assert two_level_gain_db(0, 0, 30.0, 8.0) == 30.0
+        assert two_level_gain_db(0, 1, 30.0, 8.0) == 8.0
+        got = two_level_gain_db(np.array([0, 0, 1]), np.array([0, 1, 1]), 30.0, 8.0)
+        assert got.tolist() == [30.0, 8.0, 30.0]
+
+    def test_path_gain_decays_with_distance(self):
+        assert path_gain_db(1.0, -10.0, exponent=3.5) == pytest.approx(-10.0)
+        assert path_gain_db(10.0, -10.0, exponent=3.5) == pytest.approx(-45.0)
+
+    def test_path_gain_clamped_inside_reference(self):
+        # Near-field distances never exceed the reference gain.
+        assert path_gain_db(0.0, -10.0) == pytest.approx(-10.0)
+        assert path_gain_db(0.5, -10.0) == pytest.approx(-10.0)
+
+    def test_path_gain_rejects_bad_reference(self):
+        with pytest.raises(ValueError):
+            path_gain_db(1.0, -10.0, ref_distance=0.0)
+
+
+class TestClusteredUsesGeometry:
+    def test_clustered_network_matches_contiguous_labels(self):
+        # The Fig.-17 network's cluster split is the two-cluster special
+        # case of the shared helpers.
+        from repro.sim.clustered import ClusteredConfig, ClusteredNetwork
+
+        net = ClusteredNetwork(ClusteredConfig(nodes_per_cluster=3))
+        labels = contiguous_labels(6, 2)
+        assert net.cluster_a == np.flatnonzero(labels == 0).tolist()
+        assert net.cluster_b == np.flatnonzero(labels == 1).tolist()
+
+    def test_clustered_network_default_config_not_shared(self):
+        # Satellite fix: the default config must be built per instance,
+        # never a shared mutable default argument.
+        from repro.sim.clustered import ClusteredNetwork
+
+        a, b = ClusteredNetwork(), ClusteredNetwork()
+        assert a.config is not b.config
+        assert a.config == b.config
