@@ -1,0 +1,83 @@
+"""AST-based contract linter: the repo's invariants, mechanically enforced.
+
+Every scaling layer in this codebase rests on conventions that used to
+be enforced only by review and after-the-fact tests: per-stream
+``default_rng`` seeding, fast/``*_reference`` engine pairing, explicit
+iteration order in the sharded hot paths, no shared-mutable defaults
+(the twice-shipped ``WLANConfig``/``ClusteredConfig`` bug).  This
+package encodes each contract as an AST rule and surfaces them as
+``python -m repro lint``:
+
+* :mod:`repro.analysis.base` — :class:`Finding`, the :class:`Rule` /
+  :class:`ProjectRule` framework, the rule registry, :class:`LintConfig`;
+* :mod:`repro.analysis.rules_rng` — ``no-global-rng``,
+  ``no-bare-default-rng``;
+* :mod:`repro.analysis.rules_purity` — ``no-mutable-default``,
+  ``no-wallclock``, ``no-print-in-library``;
+* :mod:`repro.analysis.rules_order` — ``no-unordered-iteration`` over
+  the sharded hot paths;
+* :mod:`repro.analysis.rules_project` — cross-file ``engine-pair`` and
+  ``scenario-registration``;
+* :mod:`repro.analysis.suppressions` — ``# repro-lint: ignore[rule-id]``
+  waivers, with stale waivers reported as ``unused-suppression``;
+* :mod:`repro.analysis.baseline` — the committed ``LINT_BASELINE.json``
+  of grandfathered findings (strict on new code from day one);
+* :mod:`repro.analysis.runner` — :func:`lint_path` /
+  :func:`lint_sources` and the :class:`LintReport` the CLI renders.
+
+Quickstart::
+
+    >>> from repro.analysis import lint_sources
+    >>> lint_sources({"repro/x.py": "from numpy.random import default_rng\\n"})
+    []
+
+Each rule is documented (invariant, origin PR) in docs/ARCHITECTURE.md
+§"Enforced contracts"; ``tests/test_docs.py`` fails when a registered
+rule goes undocumented.
+"""
+
+from repro.analysis.base import (
+    FileContext,
+    Finding,
+    LintConfig,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    register_rule,
+    rule_ids,
+)
+from repro.analysis.baseline import BASELINE_FILENAME, Baseline
+
+# Importing the rule modules populates the registry.
+from repro.analysis import rules_rng as _rules_rng  # noqa: F401
+from repro.analysis import rules_purity as _rules_purity  # noqa: F401
+from repro.analysis import rules_order as _rules_order  # noqa: F401
+from repro.analysis import rules_project as _rules_project  # noqa: F401
+from repro.analysis.suppressions import SUPPRESSION_RULE_ID, Suppressions
+from repro.analysis.runner import (
+    PARSE_ERROR_RULE_ID,
+    LintReport,
+    lint_path,
+    lint_sources,
+)
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "PARSE_ERROR_RULE_ID",
+    "ProjectContext",
+    "ProjectRule",
+    "Rule",
+    "SUPPRESSION_RULE_ID",
+    "Suppressions",
+    "all_rules",
+    "lint_path",
+    "lint_sources",
+    "register_rule",
+    "rule_ids",
+]

@@ -1,0 +1,86 @@
+"""Grandfathered findings: the committed ``LINT_BASELINE.json``.
+
+The gate is strict on new code from day one: findings that predate the
+linter live in a committed baseline and do not fail the build, while
+anything not in the baseline does.  Entries match on the finding's
+*fingerprint* — path, rule and the stripped text of the offending line
+— so a file shifting by a few lines keeps matching, but touching the
+offending code itself surfaces the finding again.  The intended
+trajectory is monotonically down: fix a finding, shrink the file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Tuple, Union
+
+from repro.analysis.base import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+BASELINE_FILENAME = "LINT_BASELINE.json"
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, fingerprints: Iterable[Tuple[str, str, str]] = ()):
+        self._counts: Counter = Counter(fingerprints)
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Baseline":
+        version = data.get("schema_version", BASELINE_SCHEMA_VERSION)
+        if version > BASELINE_SCHEMA_VERSION:
+            raise ValueError(f"unsupported baseline schema version {version}")
+        return cls(
+            (str(e["path"]), str(e["rule"]), str(e.get("text", "")))
+            for e in data.get("findings", [])
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, os.PathLike]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not os.path.exists(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def filter(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], int]:
+        """``(new_findings, matched_count)`` — consuming one baseline
+        entry per matched finding, so a file cannot grow extra copies of
+        a grandfathered violation for free."""
+        remaining = Counter(self._counts)
+        new: List[Finding] = []
+        matched = 0
+        for finding in findings:
+            if remaining[finding.fingerprint] > 0:
+                remaining[finding.fingerprint] -= 1
+                matched += 1
+            else:
+                new.append(finding)
+        return new, matched
+
+    @staticmethod
+    def document(findings: Iterable[Finding]) -> Dict[str, Any]:
+        """The JSON document grandfathering ``findings`` (sorted, stable)."""
+        return {
+            "schema_version": BASELINE_SCHEMA_VERSION,
+            "findings": [
+                {"path": f.path, "rule": f.rule, "text": f.text}
+                for f in sorted(findings)
+            ],
+        }
+
+    @staticmethod
+    def write(
+        findings: Iterable[Finding], path: Union[str, os.PathLike]
+    ) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(Baseline.document(findings), fh, indent=2, sort_keys=True)
+            fh.write("\n")

@@ -1,0 +1,84 @@
+"""Ordering rule: the sharded hot paths iterate in explicit order.
+
+The multicell layer and the sweep engine are bit-identical across
+worker counts *by construction*: every aggregation happens in a fixed,
+explicit order.  Iterating a ``set`` or a dict view there reintroduces
+producer-insertion (or hash) order — results that drift with shard
+assignment without ever crashing, the silent corruption class
+Push-and-Track/COTAG-style distributed loops are known for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.base import FileContext, Finding, Rule, register_rule
+
+#: Wrappers that preserve their argument's iteration order — look through
+#: them for the underlying unordered expression.
+_TRANSPARENT_CALLS = frozenset({"enumerate", "list", "tuple", "reversed", "iter"})
+#: Wrappers that impose a deterministic order — sanctify anything inside.
+_ORDERING_CALLS = frozenset({"sorted"})
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+
+def _unordered_reason(node: ast.AST) -> Optional[Tuple[ast.AST, str]]:
+    """The unordered sub-expression and why, or None if explicitly ordered."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return node, "iterates a set (hash order)"
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        if func.id in _ORDERING_CALLS:
+            return None
+        if func.id == "set":
+            return node, "iterates set(...) (hash order)"
+        if func.id in _TRANSPARENT_CALLS:
+            for arg in node.args:
+                reason = _unordered_reason(arg)
+                if reason is not None:
+                    return reason
+        return None
+    if isinstance(func, ast.Attribute) and func.attr in _DICT_VIEWS:
+        return (
+            node,
+            f"iterates a dict .{func.attr}() view (producer insertion order)",
+        )
+    return None
+
+
+@register_rule
+class NoUnorderedIteration(Rule):
+    """Sharded hot paths must sort set/dict-view iterations explicitly."""
+
+    rule_id = "no-unordered-iteration"
+    summary = (
+        "the sharded hot paths (sim/multicell.py, experiments/sweep.py) "
+        "may not iterate sets or dict views unsorted; wrap in sorted() or "
+        "suppress where the insertion order is itself the contract"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel_path not in ctx.config.ordered_files:
+            return
+        iters: List[ast.AST] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+        for expr in iters:
+            reason = _unordered_reason(expr)
+            if reason is None:
+                continue
+            node, why = reason
+            yield self.finding(
+                ctx,
+                node,
+                f"{why} in a worker-invariant hot path; wrap in sorted() "
+                "or suppress with a comment stating the ordering argument",
+            )

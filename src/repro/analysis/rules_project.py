@@ -1,0 +1,169 @@
+"""Cross-file rules: engine pairing and scenario registration.
+
+These invariants live between modules, so they run once over the whole
+file set (:class:`~repro.analysis.base.ProjectRule`):
+
+* **engine-pair** — every ``*_reference`` callable is the slow bit-exact
+  twin of a fast engine (PRs 2-3's discipline).  A reference without a
+  fast counterpart is dead weight; one never named in a test is an
+  equivalence check that silently stopped existing.
+* **scenario-registration** — ``@register_scenario`` only registers a
+  scenario when its module is imported; a module not reachable from
+  ``repro/experiments/__init__.py`` ships scenarios the CLI can never
+  see.
+"""
+
+from __future__ import annotations
+
+import ast
+import posixpath
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.base import (
+    FileContext,
+    Finding,
+    ProjectContext,
+    ProjectRule,
+    dotted_name,
+    register_rule,
+)
+
+
+def _top_level_defs(
+    tree: ast.Module,
+) -> List[Tuple[str, ast.AST]]:
+    """Module- and class-level function defs (nested closures excluded).
+
+    Closures are implementation detail, not engine surface; the pairing
+    contract applies to callables another module (or a test) can reach.
+    """
+    defs: List[Tuple[str, ast.AST]] = []
+    stack: List[ast.AST] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.append((node.name, node))
+        elif isinstance(node, ast.ClassDef):
+            stack.extend(node.body)
+    return defs
+
+
+@register_rule
+class EnginePair(ProjectRule):
+    """``*_reference`` engines must have a fast twin and a test mention."""
+
+    rule_id = "engine-pair"
+    summary = (
+        "every *_reference callable needs a same-module fast counterpart "
+        "and must be named in at least one test (the equivalence contract)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        suffix = project.config.reference_suffix
+        for ctx in project.files:
+            names = _top_level_defs(ctx.tree)
+            defined = {name for name, _ in names}
+            for name, node in names:
+                if not name.endswith(suffix) or name == suffix:
+                    continue
+                counterpart = name[: -len(suffix)]
+                if counterpart not in defined:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"{name} has no fast counterpart {counterpart}() in "
+                        "the same module — a reference engine pairs with "
+                        "the engine it checks",
+                    )
+                if not project.name_in_tests(name):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"{name} is never named in any test — the "
+                        "fast/reference equivalence check does not exist",
+                    )
+
+
+def _uses_register_scenario(tree: ast.Module) -> Optional[ast.AST]:
+    """The first ``@register_scenario`` decorator usage, if any."""
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for decorator in node.decorator_list:
+            target = (
+                decorator.func if isinstance(decorator, ast.Call) else decorator
+            )
+            name = dotted_name(target)
+            if name is not None and name.split(".")[-1] == "register_scenario":
+                return decorator
+    return None
+
+
+def _imported_submodules(init_tree: ast.Module, package: str) -> Set[str]:
+    """Module stems the package ``__init__`` imports (registration reach)."""
+    dotted_pkg = package.replace("/", ".")
+    stems: Set[str] = set()
+    for node in ast.walk(init_tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith(dotted_pkg + "."):
+                    stems.add(alias.name[len(dotted_pkg) + 1 :].split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level > 0:
+                # Relative import inside the package __init__.
+                stems.update(alias.name for alias in node.names)
+                if module:
+                    stems.add(module.split(".")[0])
+            elif module == dotted_pkg:
+                stems.update(alias.name for alias in node.names)
+            elif module.startswith(dotted_pkg + "."):
+                stems.add(module[len(dotted_pkg) + 1 :].split(".")[0])
+    return stems
+
+
+@register_rule
+class ScenarioRegistration(ProjectRule):
+    """Every ``@register_scenario`` module is reachable from the registry."""
+
+    rule_id = "scenario-registration"
+    summary = (
+        "every module using @register_scenario must be imported from "
+        "repro/experiments/__init__.py, or its scenarios never register"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        package = project.config.experiments_package
+        init_path = posixpath.join(package, "__init__.py")
+        by_path: Dict[str, FileContext] = {
+            ctx.rel_path: ctx for ctx in project.files
+        }
+        init_ctx = by_path.get(init_path)
+        imported = (
+            _imported_submodules(init_ctx.tree, package)
+            if init_ctx is not None
+            else set()
+        )
+        for ctx in project.files:
+            directory, filename = posixpath.split(ctx.rel_path)
+            if directory != package or filename == "__init__.py":
+                continue
+            usage = _uses_register_scenario(ctx.tree)
+            if usage is None:
+                continue
+            stem = filename[: -len(".py")]
+            if init_ctx is None:
+                yield ctx.finding(
+                    self.rule_id,
+                    usage,
+                    f"{package}/__init__.py is missing, so the scenarios "
+                    f"registered in {stem} are unreachable",
+                )
+            elif stem not in imported:
+                yield ctx.finding(
+                    self.rule_id,
+                    usage,
+                    f"module {stem} registers scenarios but is not imported "
+                    f"from {init_path}; they will never appear in the "
+                    "registry or the CLI",
+                )

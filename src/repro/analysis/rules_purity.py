@@ -1,0 +1,229 @@
+"""Purity rules: no shared-mutable defaults, wall clocks or stray I/O.
+
+*Mutable defaults* are the repo's twice-shipped bug (``WLANConfig`` in
+PR 2, ``ClusteredConfig`` in PR 6): a default argument or dataclass
+field constructed at definition time is one shared object across every
+call and instance.  *Wall clocks* outside the benchmark harness make
+results depend on when (or how fast) a run happened.  *Prints and bare
+excepts* in library code either corrupt the CLI's machine-readable
+stdout or swallow the very mismatch CI exists to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.base import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+#: Builtin constructors whose result is mutable.
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter",
+     "OrderedDict"}
+)
+#: Call defaults that are fine: immutable builtins and dataclass field().
+_SAFE_CALLS = frozenset({"tuple", "frozenset", "field"})
+
+
+def _mutable_default(node: ast.AST) -> Optional[str]:
+    """Why ``node`` is unsafe as a default value, or None if it is safe."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        kind = type(node).__name__.lower()
+        return f"mutable {kind} literal shared across every call"
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "mutable comprehension result shared across every call"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        last = name.split(".")[-1] if name else ""
+        if last in _SAFE_CALLS:
+            return None
+        if last in _MUTABLE_CALLS:
+            return f"mutable {last}() shared across every call"
+        return (
+            f"{last or 'constructor'}() evaluated once at definition time "
+            "— one shared instance; use a None sentinel (the WLANConfig/"
+            "ClusteredConfig bug)"
+        )
+    return None
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name is not None and name.split(".")[-1] == "dataclass":
+            return True
+    return False
+
+
+@register_rule
+class NoMutableDefault(Rule):
+    """Function-argument and dataclass-field defaults must be immutable."""
+
+    rule_id = "no-mutable-default"
+    summary = (
+        "no mutable or constructor-call defaults on function arguments or "
+        "dataclass fields; use None sentinels or field(default_factory=...)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    reason = _mutable_default(default)
+                    if reason is not None:
+                        yield self.finding(
+                            ctx,
+                            default,
+                            f"default of an argument of {node.name}(): {reason}",
+                        )
+            elif isinstance(node, ast.ClassDef) and _is_dataclass_decorated(node):
+                yield from self._check_dataclass(ctx, node)
+
+    def _check_dataclass(
+        self, ctx: FileContext, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in node.body:
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value = stmt.value
+            elif isinstance(stmt, ast.Assign):
+                value = stmt.value
+            if value is None:
+                continue
+            reason = _mutable_default(value)
+            if reason is not None:
+                yield self.finding(
+                    ctx,
+                    value,
+                    f"field default in dataclass {node.name}: {reason}",
+                )
+
+
+#: ``time`` module clocks (monotonic ones included: they still leak
+#: hardware speed into results).
+_TIME_CLOCKS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+     "perf_counter_ns", "process_time", "process_time_ns"}
+)
+#: ``datetime``/``date`` wall-clock constructors.
+_DATETIME_CLOCKS = frozenset({"now", "utcnow", "today"})
+
+
+def _time_aliases(tree: ast.Module) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    aliases.add(alias.asname or "time")
+    return aliases
+
+
+def _datetime_roots(tree: ast.Module) -> Set[str]:
+    """Names that may be the ``datetime`` module or its classes."""
+    roots: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "datetime":
+                    roots.add(alias.asname or "datetime")
+        elif isinstance(node, ast.ImportFrom) and node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    roots.add(alias.asname or alias.name)
+    return roots
+
+
+@register_rule
+class NoWallclock(Rule):
+    """Results may not depend on when or how fast the run happened."""
+
+    rule_id = "no-wallclock"
+    summary = (
+        "wall clocks (time.time/perf_counter/datetime.now/...) are allowed "
+        "only in the benchmark harness; simulated time is slot counts"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel_path in ctx.config.wallclock_allowed:
+            return
+        time_names = _time_aliases(ctx.tree)
+        dt_roots = _datetime_roots(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_CLOCKS:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"time.{alias.name} read outside the "
+                                "benchmark harness",
+                            )
+                continue
+            if not isinstance(node, ast.Attribute):
+                continue
+            dotted = dotted_name(node)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in time_names
+                and parts[1] in _TIME_CLOCKS
+            ):
+                yield self.finding(
+                    ctx, node, f"{dotted} read outside the benchmark harness"
+                )
+            elif (
+                parts[-1] in _DATETIME_CLOCKS
+                and parts[0] in dt_roots
+                and len(parts) <= 3
+            ):
+                yield self.finding(
+                    ctx, node, f"{dotted} read outside the benchmark harness"
+                )
+
+
+@register_rule
+class NoPrintInLibrary(Rule):
+    """Library code neither prints nor blanket-swallows exceptions."""
+
+    rule_id = "no-print-in-library"
+    summary = (
+        "print() and bare except belong to the CLI surface only; library "
+        "code returns strings and lets specific exceptions propagate"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel_path in ctx.config.print_allowed:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "print() in library code corrupts the CLI's "
+                    "machine-readable stdout; return the text instead",
+                )
+            elif isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare except swallows every failure including the "
+                    "mismatches CI exists to catch; name the exceptions",
+                )

@@ -1,0 +1,173 @@
+"""RNG-stream rules: every random draw comes from an explicit stream.
+
+The repo's determinism contract (docs/ARCHITECTURE.md §2) routes all
+randomness through per-component ``numpy.random.Generator`` streams
+spawned from seeds — never the process-global state.  Global state is
+order-dependent: two trials that share it stop being bit-identical the
+moment a worker count, a cache hit or an import order changes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.base import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    register_rule,
+)
+
+#: The only ``numpy.random`` attributes that build explicit streams.
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    """Names the module binds to the ``numpy`` package itself."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+                elif alias.name.startswith("numpy.") and alias.asname is None:
+                    # ``import numpy.random`` binds the top-level ``numpy``.
+                    aliases.add("numpy")
+    return aliases
+
+
+def _numpy_random_aliases(tree: ast.Module) -> Set[str]:
+    """Names the module binds to the ``numpy.random`` module."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy.random" and alias.asname is not None:
+                    aliases.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy" and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or "random")
+    return aliases
+
+
+@register_rule
+class NoGlobalRng(Rule):
+    """Ban process-global RNG state in library code."""
+
+    rule_id = "no-global-rng"
+    summary = (
+        "randomness must flow through explicit numpy Generators "
+        "(default_rng / SeedSequence), never np.random.* globals or the "
+        "stdlib random module"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        np_names = _numpy_aliases(ctx.tree)
+        np_random_names = _numpy_random_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(ctx, node)
+            elif isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] in np_names
+                    and parts[1] == "random"
+                    and parts[2] not in _ALLOWED_NP_RANDOM
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted} uses the process-global numpy RNG; draw "
+                        "from an explicit Generator (default_rng(seed)) "
+                        "instead",
+                    )
+                elif (
+                    len(parts) == 2
+                    and parts[0] in np_random_names
+                    and parts[0] != "random"  # handled as stdlib below
+                    and parts[1] not in _ALLOWED_NP_RANDOM
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted} uses the process-global numpy RNG; draw "
+                        "from an explicit Generator (default_rng(seed)) "
+                        "instead",
+                    )
+
+    def _check_import(self, ctx: FileContext, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "the stdlib random module is process-global and "
+                        "unseedable per-stream; use "
+                        "repro.utils.rng.default_rng instead",
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "random" or (
+                node.module or ""
+            ).startswith("random."):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "the stdlib random module is process-global and "
+                    "unseedable per-stream; use "
+                    "repro.utils.rng.default_rng instead",
+                )
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in _ALLOWED_NP_RANDOM:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"numpy.random.{alias.name} uses the "
+                            "process-global numpy RNG; draw from an "
+                            "explicit Generator (default_rng(seed)) instead",
+                        )
+
+
+@register_rule
+class NoBareDefaultRng(Rule):
+    """``default_rng()`` with no seed is fresh OS entropy — unreproducible."""
+
+    rule_id = "no-bare-default-rng"
+    summary = (
+        "default_rng() must be given a seed, SeedSequence or Generator; "
+        "a bare call draws OS entropy and the run can never be reproduced"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] == "default_rng":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "default_rng() without a seed draws fresh OS entropy; "
+                    "pass the component's seed or an upstream Generator",
+                )

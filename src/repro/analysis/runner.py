@@ -1,0 +1,235 @@
+"""The lint runner: files in, :class:`LintReport` out.
+
+Pipeline per file: parse, run every file rule, apply same-line
+suppressions (stale waivers become findings).  Project rules then run
+once over the full file set (plus the test sources, for the
+engine-pair test-mention check), their findings subject to the same
+suppressions.  Finally the baseline splits findings into grandfathered
+and new — only new findings fail the gate.
+
+``lint_sources`` is the pure core (strings in, findings out — what the
+fixture tests and the CLI's ``--rule`` filter drive);
+:func:`lint_path` wraps it with filesystem walking and the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.analysis.base import (
+    FileContext,
+    Finding,
+    LintConfig,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    register_rule,
+    rule_ids,
+)
+from repro.analysis.baseline import Baseline
+from repro.analysis.suppressions import Suppressions
+
+PARSE_ERROR_RULE_ID = "parse-error"
+
+LINT_SCHEMA_VERSION = 1
+
+
+@register_rule
+class ParseError(Rule):
+    """Synthetic rule id for files the linter cannot parse.
+
+    Emitted by the runner itself — an unparseable file would otherwise
+    silently escape every contract.
+    """
+
+    rule_id = PARSE_ERROR_RULE_ID
+    summary = "file could not be parsed; unparseable code escapes every rule"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run learned."""
+
+    root: str
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    baseline_matched: int = 0
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": LINT_SCHEMA_VERSION,
+            "root": self.root,
+            "files_checked": self.files_checked,
+            "baseline_matched": self.baseline_matched,
+            "rules": list(self.rules),
+            "clean": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        grandfathered = (
+            f" ({self.baseline_matched} grandfathered in the baseline)"
+            if self.baseline_matched
+            else ""
+        )
+        lines.append(
+            f"{len(self.findings)} finding(s) across "
+            f"{self.files_checked} file(s){grandfathered}"
+        )
+        return "\n".join(lines)
+
+
+def _select_rules(
+    rules: Optional[Sequence[Rule]], selected: Optional[Sequence[str]]
+) -> List[Rule]:
+    pool = list(rules) if rules is not None else all_rules()
+    if selected is None:
+        return pool
+    unknown = sorted(set(selected) - {rule.rule_id for rule in pool})
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)}; "
+            f"known rules: {', '.join(sorted(r.rule_id for r in pool))}"
+        )
+    wanted = set(selected)
+    return [rule for rule in pool if rule.rule_id in wanted]
+
+
+def lint_sources(
+    sources: Mapping[str, str],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    selected: Optional[Sequence[str]] = None,
+    test_sources: Optional[Mapping[str, str]] = None,
+) -> List[Finding]:
+    """Lint in-memory sources (``rel_path -> text``); return findings.
+
+    ``selected`` restricts to the named rule ids.  Stale-waiver checking
+    only runs on a full-rule pass: with a partial selection, a waiver
+    for an unselected rule is not evidence of rot.
+    """
+    config = config if config is not None else LintConfig()
+    active = _select_rules(rules, selected)
+    check_unused = selected is None
+    file_rules = [r for r in active if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
+    known_ids = set(rule_ids())
+
+    findings: List[Finding] = []
+    contexts: List[FileContext] = []
+    suppressions: Dict[str, Suppressions] = {}
+    per_file: Dict[str, List[Finding]] = {}
+    for rel_path in sorted(sources):
+        source = sources[rel_path]
+        try:
+            tree = ast.parse(source, filename=rel_path)
+        except (SyntaxError, ValueError) as exc:
+            findings.append(
+                Finding(
+                    path=rel_path,
+                    line=getattr(exc, "lineno", 0) or 0,
+                    rule=PARSE_ERROR_RULE_ID,
+                    message=f"cannot parse: {exc}",
+                )
+            )
+            continue
+        ctx = FileContext(rel_path, source, tree, config)
+        contexts.append(ctx)
+        suppressions[rel_path] = Suppressions.from_source(source)
+        collected: List[Finding] = []
+        for rule in file_rules:
+            collected.extend(rule.check(ctx))
+        per_file[rel_path] = collected
+
+    project = ProjectContext(contexts, config, test_sources)
+    for rule in project_rules:
+        for finding in rule.check_project(project):
+            per_file.setdefault(finding.path, []).append(finding)
+
+    by_path = {ctx.rel_path: ctx for ctx in contexts}
+    for rel_path in sorted(per_file):
+        ctx = by_path.get(rel_path)
+        file_findings = per_file[rel_path]
+        if ctx is None:
+            findings.extend(file_findings)
+            continue
+        kept, stale = suppressions[rel_path].apply(
+            ctx, file_findings, known_ids
+        )
+        findings.extend(kept)
+        if check_unused:
+            findings.extend(stale)
+    return sorted(findings)
+
+
+def iter_source_files(root: Union[str, os.PathLike]) -> List[Path]:
+    """Every ``.py`` under ``root``, in deterministic path order."""
+    return sorted(Path(root).rglob("*.py"))
+
+
+def _read_tree(root: Optional[Union[str, os.PathLike]]) -> Dict[str, str]:
+    if root is None or not os.path.isdir(root):
+        return {}
+    base = Path(root)
+    out: Dict[str, str] = {}
+    for path in iter_source_files(base):
+        try:
+            out[path.relative_to(base).as_posix()] = path.read_text(
+                encoding="utf-8"
+            )
+        except (OSError, UnicodeDecodeError):
+            continue
+    return out
+
+
+def lint_path(
+    root: Union[str, os.PathLike],
+    tests_root: Optional[Union[str, os.PathLike]] = None,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    selected: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint every ``.py`` under ``root``; filter through ``baseline``.
+
+    ``tests_root`` (default: the ``tests/`` sibling of ``root``'s
+    parent) feeds the engine-pair rule's test-mention check.
+    """
+    root = Path(root)
+    if tests_root is None:
+        # Lint root is the directory holding the package (``src/``), so
+        # the conventional tests tree is its sibling.
+        tests_root = root.parent / "tests"
+    sources = _read_tree(root)
+    findings = lint_sources(
+        sources,
+        config=config,
+        rules=rules,
+        selected=selected,
+        test_sources=_read_tree(tests_root),
+    )
+    matched = 0
+    if baseline is not None:
+        findings, matched = baseline.filter(findings)
+    active = _select_rules(rules, selected)
+    return LintReport(
+        root=str(root),
+        findings=findings,
+        files_checked=len(sources),
+        baseline_matched=matched,
+        rules=[rule.rule_id for rule in active],
+    )

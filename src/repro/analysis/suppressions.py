@@ -1,0 +1,106 @@
+"""Inline waivers: ``# repro-lint: ignore[rule-id]``.
+
+A suppression silences findings of the named rule **on its own line**
+only — waivers stay next to the code they excuse.  Every suppression
+must earn its keep: one that matches no finding (stale, or naming an
+unknown rule) is itself an error (``unused-suppression``), so waivers
+cannot rot when the code they excused is fixed or deleted.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.base import FileContext, Finding, Rule, register_rule
+
+SUPPRESSION_RULE_ID = "unused-suppression"
+
+_PATTERN = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]*)\]")
+
+
+@register_rule
+class UnusedSuppression(Rule):
+    """Synthetic rule id under which stale waivers are reported.
+
+    It has no ``check`` of its own — the lint runner emits its findings
+    after matching suppressions against the real rules' output.
+    """
+
+    rule_id = SUPPRESSION_RULE_ID
+    summary = (
+        "a # repro-lint: ignore[...] comment must match a live finding on "
+        "its line; stale or unknown-rule waivers are errors"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+
+class Suppressions:
+    """The ``ignore[...]`` comments of one file, by line."""
+
+    def __init__(self, entries: Sequence[Tuple[int, str]]):
+        #: ``(line, rule_id)`` pairs, in source order.
+        self.entries = list(entries)
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        entries: List[Tuple[int, str]] = []
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            return cls([])
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(token.string)
+            if match is None:
+                continue
+            line = token.start[0]
+            for rule_id in match.group(1).split(","):
+                rule_id = rule_id.strip()
+                if rule_id:
+                    entries.append((line, rule_id))
+        return cls(entries)
+
+    def apply(
+        self, ctx: FileContext, findings: Iterable[Finding], known_ids: Set[str]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (kept, errors-for-stale-waivers).
+
+        A finding is dropped when a same-line suppression names its rule.
+        Suppressions that drop nothing — including ones naming a rule id
+        that does not exist — come back as ``unused-suppression``
+        findings, which cannot themselves be suppressed.
+        """
+        used = [False] * len(self.entries)
+        kept: List[Finding] = []
+        for finding in findings:
+            suppressed = False
+            for i, (line, rule_id) in enumerate(self.entries):
+                if line == finding.line and rule_id == finding.rule:
+                    used[i] = True
+                    suppressed = True
+            if not suppressed:
+                kept.append(finding)
+        errors: List[Finding] = []
+        for (line, rule_id), was_used in zip(self.entries, used):
+            if was_used:
+                continue
+            if rule_id not in known_ids:
+                message = (
+                    f"suppression names unknown rule {rule_id!r}; known "
+                    "rules: see 'repro lint --help' or docs/ARCHITECTURE.md"
+                )
+            else:
+                message = (
+                    f"suppression for {rule_id!r} matches no finding on "
+                    "this line — remove the stale waiver"
+                )
+            errors.append(ctx.finding(SUPPRESSION_RULE_ID, line, message))
+        return kept, errors

@@ -13,6 +13,7 @@ no per-figure wiring of its own.  Usage::
     python -m repro fig16 | fig17
     python -m repro lemmas | overhead
     python -m repro bench [--quick] [--ofdm] [--city] [--out-dir DIR]
+    python -m repro lint [--json PATH] [--rule RULE-ID] [--no-baseline]
     python -m repro --version
 
 ``run`` executes any registered scenario; ``--json -`` writes the
@@ -31,6 +32,10 @@ engines, the sample-accurate signal pipeline under its ``fast`` and
 batched band solver vs the per-bin reference loop, ``BENCH_ofdm.json``;
 ``--city`` adds the sharded multi-cell city vs worker count with its
 bit-identity check, ``BENCH_city.json``).
+``lint`` runs the AST contract linter (:mod:`repro.analysis`) over the
+source tree — determinism, RNG-stream, engine-pair and related
+invariants — exiting non-zero on any finding not grandfathered in
+``LINT_BASELINE.json``; see docs/ARCHITECTURE.md §"Enforced contracts".
 See ``EXPERIMENTS.md`` for every scenario, its paper figure, the
 expected gain ranges and the benchmark JSON schemas.
 """
@@ -61,6 +66,17 @@ from repro.sim.plotting import ascii_cdf
 
 #: Legacy scatter subcommands kept as aliases of ``run <name>``.
 _SCATTER_ALIASES = ("fig12", "fig13a", "fig13b", "fig14")
+
+
+def _fail(message: str, code: int = 1) -> int:
+    """Report a CLI failure on stderr; return the exit code.
+
+    Every error path funnels through here so failures read uniformly
+    (``error: <what> — naming the offending knob``) and never land on
+    stdout, which ``--json -`` reserves for machine-readable output.
+    """
+    print(f"error: {message}", file=sys.stderr)
+    return code
 
 
 def _positive_int(text: str) -> int:
@@ -118,8 +134,7 @@ def _emit_json(doc: str, target: Optional[str]) -> Optional[int]:
             with open(target, "w", encoding="utf-8") as fh:
                 fh.write(doc + "\n")
         except OSError as exc:
-            print(f"error: cannot write {target}: {exc}", file=sys.stderr)
-            return 1
+            return _fail(f"cannot write --json target {target}: {exc}")
     return None
 
 
@@ -164,12 +179,11 @@ def _cmd_run(args) -> int:
     try:
         scenario = get_scenario(args.scenario)
     except KeyError:
-        print(
+        return _fail(
             f"unknown scenario {args.scenario!r}; "
             f"available: {', '.join(scenario_names())}",
-            file=sys.stderr,
+            code=2,
         )
-        return 2
     try:
         result = _runner(args).run(
             scenario,
@@ -179,9 +193,9 @@ def _cmd_run(args) -> int:
         )
     except (KeyError, TypeError, ValueError) as exc:
         # Free-form --param overrides reach the trial unchecked; surface
-        # the trial's complaint instead of a traceback.
-        print(f"error running {scenario.name!r}: {exc}", file=sys.stderr)
-        return 1
+        # the trial's complaint (which names the knob) instead of a
+        # traceback.
+        return _fail(f"running {scenario.name!r}: {exc}")
     return _emit(scenario, result, args)
 
 
@@ -205,16 +219,14 @@ def _cmd_sweep(args) -> int:
     try:
         scenario = get_scenario(args.scenario)
     except KeyError:
-        print(
+        return _fail(
             f"unknown scenario {args.scenario!r}; "
             f"available: {', '.join(scenario_names())}",
-            file=sys.stderr,
+            code=2,
         )
-        return 2
     grid = _parse_grid(args.grid)
     if not grid:
-        print("sweep needs at least one --grid KEY=V1,V2,... axis", file=sys.stderr)
-        return 2
+        return _fail("sweep needs at least one --grid KEY=V1,V2,... axis", code=2)
     cache = None
     if not args.no_cache:
         path = args.cache or os.path.join(
@@ -223,8 +235,7 @@ def _cmd_sweep(args) -> int:
         try:
             cache = SweepCache(path)
         except (OSError, ValueError) as exc:
-            print(f"error: cannot use sweep cache {path}: {exc}", file=sys.stderr)
-            return 1
+            return _fail(f"cannot use sweep cache {path}: {exc}")
     def progress(cell, from_cache):
         if not args.quiet and args.json != "-":
             label = ", ".join(f"{k}={v}" for k, v in cell.params.items())
@@ -244,8 +255,7 @@ def _cmd_sweep(args) -> int:
             progress=progress,
         )
     except (KeyError, TypeError, ValueError) as exc:
-        print(f"error sweeping {scenario.name!r}: {exc}", file=sys.stderr)
-        return 1
+        return _fail(f"sweeping {scenario.name!r}: {exc}")
     code = _emit_json(result.to_json(), args.json)
     if code is not None:
         return code
@@ -402,11 +412,10 @@ def _cmd_bench(args) -> int:
         print(format_city_bench(city_doc))
         docs["BENCH_city.json"] = city_doc
         if not city_doc["bit_identical"]:
-            print(
-                "error: multi-cell stats differ across worker counts",
-                file=sys.stderr,
+            return _fail(
+                "multi-cell stats differ across worker counts "
+                f"(--city-workers {' '.join(map(str, args.city_workers))})"
             )
-            return 1
     if not args.skip_scenarios:
         scen_doc = bench_scenarios(n_trials=trials, seed=args.seed)
         print()
@@ -418,10 +427,57 @@ def _cmd_bench(args) -> int:
             os.makedirs(args.out_dir, exist_ok=True)
             write_bench(doc, path)
         except OSError as exc:
-            print(f"error: cannot write {path}: {exc}", file=sys.stderr)
-            return 1
+            return _fail(f"cannot write {path} (--out-dir {args.out_dir}): {exc}")
         print(f"  (written to {path})")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    """Run the contract linter (:mod:`repro.analysis`) over the source tree."""
+    import repro as _repro
+    from repro.analysis import Baseline, lint_path
+
+    package_dir = os.path.dirname(os.path.abspath(_repro.__file__))
+    root = args.root or os.path.dirname(package_dir)
+    if not os.path.isdir(root):
+        return _fail(f"lint root {root} is not a directory (--root)", code=2)
+    baseline_path = args.baseline or os.path.join(
+        os.path.dirname(root), "LINT_BASELINE.json"
+    )
+    baseline = None
+    if not args.no_baseline and not args.update_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            return _fail(f"cannot read baseline {baseline_path}: {exc}")
+    try:
+        report = lint_path(
+            root,
+            tests_root=args.tests,
+            selected=args.rule or None,
+            baseline=baseline,
+        )
+    except ValueError as exc:
+        # An unknown --rule id; the message lists the known rules.
+        return _fail(str(exc), code=2)
+    if args.update_baseline:
+        try:
+            Baseline.write(report.findings, baseline_path)
+        except OSError as exc:
+            return _fail(f"cannot write baseline {baseline_path}: {exc}")
+        print(
+            f"baseline {baseline_path} updated with "
+            f"{len(report.findings)} finding(s)"
+        )
+        return 0
+    code = _emit_json(json.dumps(report.to_dict(), indent=2, sort_keys=True),
+                      args.json)
+    if code is not None:
+        return code
+    print(report.render())
+    if args.json:
+        print(f"  (structured report written to {args.json})")
+    return 0 if report.ok else 1
 
 
 def _cmd_lemmas(args) -> int:
@@ -583,6 +639,45 @@ def build_parser() -> argparse.ArgumentParser:
                     default=[1, 2, 4],
                     help="worker counts to time in the multi-cell city suite")
 
+    plint = sub.add_parser(
+        "lint",
+        help="run the AST contract linter over the source tree "
+             "(determinism / RNG-stream / engine-pair invariants)",
+    )
+    plint.add_argument(
+        "--root", default=None,
+        help="directory to lint (default: the installed repro package's "
+             "source root, i.e. src/)",
+    )
+    plint.add_argument(
+        "--tests", default=None,
+        help="tests directory for the engine-pair test-mention check "
+             "(default: the tests/ sibling of the lint root)",
+    )
+    plint.add_argument(
+        "--rule", action="append", metavar="RULE-ID",
+        help="check only this rule (repeatable; stale-waiver detection "
+             "is skipped on partial runs)",
+    )
+    plint.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the structured lint report as JSON ('-' for stdout only)",
+    )
+    plint.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline of grandfathered findings "
+             "(default: LINT_BASELINE.json next to the source root)",
+    )
+    plint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, baselined or not",
+    )
+    plint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to grandfather the current findings, "
+             "then exit 0",
+    )
+
     pl2 = sub.add_parser("lemmas", help="print the DoF table (Lemmas 5.1/5.2)")
     common(pl2)
 
@@ -603,6 +698,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig16": _cmd_fig16,
         "fig17": _cmd_fig17,
         "bench": _cmd_bench,
+        "lint": _cmd_lint,
         "lemmas": _cmd_lemmas,
         "overhead": _cmd_overhead,
     }[args.command](args)

@@ -158,8 +158,8 @@ class SweepCell:
             seed=int(data["seed"]),
             n_trials=int(data["n_trials"]),
             summary={
-                str(m): {str(s): float(v) for s, v in stats.items()}
-                for m, stats in data["summary"].items()
+                str(m): {str(s): float(v) for s, v in sorted(stats.items())}
+                for m, stats in sorted(data["summary"].items())
             },
             mean_gain=(
                 float(data["mean_gain"]) if data.get("mean_gain") is not None else None
@@ -208,7 +208,9 @@ class SweepResult:
         return cls(
             scenario=str(data["sweep"]),
             seed=int(data["seed"]),
-            grid={str(k): list(v) for k, v in data["grid"].items()},
+            # Document order *is* the author's axis order (it decides the
+            # table's row nesting) — reordering here would be the bug.
+            grid={str(k): list(v) for k, v in data["grid"].items()},  # repro-lint: ignore[no-unordered-iteration]
             cells=[SweepCell.from_dict(c) for c in data["cells"]],
         )
 
@@ -281,7 +283,7 @@ class SweepCache:
                 raise ValueError(
                     f"sweep cache {self.path} has unsupported schema {version}"
                 )
-            for key, cell in data.get("cells", {}).items():
+            for key, cell in sorted(data.get("cells", {}).items()):
                 self._cells[str(key)] = SweepCell.from_dict(cell)
 
     def __len__(self) -> int:
@@ -485,7 +487,9 @@ def run_sweep(
     return SweepResult(
         scenario=scenario.name,
         seed=seed,
-        grid={name: list(values) for name, values in grid.items()},
+        # Axis order is caller-chosen and load-bearing (row order of the
+        # table); sorting it would silently reshape every sweep.
+        grid={name: list(values) for name, values in grid.items()},  # repro-lint: ignore[no-unordered-iteration]
         cells=[cell for cell in results if cell is not None],
         cached_cells=reused,
     )

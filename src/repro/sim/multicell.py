@@ -425,7 +425,7 @@ class _Shard:
         return summaries
 
     def stats(self) -> Dict[int, WLANStats]:
-        return {k: sim.stats for k, sim in self.sims.items()}
+        return {k: sim.stats for k, sim in sorted(self.sims.items())}
 
 
 def _shard_worker(conn, cells, configs, edge_local_ids) -> None:

@@ -18,7 +18,7 @@ the experiments consume:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -56,7 +56,8 @@ class Testbed:
     #: Not a pytest test class despite the name.
     __test__ = False
 
-    def __init__(self, config: TestbedConfig = TestbedConfig()):
+    def __init__(self, config: Optional[TestbedConfig] = None):
+        config = TestbedConfig() if config is None else config
         self.config = config
         rng = default_rng(config.seed)
         n = config.n_nodes

@@ -1,0 +1,50 @@
+"""Lint fixture: engine-pair (violating + clean + suppressed).
+
+The test lints this module with a fake test source that names
+``solve_reference`` and ``orphan_reference`` but not
+``untested_reference``.
+"""
+
+import numpy as np
+
+
+def solve(h):
+    return np.linalg.solve(h, np.ones(len(h)))
+
+
+def solve_reference(h):
+    # Paired with solve() above and named in the fake test file: clean.
+    out = np.zeros(len(h))
+    for i in range(len(h)):
+        out[i] = 1.0
+    return np.linalg.solve(h, out)
+
+
+def orphan_reference(h):  # expect: engine-pair
+    # Named in tests, but there is no fast orphan() twin to check against.
+    return h
+
+
+def untested(h):
+    return h
+
+
+def untested_reference(h):  # expect: engine-pair
+    # Has its fast twin, but no test ever names it: the equivalence
+    # check does not exist.
+    return h
+
+
+def waived_reference(h):  # repro-lint: ignore[engine-pair]
+    # Suppressed variant: both pairing findings land on this line and
+    # one waiver covers them.
+    return h
+
+
+class Decoder:
+    def decode(self, bits):
+        return bits
+
+    def decode_reference(self, bits):
+        # Method pairing works the same way; named in the fake tests.
+        return bits

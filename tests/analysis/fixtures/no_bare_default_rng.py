@@ -1,0 +1,24 @@
+"""Lint fixture: no-bare-default-rng (violating + clean + suppressed)."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def violating():
+    return default_rng()  # expect: no-bare-default-rng
+
+
+def violating_attribute():
+    return np.random.default_rng()  # expect: no-bare-default-rng
+
+
+def clean(seed):
+    return default_rng(seed)
+
+
+def clean_from_sequence(seq):
+    return np.random.default_rng(seq)
+
+
+def suppressed():
+    return default_rng()  # repro-lint: ignore[no-bare-default-rng]

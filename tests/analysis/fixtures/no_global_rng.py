@@ -1,0 +1,30 @@
+"""Lint fixture: no-global-rng (violating + clean + suppressed).
+
+Never imported — linted as text.  ``# expect: <rule-id>`` marks lines
+the linter must flag; everything else must come back clean.
+"""
+
+import random  # expect: no-global-rng
+
+import numpy as np
+from numpy.random import default_rng
+from numpy.random import shuffle  # expect: no-global-rng
+
+
+def violating(n):
+    np.random.seed(7)  # expect: no-global-rng
+    random.random()  # harmless to the linter: the import itself is the finding
+    return np.random.normal(size=n)  # expect: no-global-rng
+
+
+def clean(seed, n):
+    rng = default_rng(seed)
+    return rng.normal(size=n)
+
+
+def clean_spawn(seed, count):
+    return np.random.SeedSequence(seed).spawn(count)
+
+
+def suppressed(n):
+    return np.random.normal(size=n)  # repro-lint: ignore[no-global-rng]

@@ -1,0 +1,43 @@
+"""Lint fixture: no-mutable-default (violating + clean + suppressed)."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class Knob:
+    """A stand-in config object (mutable, like WLANConfig was)."""
+
+
+def violating_list(values=[]):  # expect: no-mutable-default
+    return values
+
+
+def violating_dict(mapping={}):  # expect: no-mutable-default
+    return mapping
+
+
+def violating_call(knob=Knob()):  # expect: no-mutable-default
+    return knob
+
+
+@dataclass
+class ViolatingConfig:
+    items: List[int] = []  # expect: no-mutable-default
+    knob: Knob = Knob()  # expect: no-mutable-default
+    name: str = "ok"
+
+
+def clean(values=None, label="x", dims=(2, 2)):
+    return values, label, dims
+
+
+@dataclass
+class CleanConfig:
+    items: List[int] = field(default_factory=list)
+    mapping: Dict[str, int] = field(default_factory=dict)
+    knob: Optional[Knob] = None
+    gain_range: Tuple[float, float] = (8.0, 22.0)
+
+
+def suppressed(values=[]):  # repro-lint: ignore[no-mutable-default]
+    return values

@@ -1,0 +1,29 @@
+"""Lint fixture: no-print-in-library (violating + clean + suppressed)."""
+
+
+def violating(stats):
+    print(stats)  # expect: no-print-in-library
+    return stats
+
+
+def violating_handler(fn):
+    try:
+        return fn()
+    except:  # expect: no-print-in-library
+        return None
+
+
+def clean(stats):
+    return f"stats: {stats}"
+
+
+def clean_handler(fn):
+    try:
+        return fn()
+    except (KeyError, ValueError):
+        return None
+
+
+def suppressed(stats):
+    print(stats)  # repro-lint: ignore[no-print-in-library]
+    return stats

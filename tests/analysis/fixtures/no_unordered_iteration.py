@@ -1,0 +1,43 @@
+"""Lint fixture: no-unordered-iteration (violating + clean + suppressed).
+
+Only meaningful when linted under a hot-path rel_path
+(``repro/sim/multicell.py`` / ``repro/experiments/sweep.py``); the test
+also lints it under a non-scoped path and expects silence.
+"""
+
+
+def violating_items(cells):
+    return [cells[k] for k in cells.keys()]  # expect: no-unordered-iteration
+
+
+def violating_values(cells):
+    total = 0.0
+    for rate in cells.values():  # expect: no-unordered-iteration
+        total += rate
+    return total
+
+
+def violating_set(cells):
+    out = []
+    for cell in set(cells):  # expect: no-unordered-iteration
+        out.append(cell)
+    return out
+
+
+def violating_wrapped(cells):
+    out = {}
+    for i, (k, v) in enumerate(cells.items()):  # expect: no-unordered-iteration
+        out[k] = (i, v)
+    return out
+
+
+def clean(cells):
+    return {k: v for k, v in sorted(cells.items())}
+
+
+def clean_plain_dict(cells):
+    return [k for k in cells]  # plain dict iteration is insertion-ordered
+
+
+def suppressed(cells):
+    return [v for v in cells.values()]  # repro-lint: ignore[no-unordered-iteration]

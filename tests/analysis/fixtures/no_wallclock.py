@@ -1,0 +1,30 @@
+"""Lint fixture: no-wallclock (violating + clean + suppressed)."""
+
+import time
+from datetime import datetime
+from time import perf_counter  # expect: no-wallclock
+
+
+def violating():
+    return time.perf_counter()  # expect: no-wallclock
+
+
+def violating_epoch():
+    return time.time()  # expect: no-wallclock
+
+
+def violating_datetime():
+    return datetime.now()  # expect: no-wallclock
+
+
+def clean(n_slots, slot_seconds=9e-6):
+    return n_slots * slot_seconds
+
+
+def clean_sleep():
+    time.sleep(0.0)  # sleeping is not reading a clock
+    return None
+
+
+def suppressed():
+    return time.monotonic()  # repro-lint: ignore[no-wallclock]

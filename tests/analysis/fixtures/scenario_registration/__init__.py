@@ -1,0 +1,3 @@
+# Lint fixture standing in for repro/experiments/__init__.py: importing
+# a scenario module is what makes its @register_scenario calls run.
+from repro.experiments import registered as _registered  # noqa: F401

@@ -1,0 +1,8 @@
+"""Lint fixture: a scenario module no ``__init__`` imports (violating)."""
+
+from repro.experiments.registry import register_scenario
+
+
+@register_scenario  # expect: scenario-registration
+def unreachable(scenario):
+    return scenario

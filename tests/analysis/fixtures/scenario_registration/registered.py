@@ -1,0 +1,8 @@
+"""Lint fixture: a scenario module the fake ``__init__`` imports (clean)."""
+
+from repro.experiments.registry import register_scenario
+
+
+@register_scenario
+def reachable(scenario):
+    return scenario

@@ -1,0 +1,15 @@
+"""Lint fixture: unused-suppression (stale and unknown-rule waivers)."""
+
+
+def stale():
+    # The line below is clean, so its waiver is rot.
+    return 1  # repro-lint: ignore[no-global-rng]  # expect: unused-suppression
+
+
+def unknown_rule():
+    return 2  # repro-lint: ignore[not-a-rule]  # expect: unused-suppression
+
+
+def used(values=[]):  # repro-lint: ignore[no-mutable-default]
+    # A waiver that matches a live finding is not reported.
+    return values

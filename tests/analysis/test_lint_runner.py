@@ -1,0 +1,161 @@
+"""Runner, suppression, baseline, and CLI behaviour of ``repro lint``."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import (
+    BASELINE_FILENAME,
+    PARSE_ERROR_RULE_ID,
+    SUPPRESSION_RULE_ID,
+    Baseline,
+    Finding,
+    lint_path,
+    lint_sources,
+    rule_ids,
+)
+from repro.cli import main
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+VIOLATING = "import random  # repro-lint: ignore[no-global-rng]\n"
+
+
+class TestSuppressions:
+    def test_waiver_silences_matching_finding(self):
+        assert lint_sources({"repro/fake.py": VIOLATING}) == []
+
+    def test_stale_waiver_is_a_finding(self):
+        src = "x = 1  # repro-lint: ignore[no-global-rng]\n"
+        findings = lint_sources({"repro/fake.py": src})
+        assert [f.rule for f in findings] == [SUPPRESSION_RULE_ID]
+
+    def test_unknown_rule_id_in_waiver_is_a_finding(self):
+        src = "import random  # repro-lint: ignore[no-such-rule]\n"
+        findings = lint_sources({"repro/fake.py": src})
+        rules = sorted(f.rule for f in findings)
+        assert rules == ["no-global-rng", SUPPRESSION_RULE_ID]
+
+    def test_partial_rule_run_skips_staleness_check(self):
+        # A waiver for an unselected rule is not evidence of rot.
+        src = "x = 1  # repro-lint: ignore[no-global-rng]\n"
+        findings = lint_sources(
+            {"repro/fake.py": src}, selected=["no-wallclock"]
+        )
+        assert findings == []
+
+
+class TestParseErrors:
+    def test_broken_file_yields_parse_error_finding(self):
+        text = (FIXTURES / "parse_error.py.broken").read_text(
+            encoding="utf-8"
+        )
+        findings = lint_sources({"repro/broken.py": text})
+        assert [f.rule for f in findings] == [PARSE_ERROR_RULE_ID]
+        assert findings[0].path == "repro/broken.py"
+
+
+class TestBaseline:
+    def test_round_trip_and_filter(self):
+        findings = lint_sources({"repro/fake.py": "import random\n"})
+        assert [f.rule for f in findings] == ["no-global-rng"]
+        reloaded = Baseline.from_dict(Baseline.document(findings))
+        new, matched = reloaded.filter(findings)
+        assert new == [] and matched == 1
+
+    def test_changed_line_resurfaces_finding(self):
+        old = lint_sources({"repro/fake.py": "import random\n"})
+        baseline = Baseline.from_dict(Baseline.document(old))
+        moved = lint_sources(
+            {"repro/fake.py": "import random as stdlib_random\n"}
+        )
+        new, matched = baseline.filter(moved)
+        assert matched == 0
+        assert [f.rule for f in new] == ["no-global-rng"]
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / BASELINE_FILENAME)
+        finding = Finding(
+            path="repro/fake.py", line=1, rule="no-global-rng",
+            message="m", text="import random",
+        )
+        new, matched = baseline.filter([finding])
+        assert new == [finding] and matched == 0
+
+
+def make_tree(tmp_path, source):
+    """A minimal src/repro tree plus empty tests dir for lint_path/CLI."""
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "fake.py").write_text(source, encoding="utf-8")
+    (tmp_path / "tests").mkdir()
+    return tmp_path / "src"
+
+
+class TestLintPath:
+    def test_clean_tree(self, tmp_path):
+        root = make_tree(tmp_path, "x = 1\n")
+        report = lint_path(root)
+        assert report.ok
+        assert report.files_checked == 2
+
+    def test_violation_reported(self, tmp_path):
+        root = make_tree(tmp_path, "import random\n")
+        report = lint_path(root)
+        assert not report.ok
+        assert [f.rule for f in report.findings] == ["no-global-rng"]
+
+
+class TestLintCLI:
+    def test_clean_exit_zero(self, tmp_path, capsys):
+        root = make_tree(tmp_path, "x = 1\n")
+        assert main(["lint", "--root", str(root), "--no-baseline"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        root = make_tree(tmp_path, "import random\n")
+        assert main(["lint", "--root", str(root), "--no-baseline"]) == 1
+        assert "no-global-rng" in capsys.readouterr().out
+
+    def test_unknown_rule_exit_two(self, tmp_path, capsys):
+        root = make_tree(tmp_path, "x = 1\n")
+        code = main(
+            ["lint", "--root", str(root), "--rule", "bogus", "--no-baseline"]
+        )
+        assert code == 2
+        assert "bogus" in capsys.readouterr().err
+
+    def test_json_document(self, tmp_path, capsys):
+        root = make_tree(tmp_path, "import random\n")
+        out = tmp_path / "lint.json"
+        code = main(
+            [
+                "lint", "--root", str(root), "--no-baseline",
+                "--json", str(out),
+            ]
+        )
+        assert code == 1
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["clean"] is False
+        assert doc["findings"][0]["rule"] == "no-global-rng"
+        assert set(doc["rules"]) == set(rule_ids())
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        root = make_tree(tmp_path, "import random\n")
+        baseline = tmp_path / BASELINE_FILENAME
+        code = main(
+            [
+                "lint", "--root", str(root),
+                "--baseline", str(baseline), "--update-baseline",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(baseline.read_text(encoding="utf-8"))
+        assert doc["findings"][0]["rule"] == "no-global-rng"
+        # Second run against the written baseline is clean.
+        code = main(
+            ["lint", "--root", str(root), "--baseline", str(baseline)]
+        )
+        assert code == 0

@@ -1,0 +1,133 @@
+"""Rule liveness: every rule fires on its fixture and only where marked.
+
+Each fixture module under ``fixtures/`` carries ``# expect: <rule-id>``
+markers on the lines the linter must flag.  The tests lint the fixture
+text (fixtures are never imported) and require the findings to match
+the markers *exactly* — a rule that stops firing fails its fixture, and
+a rule that over-fires (flagging clean or suppressed variants) fails
+the same assertion from the other side.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.analysis import lint_sources, rule_ids
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+_EXPECT = re.compile(r"#\s*expect:\s*([a-z][a-z\-]*(?:\s*,\s*[a-z][a-z\-]*)*)")
+
+
+def expected_markers(path, rel_path):
+    """``(rel_path, line, rule-id)`` triples from ``# expect:`` comments."""
+    expected = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        match = _EXPECT.search(line)
+        if match is None:
+            continue
+        for rule_id in match.group(1).split(","):
+            expected.append((rel_path, lineno, rule_id.strip()))
+    return expected
+
+
+def lint_fixture(filename, rel_path, **kwargs):
+    path = FIXTURES / filename
+    findings = lint_sources(
+        {rel_path: path.read_text(encoding="utf-8")}, **kwargs
+    )
+    return findings, expected_markers(path, rel_path)
+
+
+#: fixture file -> the rel_path it is linted under (scoping matters for
+#: the wallclock / print / ordering rules).
+FILE_RULE_FIXTURES = {
+    "no_global_rng.py": "repro/phy/fake.py",
+    "no_bare_default_rng.py": "repro/utils/fake.py",
+    "no_mutable_default.py": "repro/sim/fake.py",
+    "no_wallclock.py": "repro/sim/fake.py",
+    "no_print_in_library.py": "repro/sim/fake.py",
+    "no_unordered_iteration.py": "repro/sim/multicell.py",
+    "unused_suppression.py": "repro/sim/fake.py",
+}
+
+
+class TestFixtureLiveness:
+    @pytest.mark.parametrize("filename", sorted(FILE_RULE_FIXTURES))
+    def test_findings_match_markers_exactly(self, filename):
+        rel_path = FILE_RULE_FIXTURES[filename]
+        findings, expected = lint_fixture(filename, rel_path)
+        got = sorted((f.path, f.line, f.rule) for f in findings)
+        assert got == sorted(expected), (
+            f"{filename}: linter findings diverge from # expect markers"
+        )
+        assert expected, f"{filename} has no # expect markers"
+
+    def test_engine_pair_fixture(self):
+        tests = {
+            "tests/test_fake.py": (
+                "def test_equivalence():\n"
+                "    assert solve_reference is not None\n"
+                "    assert orphan_reference is not None\n"
+                "    assert Decoder().decode_reference([]) == []\n"
+            )
+        }
+        findings, expected = lint_fixture(
+            "engine_pair.py", "repro/engine/fake.py", test_sources=tests
+        )
+        got = sorted((f.path, f.line, f.rule) for f in findings)
+        assert got == sorted(expected)
+
+    def test_scenario_registration_fixture(self):
+        sources = {}
+        mapping = {
+            "__init__.py": "repro/experiments/__init__.py",
+            "registered.py": "repro/experiments/registered.py",
+            "orphan.py": "repro/experiments/orphan.py",
+        }
+        expected = []
+        for filename, rel_path in mapping.items():
+            path = FIXTURES / "scenario_registration" / filename
+            sources[rel_path] = path.read_text(encoding="utf-8")
+            expected.extend(expected_markers(path, rel_path))
+        findings = lint_sources(sources)
+        got = sorted((f.path, f.line, f.rule) for f in findings)
+        assert got == sorted(expected)
+        assert expected, "scenario_registration fixtures have no markers"
+
+
+class TestScopeExemptions:
+    """The same violating code is clean inside its sanctioned files."""
+
+    def test_wallclock_allowed_in_bench(self):
+        findings, _ = lint_fixture("no_wallclock.py", "repro/engine/bench.py")
+        assert [f for f in findings if f.rule == "no-wallclock"] == []
+
+    def test_print_allowed_in_cli(self):
+        findings, _ = lint_fixture("no_print_in_library.py", "repro/cli.py")
+        assert [f for f in findings if f.rule == "no-print-in-library"] == []
+
+    def test_ordering_rule_only_in_hot_paths(self):
+        findings, _ = lint_fixture(
+            "no_unordered_iteration.py", "repro/sim/other.py"
+        )
+        ordered = [f for f in findings if f.rule == "no-unordered-iteration"]
+        assert ordered == []
+        # ... but the waiver inside the fixture now counts as stale.
+        assert any(f.rule == "unused-suppression" for f in findings)
+
+    def test_every_contract_rule_has_a_fixture(self):
+        covered = set()
+        for filename in FILE_RULE_FIXTURES:
+            covered.update(
+                rule
+                for _, _, rule in expected_markers(
+                    FIXTURES / filename, "x.py"
+                )
+            )
+        covered.update({"engine-pair", "scenario-registration"})
+        synthetic = {"parse-error"}
+        assert covered >= set(rule_ids()) - synthetic

@@ -1,0 +1,34 @@
+"""The linter applied to the real tree: clean now, and provably able to
+catch the bug class that shipped twice (PR-4 ``WLANConfig``, PR-6
+``ClusteredConfig``): a mutable dataclass-instance default shared by
+every caller."""
+
+import pathlib
+
+from repro.analysis import Baseline, lint_path, lint_sources
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+CLUSTERED = SRC / "repro" / "sim" / "clustered.py"
+
+GOOD_SIG = "def __init__(self, config: Optional[ClusteredConfig] = None):"
+BAD_SIG = "def __init__(self, config: ClusteredConfig = ClusteredConfig()):"
+
+
+class TestSelfRun:
+    def test_source_tree_is_clean_against_baseline(self):
+        baseline = Baseline.load(REPO / "LINT_BASELINE.json")
+        report = lint_path(SRC, baseline=baseline)
+        assert report.ok, report.render()
+        assert report.files_checked > 50
+
+    def test_reintroducing_clusteredconfig_bug_fails_lint(self):
+        source = CLUSTERED.read_text(encoding="utf-8")
+        assert GOOD_SIG in source, (
+            "clustered.py signature moved; update this regression test"
+        )
+        broken = source.replace(GOOD_SIG, BAD_SIG)
+        findings = lint_sources({"repro/sim/clustered.py": broken})
+        mutable = [f for f in findings if f.rule == "no-mutable-default"]
+        assert mutable, "the PR-6 mutable-default bug slipped past the linter"
+        assert "ClusteredConfig()" in mutable[0].text

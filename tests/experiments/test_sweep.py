@@ -310,4 +310,4 @@ class TestSweepCLI:
             "sweep", "fig15_dynamic", "--grid", "traffic=fractal",
             "--trials", "1", "--no-cache",
         ]) == 1
-        assert "error sweeping" in capsys.readouterr().err
+        assert "error: sweeping" in capsys.readouterr().err

@@ -15,6 +15,7 @@ import shlex
 
 import pytest
 
+from repro.analysis import rule_ids
 from repro.cli import build_parser, main
 from repro.experiments import scenario_names
 
@@ -68,6 +69,20 @@ class TestScenarioDocSync:
         missing = [name for name in scenario_names() if f"`{name}`" not in text]
         assert not missing, (
             f"scenarios missing from README.md's figure table: {missing}"
+        )
+
+
+class TestLintDocSync:
+    def test_every_rule_documented_in_architecture_md(self):
+        """ARCHITECTURE.md §"Enforced contracts" names every registered
+        rule — a rule the docs don't explain is a gate nobody can obey."""
+        text = ARCHITECTURE.read_text(encoding="utf-8")
+        assert "## 4. Enforced contracts" in text
+        section = text.split("## 4. Enforced contracts", 1)[1]
+        missing = [rid for rid in rule_ids() if f"`{rid}`" not in section]
+        assert not missing, (
+            f"rules missing from ARCHITECTURE.md 'Enforced contracts': "
+            f"{missing}"
         )
 
 
