@@ -16,6 +16,9 @@ package encodes each contract as an AST rule and surfaces them as
   ``no-wallclock``, ``no-print-in-library``;
 * :mod:`repro.analysis.rules_order` — ``no-unordered-iteration`` over
   the sharded hot paths;
+* :mod:`repro.analysis.rules_concurrency` — ``no-naked-recv``: every
+  cross-process receive bounds its wait (poll-then-recv or
+  ``timeout=``), so a dead worker is a diagnosable error, not a hang;
 * :mod:`repro.analysis.rules_project` — cross-file ``engine-pair`` and
   ``scenario-registration``;
 * :mod:`repro.analysis.suppressions` — ``# repro-lint: ignore[rule-id]``
@@ -53,6 +56,7 @@ from repro.analysis.baseline import BASELINE_FILENAME, Baseline
 from repro.analysis import rules_rng as _rules_rng  # noqa: F401
 from repro.analysis import rules_purity as _rules_purity  # noqa: F401
 from repro.analysis import rules_order as _rules_order  # noqa: F401
+from repro.analysis import rules_concurrency as _rules_concurrency  # noqa: F401
 from repro.analysis import rules_project as _rules_project  # noqa: F401
 from repro.analysis.suppressions import SUPPRESSION_RULE_ID, Suppressions
 from repro.analysis.runner import (

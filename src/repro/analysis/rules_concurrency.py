@@ -1,0 +1,73 @@
+"""Concurrency rule: no unbounded blocking receives in library code.
+
+The crash-safe multicell layer exists because a plain
+``Connection.recv()`` on a pipe whose worker was SIGKILLed blocks
+forever — the driver hangs with no stack trace naming the dead shard.
+The repo's contract is that every cross-process receive either polls
+with a timeout first (``conn.poll(interval)`` then ``conn.recv()``) or
+passes a timeout (``queue.get(timeout=...)``), so a dead or wedged
+worker surfaces as a diagnosable ``RuntimeError`` instead of a hang.
+
+This rule flags the two blocking shapes mechanically:
+
+* ``<expr>.recv()`` with no arguments — ``multiprocessing.Connection``
+  has no timeout parameter, so a naked call is only legal directly
+  after a successful ``poll(timeout)``; waiver those sites with
+  ``# repro-lint: ignore[no-naked-recv]`` stating the poll.
+* ``<expr>.get()`` with no positional arguments and no ``timeout=``
+  keyword — the zero-arg form is ``queue.Queue.get()``/
+  ``SimpleQueue.get()`` blocking forever (``dict.get`` always takes a
+  key, so ordinary mapping lookups never match).
+
+AST rules cannot see types, so a zero-arg ``.recv()`` on a class that
+implements its own timeout internally (``_ShardHandle.recv``) also
+matches — waiver it with a comment naming the wrapper's timeout.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import FileContext, Finding, Rule, register_rule
+
+
+@register_rule
+class NoNakedRecv(Rule):
+    """Cross-process receives must bound their wait."""
+
+    rule_id = "no-naked-recv"
+    summary = (
+        "a .recv() with no arguments or a .get() with no positional "
+        "arguments and no timeout= blocks forever on a dead peer; poll "
+        "with a timeout first (or pass timeout=) and waiver the "
+        "poll-guarded call site"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "recv" and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "naked .recv() blocks forever if the peer dies; guard "
+                    "with poll(timeout) and waiver the call site, naming "
+                    "the poll",
+                )
+            elif (
+                func.attr == "get"
+                and not node.args
+                and not any(kw.arg == "timeout" for kw in node.keywords)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "zero-argument .get() blocks forever if the producer "
+                    "dies; pass timeout= (or poll first and waiver the "
+                    "call site)",
+                )

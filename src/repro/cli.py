@@ -8,11 +8,12 @@ no per-figure wiring of its own.  Usage::
                         [--json PATH|-] [--quiet] [--param KEY=VALUE ...]
     python -m repro sweep SCENARIO --grid KEY=V1,V2,... [--grid ...]
                         [--workers N] [--cache PATH | --no-cache]
+                        [--retries N] [--backoff S] [--quarantine]
     python -m repro fig12 | fig13a | fig13b | fig14      (legacy aliases)
     python -m repro fig15 [--slots N] [--direction uplink|downlink]
     python -m repro fig16 | fig17
     python -m repro lemmas | overhead
-    python -m repro bench [--quick] [--ofdm] [--city] [--out-dir DIR]
+    python -m repro bench [--quick] [--ofdm] [--city] [--faults] [--out-dir DIR]
     python -m repro lint [--json PATH] [--rule RULE-ID] [--no-baseline]
     python -m repro --version
 
@@ -31,7 +32,12 @@ engines, the sample-accurate signal pipeline under its ``fast`` and
 (``--quick`` for the CI smoke variant; ``--ofdm`` adds the subcarrier-
 batched band solver vs the per-bin reference loop, ``BENCH_ofdm.json``;
 ``--city`` adds the sharded multi-cell city vs worker count with its
-bit-identity check, ``BENCH_city.json``).
+bit-identity check, ``BENCH_city.json``; ``--faults`` adds the fault
+layer — a backplane-loss degradation curve plus a fully-faulted city
+whose digest must match across worker counts and same-seed reruns,
+``BENCH_faults.json``).  ``sweep --retries``/``--backoff`` retry failing
+cells on a capped deterministic schedule and ``--quarantine`` records
+exhausted failures in the result instead of aborting the sweep.
 ``lint`` runs the AST contract linter (:mod:`repro.analysis`) over the
 source tree — determinism, RNG-stream, engine-pair and related
 invariants — exiting non-zero on any finding not grandfathered in
@@ -253,6 +259,9 @@ def _cmd_sweep(args) -> int:
             cache=cache,
             runner=_runner(args),
             progress=progress,
+            retries=args.retries,
+            backoff=args.backoff,
+            quarantine=args.quarantine,
         )
     except (KeyError, TypeError, ValueError) as exc:
         return _fail(f"sweeping {scenario.name!r}: {exc}")
@@ -263,11 +272,17 @@ def _cmd_sweep(args) -> int:
     fresh = len(result.cells) - result.cached_cells
     print(
         f"sweep {scenario.name}: {len(result.cells)} cells "
-        f"({result.cached_cells} cached, {fresh} ran), "
-        f"{args.workers} workers, seed {args.seed}"
+        f"({result.cached_cells} cached, {fresh} ran"
+        + (f", {len(result.quarantined)} quarantined" if result.quarantined else "")
+        + f"), {args.workers} workers, seed {args.seed}"
     )
     print()
     print(result.table(metrics))
+    if result.quarantined:
+        print(f"\n  {len(result.quarantined)} cell(s) quarantined after retries:")
+        for q in result.quarantined:
+            label = ", ".join(f"{k}={v}" for k, v in sorted(q.params.items()))
+            print(f"    {label}: {q.error} ({q.attempts} attempt(s))")
     if cache is not None:
         print(f"\n  (cell cache: {cache.path})")
     if args.json:
@@ -356,11 +371,13 @@ def _cmd_bench(args) -> int:
     """Time the WLAN + signal hot paths + scenario trials; write BENCH_*.json."""
     from repro.engine.bench import (
         bench_city,
+        bench_faults,
         bench_ofdm,
         bench_scenarios,
         bench_signal,
         bench_wlan,
         format_city_bench,
+        format_faults_bench,
         format_ofdm_bench,
         format_scenario_bench,
         format_signal_bench,
@@ -415,6 +432,30 @@ def _cmd_bench(args) -> int:
             return _fail(
                 "multi-cell stats differ across worker counts "
                 f"(--city-workers {' '.join(map(str, args.city_workers))})"
+            )
+    if args.faults:
+        if args.quick:
+            faults_doc = bench_faults(
+                n_cells=2,
+                n_slots=20,
+                loss_rates=(0.0, 0.5, 1.0),
+                n_wlan_slots=30,
+                seed=args.seed,
+            )
+        else:
+            faults_doc = bench_faults(seed=args.seed)
+        print()
+        print(format_faults_bench(faults_doc))
+        docs["BENCH_faults.json"] = faults_doc
+        if not faults_doc["bit_identical"]:
+            return _fail(
+                "faulted multi-cell stats differ across worker counts "
+                "(see BENCH_faults.json 'workers')"
+            )
+        if not faults_doc["deterministic"]:
+            return _fail(
+                "faulted multi-cell rerun at the same seed produced a "
+                "different digest (see BENCH_faults.json 'deterministic')"
             )
     if not args.skip_scenarios:
         scen_doc = bench_scenarios(n_trials=trials, seed=args.seed)
@@ -578,6 +619,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None,
         help="comma-separated metric columns for the table",
     )
+    ps.add_argument(
+        "--retries", type=int, default=0,
+        help="re-run a failing cell up to N times before giving up",
+    )
+    ps.add_argument(
+        "--backoff", type=float, default=0.0,
+        help="base retry delay in seconds (doubles per attempt, capped at 2s)",
+    )
+    ps.add_argument(
+        "--quarantine", action="store_true",
+        help="record cells that exhaust their retries in the result "
+             "instead of aborting the sweep",
+    )
     runnable(ps)
 
     for name in _SCATTER_ALIASES:
@@ -638,6 +692,11 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--city-workers", type=_positive_int, nargs="+",
                     default=[1, 2, 4],
                     help="worker counts to time in the multi-cell city suite")
+    pb.add_argument("--faults", action="store_true",
+                    help="also run the fault-injection suite: backplane-loss "
+                         "degradation curve plus a fully-faulted city with "
+                         "worker-count and rerun digest checks "
+                         "(BENCH_faults.json)")
 
     plint = sub.add_parser(
         "lint",

@@ -26,6 +26,11 @@ recorded alongside its correctness results:
   count, records client-slots simulated per second, and asserts the
   network-wide stats digest is bit-identical across worker counts;
   ``BENCH_city.json``.
+* :func:`bench_faults` (``repro bench --faults``) exercises the fault
+  layer (:mod:`repro.faults`): a backplane-loss degradation curve
+  bracketed by no-fault and p2p runs, plus a fully-faulted multi-cell
+  city whose digest must be bit-identical across worker counts and
+  same-seed reruns; ``BENCH_faults.json``.
 
 JSON schemas are documented in ``EXPERIMENTS.md``.  Timings use the best
 of ``repeats`` runs (fresh simulation each run, so caches never carry
@@ -411,6 +416,130 @@ def bench_city(
     }
 
 
+def bench_faults(
+    n_cells: int = 4,
+    aps_per_cell: int = 4,
+    clients_per_cell: int = 8,
+    n_slots: int = 40,
+    barrier_slots: int = 10,
+    loss_rates: Sequence[float] = (0.0, 0.25, 0.5, 1.0),
+    worker_counts: Sequence[int] = (1, 2, 4),
+    n_wlan_slots: int = 60,
+    seed: int = 7,
+) -> dict:
+    """Exercise the fault layer: degradation curve plus determinism checks.
+
+    Returns the ``BENCH_faults.json`` document (see ``EXPERIMENTS.md``)
+    with three sections:
+
+    * ``loss_curve`` — single-cell goodput at each backplane loss rate,
+      bracketed by the same-seed no-fault ceiling and ``service="p2p"``
+      floor; ``degradation`` is the fraction of the IAC headroom lost
+      (0 at loss 0, exactly 1 at loss 1 — graceful degradation, not a
+      crash).
+    * ``workers`` — a faulted multi-cell city (loss + burst + corruption
+      + staleness + a mid-run leader crash in every cell) timed at each
+      worker count; ``bit_identical`` asserts every digest is equal —
+      fault injection must not break the worker-invariance contract.
+    * ``deterministic`` — the one-worker city re-run at the same seed
+      digests identically (same (seed, fault plan) → same bits).
+    """
+    from repro.sim.multicell import MultiCellConfig, MultiCellSimulation  # deferred
+    from repro.sim.wlan import WLANConfig, WLANSimulation  # deferred
+
+    import dataclasses
+
+    base = WLANConfig(n_clients=clients_per_cell, seed=seed)
+    loss_curve = []
+    for loss_rate in loss_rates:
+        ceiling = WLANSimulation(base).run(n_wlan_slots)
+        floor = WLANSimulation(
+            dataclasses.replace(base, service="p2p")
+        ).run(n_wlan_slots)
+        faulted = WLANSimulation(
+            dataclasses.replace(
+                base, fault_params={"backplane_loss_rate": float(loss_rate)}
+            )
+        ).run(n_wlan_slots)
+        headroom = ceiling.total_rate - floor.total_rate
+        loss_curve.append(
+            {
+                "loss_rate": float(loss_rate),
+                "goodput": faulted.total_rate,
+                "ceiling_rate": ceiling.total_rate,
+                "floor_rate": floor.total_rate,
+                "degradation": (
+                    (ceiling.total_rate - faulted.total_rate) / headroom
+                    if headroom > 0
+                    else 0.0
+                ),
+                "fallback_fraction": faulted.fallback_fraction,
+                "frames_lost": faulted.frames_lost_backplane,
+            }
+        )
+
+    fault_params = {
+        "backplane_loss_rate": 0.1,
+        "burst_enter": 0.02,
+        "burst_exit": 0.3,
+        "backplane_delay_rate": 0.1,
+        "backplane_delay_max": 3,
+        "csi_corrupt_rate": 0.05,
+        "csi_stale_rate": 0.05,
+        "leader_crash_slot": n_slots // 2,
+    }
+    config = MultiCellConfig(
+        n_cells=n_cells,
+        aps_per_cell=aps_per_cell,
+        clients_per_cell=clients_per_cell,
+        barrier_slots=barrier_slots,
+        fault_params=fault_params,
+        seed=seed,
+    )
+    workers_doc: Dict[str, Dict[str, float]] = {}
+    digests: Dict[int, str] = {}
+    for workers in worker_counts:
+        sim = MultiCellSimulation(config)
+        start = time.perf_counter()
+        stats = sim.run(n_slots, workers=workers)
+        seconds = time.perf_counter() - start
+        digests[workers] = stats.digest()
+        workers_doc[str(workers)] = {
+            "seconds": seconds,
+            "clients_per_second": config.n_clients * n_slots / seconds,
+            "digest": digests[workers],
+        }
+    rerun_digest = MultiCellSimulation(config).run(n_slots, workers=1).digest()
+    return {
+        "benchmark": "faults",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "config": {
+            "n_cells": n_cells,
+            "aps_per_cell": aps_per_cell,
+            "clients_per_cell": clients_per_cell,
+            "n_clients": config.n_clients,
+            "n_slots": n_slots,
+            "barrier_slots": barrier_slots,
+            "n_wlan_slots": n_wlan_slots,
+            "loss_rates": [float(r) for r in loss_rates],
+            "worker_counts": list(worker_counts),
+            "fault_params": dict(fault_params),
+            "seed": seed,
+        },
+        "loss_curve": loss_curve,
+        "workers": workers_doc,
+        "bit_identical": len(set(digests.values())) == 1,
+        "deterministic": rerun_digest == digests[min(worker_counts)],
+        "re_elections": stats.re_elections,
+        "fallback_slots": stats.fallback_slots,
+        "csi_rejections": stats.csi_rejections,
+        "frames_lost_backplane": stats.frames_lost_backplane,
+        "cpu_count": os.cpu_count(),
+        "environment": _environment(),
+        "timestamp": _timestamp(),
+    }
+
+
 def bench_scenarios(
     names: Sequence[str] = DEFAULT_SCENARIOS,
     n_trials: int = 8,
@@ -532,6 +661,42 @@ def format_city_bench(doc: dict) -> str:
     lines.append(
         f"  network rate {doc['network_rate']:.1f} b/s/Hz, "
         f"Jain {doc['jain_fairness']:.3f}"
+    )
+    return "\n".join(lines)
+
+
+def format_faults_bench(doc: dict) -> str:
+    """Human-readable summary of a ``BENCH_faults.json`` document."""
+    cfg = doc["config"]
+    lines = [
+        f"Fault layer: {cfg['n_cells']} cells x {cfg['aps_per_cell']} APs "
+        f"(crash @{cfg['fault_params']['leader_crash_slot']}), "
+        f"{cfg['n_slots']} slots ({doc['cpu_count']} CPU(s))",
+        "  loss curve (single cell, ceiling/floor-bracketed):",
+    ]
+    for point in doc["loss_curve"]:
+        lines.append(
+            f"    loss {point['loss_rate']:.2f}: goodput "
+            f"{point['goodput']:6.1f} b/s/Hz, degradation "
+            f"{point['degradation']:6.1%}, fallback "
+            f"{point['fallback_fraction']:6.1%}"
+        )
+    for workers, stats in sorted(doc["workers"].items(), key=lambda kv: int(kv[0])):
+        lines.append(
+            f"  {workers:>2s} worker(s): {stats['seconds']:8.2f} s   "
+            f"{stats['clients_per_second']:10.0f} client-slots/s"
+        )
+    identical = "yes" if doc["bit_identical"] else "NO - BROKEN"
+    deterministic = "yes" if doc["deterministic"] else "NO - BROKEN"
+    lines.append(
+        f"  bit-identical across workers: {identical}, "
+        f"same-seed rerun identical: {deterministic}"
+    )
+    lines.append(
+        f"  city counters: {doc['re_elections']} re-election(s), "
+        f"{doc['fallback_slots']} fallback slots, "
+        f"{doc['csi_rejections']} CSI rejections, "
+        f"{doc['frames_lost_backplane']} frames lost"
     )
     return "\n".join(lines)
 

@@ -25,6 +25,10 @@ declarative surface:
   scenario over the sharded multi-cell layer
   (:mod:`repro.sim.multicell`): K interference neighbourhoods with
   per-cell leaders and slot-barrier boundary exchange;
+* :mod:`repro.experiments.fault_scenarios` — robustness scenarios
+  (``fault_resilience``/``backplane_loss_sweep``) driving the seeded
+  fault-injection layer (:mod:`repro.faults`): lossy backplane,
+  corrupt/stale CSI, mid-run leader crash, graceful p2p degradation;
 * :mod:`repro.experiments.sweep` — the resumable parameter-grid sweep
   engine behind ``python -m repro sweep`` (:func:`run_sweep`,
   per-cell RNG streams, JSON cell cache, :class:`SweepResult` tables).
@@ -51,6 +55,7 @@ from repro.experiments.registry import (
 from repro.experiments.results import ExperimentResult, TrialRecord
 from repro.experiments.runner import ExperimentRunner, run_experiment
 from repro.experiments.sweep import (
+    QuarantinedCell,
     SweepCache,
     SweepCell,
     SweepResult,
@@ -64,11 +69,13 @@ from repro.experiments import signal_scenarios as _signal_scenarios  # noqa: F40
 from repro.experiments import dynamic_scenarios as _dynamic_scenarios  # noqa: F401
 from repro.experiments import ofdm_scenarios as _ofdm_scenarios  # noqa: F401
 from repro.experiments import multicell_scenarios as _multicell_scenarios  # noqa: F401
+from repro.experiments import fault_scenarios as _fault_scenarios  # noqa: F401
 from repro.experiments.scenarios import gain_cdf_from_record, scatter_result
 
 __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
+    "QuarantinedCell",
     "Scenario",
     "SweepCache",
     "SweepCell",

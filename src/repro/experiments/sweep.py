@@ -30,6 +30,8 @@ import itertools
 import json
 import os
 import tempfile
+import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import (
@@ -167,6 +169,44 @@ class SweepCell:
         )
 
 
+@dataclass(frozen=True)
+class QuarantinedCell:
+    """A grid cell every attempt failed to compute.
+
+    Carries the cell's full identity (so a later run can retry it) plus
+    the final error as text.  Quarantined cells are kept out of the
+    table *and* the cache: a failure is never memoised, so re-running
+    the sweep re-attempts exactly these cells.
+    """
+
+    #: The swept (grid) parameters only — which row failed.
+    params: Dict[str, Any]
+    key: str
+    seed: int
+    #: ``"ExceptionType: message"`` of the last attempt's failure.
+    error: str
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "params": jsonify(self.params),
+            "key": self.key,
+            "seed": self.seed,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QuarantinedCell":
+        return cls(
+            params=dict(data["params"]),
+            key=str(data["key"]),
+            seed=int(data["seed"]),
+            error=str(data["error"]),
+            attempts=int(data["attempts"]),
+        )
+
+
 @dataclass
 class SweepResult:
     """A finished sweep: one :class:`SweepCell` per grid cell, in grid order."""
@@ -179,6 +219,9 @@ class SweepResult:
     #: earlier row's canonical identity; excluded from equality so
     #: resumed and fresh sweeps compare equal.
     cached_cells: int = field(default=0, compare=False)
+    #: Cells whose every attempt failed (``quarantine=True`` only — the
+    #: default re-raises the first exhausted failure), in grid order.
+    quarantined: List[QuarantinedCell] = field(default_factory=list)
 
     def metric_names(self) -> List[str]:
         names: List[str] = []
@@ -195,6 +238,7 @@ class SweepResult:
             "seed": self.seed,
             "grid": jsonify(self.grid),
             "cells": [cell.to_dict() for cell in self.cells],
+            "quarantined": [cell.to_dict() for cell in self.quarantined],
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -212,6 +256,9 @@ class SweepResult:
             # table's row nesting) — reordering here would be the bug.
             grid={str(k): list(v) for k, v in data["grid"].items()},  # repro-lint: ignore[no-unordered-iteration]
             cells=[SweepCell.from_dict(c) for c in data["cells"]],
+            quarantined=[
+                QuarantinedCell.from_dict(c) for c in data.get("quarantined", [])
+            ],
         )
 
     @classmethod
@@ -262,6 +309,10 @@ class SweepResult:
 # --------------------------------------------------------------------- #
 
 
+class _CacheSchemaTooNew(Exception):
+    """Internal: the cache file is from a *newer* writer, not corrupt."""
+
+
 class SweepCache:
     """A JSON file memoising completed sweep cells, keyed by identity hash.
 
@@ -270,21 +321,62 @@ class SweepCache:
     finished cell.  Keys hash the full cell identity, which makes the
     cache safe to share between overlapping grids of the same scenario —
     a key can only ever map to one set of numbers.
+
+    A *corrupt* cache file (truncated write, bad JSON, mangled cells) is
+    never fatal: it is renamed aside to ``<path>.corrupt``, a single
+    :class:`RuntimeWarning` is emitted, and the sweep rebuilds the cache
+    from scratch — losing memoised cells costs recomputation, while
+    crashing on them costs the sweep.  A cache written by a *newer*
+    schema still raises: that file is healthy, this reader is just too
+    old to be trusted with it.
     """
 
     def __init__(self, path: Union[str, os.PathLike]):
         self.path = os.fspath(path)
         self._cells: Dict[str, SweepCell] = {}
-        if os.path.exists(self.path):
+        if not os.path.exists(self.path):
+            return
+        try:
             with open(self.path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
-            version = data.get("schema_version", SWEEP_SCHEMA_VERSION)
-            if version > SWEEP_SCHEMA_VERSION:
-                raise ValueError(
-                    f"sweep cache {self.path} has unsupported schema {version}"
+            if not isinstance(data, Mapping):
+                raise TypeError(
+                    f"cache root must be an object, got {type(data).__name__}"
                 )
-            for key, cell in sorted(data.get("cells", {}).items()):
-                self._cells[str(key)] = SweepCell.from_dict(cell)
+            version = data.get("schema_version", SWEEP_SCHEMA_VERSION)
+            if int(version) > SWEEP_SCHEMA_VERSION:
+                raise _CacheSchemaTooNew(version)
+            cells = {
+                str(key): SweepCell.from_dict(cell)
+                for key, cell in sorted(data.get("cells", {}).items())
+            }
+        except _CacheSchemaTooNew as err:
+            raise ValueError(
+                f"sweep cache {self.path} has unsupported schema {err.args[0]}"
+            ) from None
+        except (
+            json.JSONDecodeError,
+            UnicodeDecodeError,
+            KeyError,
+            TypeError,
+            ValueError,
+            AttributeError,
+        ) as err:
+            self._quarantine_corrupt(err)
+        else:
+            self._cells = cells
+
+    def _quarantine_corrupt(self, err: Exception) -> None:
+        """Move the unreadable file aside and start an empty cache."""
+        aside = self.path + ".corrupt"
+        os.replace(self.path, aside)
+        warnings.warn(
+            f"sweep cache {self.path} is corrupt "
+            f"({type(err).__name__}: {err}); moved it to {aside} and "
+            "rebuilding from scratch",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def __len__(self) -> int:
         return len(self._cells)
@@ -333,6 +425,10 @@ def _relabel(cell: SweepCell, grid_params: Mapping[str, Any]) -> SweepCell:
     )
 
 
+#: Longest deterministic backoff sleep (seconds) between cell retries.
+_BACKOFF_CAP = 2.0
+
+
 def _run_cell(
     runner: ExperimentRunner,
     scenario: Scenario,
@@ -359,6 +455,44 @@ def _run_cell(
     )
 
 
+def _run_cell_resilient(
+    runner: ExperimentRunner,
+    scenario: Scenario,
+    grid_params: Mapping[str, Any],
+    merged_params: Mapping[str, Any],
+    key: str,
+    n_trials: Optional[int],
+    retries: int,
+    backoff: float,
+    quarantine: bool,
+) -> Union[SweepCell, QuarantinedCell]:
+    """One cell with capped-exponential-backoff retries.
+
+    The retry schedule is a pure function of the knobs (attempt ``a``
+    sleeps ``min(_BACKOFF_CAP, backoff * 2**(a-1))``) and a retried cell
+    reruns the *same* hashed seed — retrying changes when work happens,
+    never what it computes.  With ``quarantine`` the exhausted failure
+    becomes a :class:`QuarantinedCell`; otherwise it propagates.
+    """
+    last_error: Optional[Exception] = None
+    for attempt in range(retries + 1):
+        if attempt and backoff > 0.0:
+            time.sleep(min(_BACKOFF_CAP, backoff * 2.0 ** (attempt - 1)))
+        try:
+            return _run_cell(runner, scenario, grid_params, merged_params, key, n_trials)
+        except Exception as err:  # noqa: BLE001 - the boundary that heals
+            last_error = err
+    if quarantine:
+        return QuarantinedCell(
+            params=dict(grid_params),
+            key=key,
+            seed=cell_seed(key),
+            error=f"{type(last_error).__name__}: {last_error}",
+            attempts=retries + 1,
+        )
+    raise last_error
+
+
 def run_sweep(
     scenario: Union[str, Scenario],
     grid: Grid,
@@ -370,6 +504,9 @@ def run_sweep(
     cache: Optional[Union[str, os.PathLike, SweepCache]] = None,
     runner: Optional[ExperimentRunner] = None,
     progress: Optional[Callable[[SweepCell, bool], None]] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+    quarantine: bool = False,
 ) -> SweepResult:
     """Run ``scenario`` over every cell of ``grid``; return the table.
 
@@ -381,11 +518,24 @@ def run_sweep(
     same (or an overlapping) grid recomputes only the missing cells and
     produces a bit-identical table.  ``progress`` is called once per
     finished cell with ``(cell, from_cache)``.
+
+    A failing cell is re-attempted ``retries`` times, sleeping a capped
+    deterministic exponential backoff (``backoff`` seconds doubling up
+    to ``_BACKOFF_CAP``) between attempts; a retried cell reuses its
+    hashed seed, so retrying never changes the numbers.  Once attempts
+    are exhausted the failure propagates — unless ``quarantine`` is set,
+    in which case the cell (and any rows sharing its identity) lands in
+    ``SweepResult.quarantined`` with the error text while every healthy
+    cell still completes, and nothing about the failure enters the cache.
     """
     if not isinstance(scenario, Scenario):
         scenario = get_scenario(scenario)
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if backoff < 0.0:
+        raise ValueError("backoff must be >= 0")
     # Resolve the trial count before keying: "no --trials" and
     # "--trials <the scenario default>" are the same cell, not two
     # conflicting cache entries with different seeds.
@@ -411,7 +561,7 @@ def run_sweep(
         )
     cells = grid_cells(grid)
     jobs: List[Tuple[int, Dict[str, Any], Dict[str, Any], str]] = []
-    results: List[Optional[SweepCell]] = [None] * len(cells)
+    results: List[Optional[Union[SweepCell, QuarantinedCell]]] = [None] * len(cells)
     #: Rows whose key is already owned by an earlier (primary) row of
     #: this run — e.g. a swept axis the canonicalizer marked inert — get
     #: the primary's numbers instead of a redundant execution.
@@ -449,8 +599,21 @@ def run_sweep(
             primary_of[key] = i
             jobs.append((i, grid_params, merged, key))
 
-    def finish(i: int, cell: SweepCell) -> None:
+    def finish(i: int, cell: Union[SweepCell, QuarantinedCell]) -> None:
         results[i] = cell
+        if isinstance(cell, QuarantinedCell):
+            # A failure is never cached and never reported as progress;
+            # rows sharing the identity inherit the quarantine under
+            # their own grid label.
+            for j in shared_rows.get(cell.key, []):
+                results[j] = QuarantinedCell(
+                    params=dict(cells[j]),
+                    key=cell.key,
+                    seed=cell.seed,
+                    error=cell.error,
+                    attempts=cell.attempts,
+                )
+            return
         if store is not None:
             store.put(cell)
         if progress is not None:
@@ -463,7 +626,13 @@ def run_sweep(
     if jobs:
         if workers == 1 or len(jobs) == 1:
             for i, grid_params, merged, key in jobs:
-                finish(i, _run_cell(runner, scenario, grid_params, merged, key, n_trials))
+                finish(
+                    i,
+                    _run_cell_resilient(
+                        runner, scenario, grid_params, merged, key, n_trials,
+                        retries, backoff, quarantine,
+                    ),
+                )
         else:
             # Force the runner's lazy testbed once, on this thread —
             # otherwise every pool worker races the None-check and each
@@ -472,7 +641,9 @@ def run_sweep(
             with ThreadPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
                 pending = {
                     pool.submit(
-                        _run_cell, runner, scenario, grid_params, merged, key, n_trials
+                        _run_cell_resilient,
+                        runner, scenario, grid_params, merged, key, n_trials,
+                        retries, backoff, quarantine,
                     ): i
                     for i, grid_params, merged, key in jobs
                 }
@@ -490,6 +661,7 @@ def run_sweep(
         # Axis order is caller-chosen and load-bearing (row order of the
         # table); sorting it would silently reshape every sweep.
         grid={name: list(values) for name, values in grid.items()},  # repro-lint: ignore[no-unordered-iteration]
-        cells=[cell for cell in results if cell is not None],
+        cells=[cell for cell in results if isinstance(cell, SweepCell)],
         cached_cells=reused,
+        quarantined=[cell for cell in results if isinstance(cell, QuarantinedCell)],
     )

@@ -1,0 +1,107 @@
+"""The seeded fault runtime: per-fault-class RNG streams.
+
+A :class:`FaultInjector` turns a :class:`~repro.faults.plan.FaultPlan`
+into per-event decisions.  Each fault class (backplane loss, backplane
+delay, CSI corruption, CSI staleness) draws from its own stream spawned
+from one :class:`numpy.random.SeedSequence` — the repo's per-stream
+seeding discipline — so
+
+* enabling or re-parameterising one fault class never shifts another
+  class's draws, and
+* the simulation's own streams (fading, selector, traffic, churn,
+  mobility) are never touched: a faulted run and its fault-free twin
+  consume identical draws from the simulation streams.
+
+The leader crash is RNG-free (a fixed slot in the plan), so it is
+trivially deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+
+
+class FaultInjector:
+    """Stateful, deterministic fault decisions for one simulation.
+
+    ``seed_sequence`` must be dedicated to this injector (spawn it from
+    the simulation seed alongside the traffic/churn/mobility streams).
+    """
+
+    def __init__(self, plan: FaultPlan, seed_sequence: np.random.SeedSequence):
+        self.plan = plan
+        loss_seq, delay_seq, corrupt_seq, stale_seq = seed_sequence.spawn(4)
+        self._loss_rng = np.random.default_rng(loss_seq)
+        self._delay_rng = np.random.default_rng(delay_seq)
+        self._corrupt_rng = np.random.default_rng(corrupt_seq)
+        self._stale_rng = np.random.default_rng(stale_seq)
+        #: Gilbert–Elliott chain state: False = good, True = bad (burst).
+        self._burst = False
+
+    # ---------------------------- backplane --------------------------- #
+
+    def frame_fate(self) -> Tuple[bool, int]:
+        """Fate of one backplane frame: ``(lost, delay_slots)``.
+
+        Draw order is fixed (chain transition, loss, then delay) and the
+        loss and delay draws come from separate streams, so toggling the
+        delay knobs never shifts the loss sequence (and vice versa).
+        """
+        plan = self.plan
+        if self._burst:
+            if self._loss_rng.random() < plan.burst_exit:
+                self._burst = False
+        elif plan.burst_enter > 0.0:
+            if self._loss_rng.random() < plan.burst_enter:
+                self._burst = True
+        loss_rate = plan.burst_loss_rate if self._burst else plan.backplane_loss_rate
+        lost = bool(self._loss_rng.random() < loss_rate)
+        if lost:
+            return True, 0
+        delay = 0
+        if plan.delays_frames and self._delay_rng.random() < plan.backplane_delay_rate:
+            delay = int(self._delay_rng.integers(1, plan.backplane_delay_max + 1))
+        return False, delay
+
+    # ------------------------------- CSI ------------------------------ #
+
+    def corrupt_report(self, h: np.ndarray) -> np.ndarray:
+        """The estimate as it arrives on the wire — possibly garbage.
+
+        Corruption adds complex Gaussian noise scaled to
+        ``csi_corrupt_sigma`` times the estimate's RMS magnitude, i.e.
+        far beyond honest channel drift — what a truncated or bit-flipped
+        annotation frame decodes to, not a slightly stale estimate.  The
+        caller keeps its own (clean) copy; only the receiver sees this.
+        """
+        plan = self.plan
+        h = np.asarray(h)
+        if plan.csi_corrupt_rate <= 0.0:
+            return h
+        if self._corrupt_rng.random() >= plan.csi_corrupt_rate:
+            return h
+        rms = float(np.sqrt(np.mean(np.abs(h) ** 2))) or 1.0
+        noise = self._corrupt_rng.normal(
+            size=h.shape
+        ) + 1j * self._corrupt_rng.normal(size=h.shape)
+        return h + plan.csi_corrupt_sigma * rms * noise
+
+    def ack_missed(self) -> bool:
+        """Whether one AP misses one client ack (that sounding is skipped)."""
+        plan = self.plan
+        if plan.csi_stale_rate <= 0.0:
+            return False
+        return bool(self._stale_rng.random() < plan.csi_stale_rate)
+
+    # ------------------------------ crash ----------------------------- #
+
+    def crash_due(self, slot: int) -> bool:
+        """Whether the leader AP crashes at the start of ``slot``."""
+        return (
+            self.plan.leader_crash_slot is not None
+            and int(slot) == int(self.plan.leader_crash_slot)
+        )

@@ -1,0 +1,108 @@
+"""The declarative fault plan: what goes wrong, as flat JSON scalars.
+
+Every knob is a plain scalar so a plan can ride inside
+``WLANConfig.fault_params`` / ``MultiCellConfig.fault_params`` dicts,
+cross a sweep-cell identity hash, and serialise into benchmark
+documents without custom encoders.  The plan carries no state and no
+RNG — :class:`~repro.faults.injector.FaultInjector` owns both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic description of injected faults.
+
+    Backplane loss follows a two-state Gilbert–Elliott chain: in the
+    *good* state frames drop with ``backplane_loss_rate`` (the plain
+    Bernoulli model when ``burst_enter`` is 0), in the *bad* (burst)
+    state with ``burst_loss_rate``; per-frame transition probabilities
+    are ``burst_enter`` / ``burst_exit``.  Delivered frames may instead
+    be delayed by a bounded whole number of slots.  CSI reports can be
+    corrupted in transit (the subordinate's own tracker stays clean —
+    the wire is what fails) or go stale because an AP misses the ack.
+    ``leader_crash_slot`` kills the leader AP at the start of that
+    absolute slot, forcing re-election.
+    """
+
+    #: P(frame lost) in the good state of the Gilbert–Elliott chain.
+    backplane_loss_rate: float = 0.0
+    #: P(good → bad) per frame; 0 disables bursts (pure Bernoulli loss).
+    burst_enter: float = 0.0
+    #: P(bad → good) per frame.
+    burst_exit: float = 0.5
+    #: P(frame lost) while the chain is in the bad (burst) state.
+    burst_loss_rate: float = 1.0
+    #: P(a delivered frame is delayed instead of arriving this slot).
+    backplane_delay_rate: float = 0.0
+    #: Maximum whole-slot delay of a delayed frame (uniform in 1..max).
+    backplane_delay_max: int = 0
+    #: P(a CSI report is corrupted on the wire).
+    csi_corrupt_rate: float = 0.0
+    #: Corruption noise scale, relative to the estimate's RMS magnitude.
+    csi_corrupt_sigma: float = 8.0
+    #: P(an AP misses one client ack — that sounding never happens).
+    csi_stale_rate: float = 0.0
+    #: Leader rejects a report whose relative Frobenius change exceeds
+    #: this (corrupt-CSI guard); the client is quarantined until a
+    #: plausible report arrives.
+    csi_guard_threshold: float = 4.0
+    #: Absolute slot at which the leader AP crashes (None = never).
+    leader_crash_slot: Optional[int] = None
+
+    def __post_init__(self):
+        for name in (
+            "backplane_loss_rate",
+            "burst_enter",
+            "burst_loss_rate",
+            "backplane_delay_rate",
+            "csi_corrupt_rate",
+            "csi_stale_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= float(value) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if not 0.0 < float(self.burst_exit) <= 1.0:
+            raise ValueError(
+                f"burst_exit must be in (0, 1], got {self.burst_exit!r} "
+                "(a burst the chain can never leave is loss_rate=1.0)"
+            )
+        if int(self.backplane_delay_max) < 0:
+            raise ValueError("backplane_delay_max must be >= 0")
+        if float(self.csi_corrupt_sigma) < 0.0:
+            raise ValueError("csi_corrupt_sigma must be >= 0")
+        if float(self.csi_guard_threshold) <= 0.0:
+            raise ValueError("csi_guard_threshold must be > 0")
+        if self.leader_crash_slot is not None and int(self.leader_crash_slot) < 0:
+            raise ValueError("leader_crash_slot must be >= 0 or None")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def delays_frames(self) -> bool:
+        return self.backplane_delay_rate > 0.0 and self.backplane_delay_max > 0
+
+    def to_params(self) -> Dict[str, Any]:
+        """The plan as the flat dict ``from_params`` accepts."""
+        return asdict(self)
+
+    @classmethod
+    def from_params(cls, params: Optional[Mapping[str, Any]]) -> "FaultPlan":
+        """Build a plan from a flat dict, rejecting unknown keys.
+
+        A misspelled knob must fail loudly — silently ignoring it would
+        run a *different* fault plan under the requested name.
+        """
+        params = dict(params or {})
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan parameter(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        return cls(**params)

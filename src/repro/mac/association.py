@@ -152,17 +152,29 @@ class LeaderAP:
     :class:`~repro.core.plans.ChannelSet` for each candidate group.
     """
 
-    def __init__(self, ap_id: int, ap_ids: Sequence[int]):
+    def __init__(
+        self,
+        ap_id: int,
+        ap_ids: Sequence[int],
+        csi_guard: Optional[float] = None,
+    ):
         if ap_id != elect_leader(ap_ids):
             raise ValueError(f"AP {ap_id} is not the elected leader of {sorted(ap_ids)}")
         self.ap_id = ap_id
         self.ap_ids = sorted(ap_ids)
         self.table = AssociationTable()
         self.update_bytes = 0
+        #: Corrupt-CSI guard: reject a drift report whose relative
+        #: Frobenius change versus the believed estimate exceeds this
+        #: (or that carries non-finite entries), and quarantine the
+        #: client until a plausible report arrives.  ``None`` (default)
+        #: trusts every report — the pre-fault behaviour, bit for bit.
+        self.csi_guard = csi_guard
         #: Per-client channel-map version, bumped on association and on
         #: every applied drift report.  The group-evaluation engine
         #: (:mod:`repro.engine`) keys its memoised solutions on these.
         self._channel_versions: Dict[int, int] = {}
+        self._quarantined: set = set()
 
     def handle_association(
         self,
@@ -175,6 +187,9 @@ class LeaderAP:
         if missing:
             raise ValueError(f"association must carry estimates from all APs; missing {sorted(missing)}")
         record.channels.update({ap: np.asarray(h, dtype=complex) for ap, h in estimates.items()})
+        # A fresh association is a full re-sounding (§8a): any CSI
+        # quarantine from a previous life of this client id is moot.
+        self._quarantined.discard(client_id)
         self._channel_versions[client_id] = self._channel_versions.get(client_id, 0) + 1
         return record
 
@@ -188,19 +203,64 @@ class LeaderAP:
         resurrecting stale state.
         """
         self.table.disassociate(client_id)
+        self._quarantined.discard(client_id)
         self._channel_versions[client_id] = (
             self._channel_versions.get(client_id, 0) + 1
         )
 
-    def handle_update(self, update: ChannelUpdate) -> None:
-        """Apply a subordinate's drift report; account its bytes."""
+    def _plausible(self, update: ChannelUpdate) -> bool:
+        """Whether a report passes the corrupt-CSI guard.
+
+        Non-finite entries are always implausible.  Otherwise the report
+        must not move the believed estimate by more than ``csi_guard``
+        times its Frobenius norm — honest Gauss-Markov drift between two
+        acks is a small fraction of the channel magnitude, while wire
+        corruption (``csi_corrupt_sigma`` ≫ 1) lands far outside it.  A
+        first report (no prior estimate from this AP) is trusted.
+        """
+        h = np.asarray(update.h)
+        if not np.all(np.isfinite(h)):
+            return False
+        prev = self.table.record(update.client_id).channels.get(update.ap_id)
+        if prev is None:
+            return True
+        prev = np.asarray(prev)
+        reference = float(np.linalg.norm(prev))
+        if reference == 0.0:
+            return True
+        return float(np.linalg.norm(h - prev)) <= self.csi_guard * reference
+
+    def handle_update(self, update: ChannelUpdate) -> bool:
+        """Apply a subordinate's drift report; account its bytes.
+
+        Returns whether the report was accepted.  With ``csi_guard``
+        set, an implausible report is *rejected*: the believed channel
+        map and its version stay untouched (the engine keeps using the
+        last good estimate) and the client is quarantined — the WLAN
+        layer keeps it out of aligned groups until a plausible report
+        clears it.  Bytes are accounted either way: the wire carried the
+        annotation whether or not the leader believes it.
+        """
         if update.client_id not in self.table:
             raise KeyError(f"update for unassociated client {update.client_id}")
-        self.table.record(update.client_id).channels[update.ap_id] = update.h
         self.update_bytes += update.nbytes()
+        if self.csi_guard is not None and not self._plausible(update):
+            self._quarantined.add(update.client_id)
+            return False
+        self.table.record(update.client_id).channels[update.ap_id] = update.h
+        self._quarantined.discard(update.client_id)
         self._channel_versions[update.client_id] = (
             self._channel_versions.get(update.client_id, 0) + 1
         )
+        return True
+
+    def is_quarantined(self, client_id: int) -> bool:
+        """Whether the client's CSI is currently distrusted."""
+        return client_id in self._quarantined
+
+    def quarantined_clients(self) -> List[int]:
+        """Clients under CSI quarantine, in id order."""
+        return sorted(self._quarantined)
 
     def channel_map(self, client_id: int) -> Dict[int, np.ndarray]:
         return dict(self.table.record(client_id).channels)

@@ -14,17 +14,25 @@ accounting, so the benchmarks can verify two claims:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 @dataclass
 class HubFrame:
-    """One frame on the hub: payload bytes plus annotation bytes."""
+    """One frame on the hub: payload bytes plus annotation bytes.
+
+    ``data`` is an optional structured payload object (e.g. a
+    :class:`~repro.mac.association.ChannelUpdate` riding as an
+    annotation) handed to delivery callbacks; it never enters the byte
+    accounting — ``payload_bytes``/``annotation_bytes`` stay the wire
+    cost.
+    """
 
     src_port: int
     payload_bytes: int
     annotation_bytes: int = 0
     kind: str = "decoded-packet"
+    data: Any = None
 
     @property
     def total_bytes(self) -> int:
@@ -38,11 +46,26 @@ class EthernetHub:
     delivered to every *other* port (hub semantics) and counted once
     against the shared medium (a hub carries each frame once regardless of
     the number of listeners).
+
+    An optional fault hook (any object exposing ``frame_fate() ->
+    (lost, delay_slots)``, e.g. a
+    :class:`~repro.faults.injector.FaultInjector`) makes the wire lossy:
+    lost frames are counted but never delivered; delayed frames are
+    queued and delivered — in deterministic (due-slot, send-order) order
+    — by a later :meth:`tick`.  Lost and delayed frames still count
+    against ``total_bytes``: the sender spent the wire either way.
     """
 
-    def __init__(self):
+    def __init__(self, faults: Optional[Any] = None):
         self._listeners: Dict[int, Callable[[HubFrame], None]] = {}
         self.frames: List[HubFrame] = []
+        self.faults = faults
+        self.frames_lost = 0
+        self.frames_delayed = 0
+        self._clock = 0
+        self._sent = 0
+        #: Delayed frames awaiting delivery: (due clock, send seq, frame).
+        self._pending: List[Tuple[int, int, HubFrame]] = []
 
     def attach(self, port: int, on_frame: Optional[Callable[[HubFrame], None]] = None) -> None:
         """Register a port; ``on_frame`` is invoked for frames from others."""
@@ -50,14 +73,50 @@ class EthernetHub:
             raise ValueError(f"port {port} already attached")
         self._listeners[port] = on_frame if on_frame is not None else (lambda _f: None)
 
-    def broadcast(self, frame: HubFrame) -> None:
-        """Send a frame from ``frame.src_port`` to all other ports."""
-        if frame.src_port not in self._listeners:
-            raise KeyError(f"port {frame.src_port} is not attached")
-        self.frames.append(frame)
+    def _deliver(self, frame: HubFrame) -> None:
         for port, callback in self._listeners.items():
             if port != frame.src_port:
                 callback(frame)
+
+    def broadcast(self, frame: HubFrame) -> bool:
+        """Send a frame from ``frame.src_port`` to all other ports.
+
+        Returns whether the frame was delivered *now*: ``False`` means
+        the fault hook lost it, or queued it for a later :meth:`tick`.
+        A fault-free hub always returns ``True``.
+        """
+        if frame.src_port not in self._listeners:
+            raise KeyError(f"port {frame.src_port} is not attached")
+        self.frames.append(frame)
+        if self.faults is not None:
+            lost, delay = self.faults.frame_fate()
+            if lost:
+                self.frames_lost += 1
+                return False
+            if delay > 0:
+                self.frames_delayed += 1
+                self._pending.append((self._clock + delay, self._sent, frame))
+                self._sent += 1
+                return False
+        self._deliver(frame)
+        return True
+
+    def tick(self) -> int:
+        """Advance one slot; deliver matured delayed frames.  Returns the
+        number delivered.  A no-op (but still a clock step) without
+        faults or pending frames."""
+        self._clock += 1
+        if not self._pending:
+            return 0
+        due = sorted(
+            entry for entry in self._pending if entry[0] <= self._clock
+        )
+        if not due:
+            return 0
+        self._pending = [e for e in self._pending if e[0] > self._clock]
+        for _, _, frame in due:
+            self._deliver(frame)
+        return len(due)
 
     @property
     def total_bytes(self) -> int:

@@ -119,6 +119,20 @@ class MultiCellConfig:
     #: Slots between boundary-interference exchanges.
     barrier_slots: int = 20
     seed: int = 0
+    #: Fault-injection plan applied to *every* cell
+    #: (:class:`repro.faults.FaultPlan` fields as a flat dict); each
+    #: cell's injector draws from its own hashed-seed streams, so the
+    #: city stays bit-identical for any worker count.  ``None`` disables
+    #: the fault path (the pre-fault trajectory, bit for bit).
+    fault_params: Optional[Dict[str, Any]] = None
+    #: Seconds a shard worker may stay silent (alive but not answering)
+    #: after a barrier message before the run fails loudly, naming the
+    #: shard and its cells.  A *dead* worker is detected within one poll
+    #: interval regardless.
+    shard_timeout: float = 60.0
+    #: Times a crashed shard worker is restarted (and replayed from its
+    #: completed barriers) before the run gives up.
+    max_shard_restarts: int = 2
 
     @property
     def n_aps(self) -> int:
@@ -205,6 +219,10 @@ def build_partition(config: MultiCellConfig) -> CellPartition:
         )
     if not 0.0 <= config.edge_fraction <= 1.0:
         raise ValueError("edge_fraction must be in [0, 1]")
+    if config.shard_timeout <= 0.0:
+        raise ValueError("shard_timeout must be > 0 seconds")
+    if config.max_shard_restarts < 0:
+        raise ValueError("max_shard_restarts must be >= 0")
     centers = grid_centers(config.n_cells, config.cell_spacing)
     streams = np.random.SeedSequence(config.seed).spawn(config.n_cells)
     ap_positions = np.empty((config.n_aps, 2))
@@ -281,6 +299,17 @@ class MultiCellStats:
     #: noise units — how loud the city is at its edges.
     mean_interference_floor: float = 0.0
     max_interference_floor: float = 0.0
+    # ---- fault/degradation counters (0 without fault injection) ------ #
+    frames_lost_backplane: int = 0
+    frames_delayed_backplane: int = 0
+    csi_rejections: int = 0
+    fallback_slots: int = 0
+    re_elections: int = 0
+    #: Shard-worker restarts this run survived.  *Excluded* from
+    #: :meth:`to_dict` / :meth:`digest` by design: a run whose worker was
+    #: killed and replayed must digest identically to one that wasn't —
+    #: that equality is exactly what the self-healing contract promises.
+    shard_restarts: int = 0
 
     @property
     def n_clients(self) -> int:
@@ -334,6 +363,11 @@ class MultiCellStats:
             "latency_slots_total": float(self.latency_slots_total),
             "mean_interference_floor": float(self.mean_interference_floor),
             "max_interference_floor": float(self.max_interference_floor),
+            "frames_lost_backplane": self.frames_lost_backplane,
+            "frames_delayed_backplane": self.frames_delayed_backplane,
+            "csi_rejections": self.csi_rejections,
+            "fallback_slots": self.fallback_slots,
+            "re_elections": self.re_elections,
             "network_rate": self.network_rate,
             "jain_fairness": self.jain_fairness,
         }
@@ -380,6 +414,9 @@ def _cell_wlan_config(config: MultiCellConfig, cell: int) -> WLANConfig:
         engine=config.engine,
         traffic=traffic,
         traffic_params=traffic_params,
+        fault_params=(
+            dict(config.fault_params) if config.fault_params is not None else None
+        ),
         seed=cell_sim_seed(config.seed, cell),
     )
 
@@ -428,12 +465,35 @@ class _Shard:
         return {k: sim.stats for k, sim in sorted(self.sims.items())}
 
 
+#: Pipe poll granularity (seconds): how quickly a dead peer is noticed.
+_POLL_INTERVAL = 0.2
+
+
+class _ShardDied(RuntimeError):
+    """Internal: the worker process behind a shard handle is gone.
+
+    Never escapes :meth:`MultiCellSimulation.run` — the caller either
+    revives the shard (restart-and-replay) or converts the condition
+    into a plain :class:`RuntimeError` once restarts are exhausted.
+    """
+
+
 def _shard_worker(conn, cells, configs, edge_local_ids) -> None:
-    """Worker-process main loop: build the shard, serve barrier rounds."""
+    """Worker-process main loop: build the shard, serve barrier rounds.
+
+    Receives are poll-guarded: a vanished parent (closed pipe) ends the
+    loop instead of blocking forever on a dead file descriptor.
+    """
     shard = _Shard(cells, configs, edge_local_ids)
     try:
         while True:
-            message = conn.recv()
+            if not conn.poll(_POLL_INTERVAL):
+                continue
+            try:
+                # Guarded: poll() just confirmed data (or EOF) is ready.
+                message = conn.recv()  # repro-lint: ignore[no-naked-recv]
+            except EOFError:
+                break
             if message[0] == "run":
                 _, n_slots, floors = message
                 conn.send(shard.run_round(n_slots, floors))
@@ -443,6 +503,121 @@ def _shard_worker(conn, cells, configs, edge_local_ids) -> None:
                 break
     finally:
         conn.close()
+
+
+class _ShardHandle:
+    """One worker process plus everything needed to resurrect it.
+
+    A cell's trajectory is a deterministic function of its config and
+    the floor sequence it was handed (the module's fan-out discipline),
+    so a crashed worker is healed by starting a fresh process and
+    replaying the ``completed`` barrier log — the replacement arrives at
+    bit-identical state, and the run's digest never betrays the crash.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        index: int,
+        cells: Sequence[int],
+        configs: Dict[int, WLANConfig],
+        edge_local_ids: Dict[int, List[int]],
+        timeout: float,
+        max_restarts: int,
+    ):
+        self.index = index
+        self.cells = list(cells)
+        self.restarts = 0
+        #: Barrier log: ``(n_slots, floors)`` of every answered round.
+        self.completed: List[Any] = []
+        self._ctx = ctx
+        self._configs = configs
+        self._edge_local_ids = edge_local_ids
+        self._timeout = timeout
+        self._max_restarts = max_restarts
+        self._pipe = None
+        self._process = None
+        self._start()
+
+    def _start(self) -> None:
+        parent, child = self._ctx.Pipe()
+        self._process = self._ctx.Process(
+            target=_shard_worker,
+            args=(child, self.cells, self._configs, self._edge_local_ids),
+        )
+        self._process.start()
+        child.close()
+        self._pipe = parent
+
+    def _died(self, what: str) -> _ShardDied:
+        return _ShardDied(
+            f"shard {self.index} (cells {self.cells}) worker died {what}"
+        )
+
+    def send(self, message) -> None:
+        try:
+            self._pipe.send(message)
+        except (BrokenPipeError, OSError):
+            raise _ShardDied(
+                f"shard {self.index} (cells {self.cells}) worker died "
+                "before accepting a message"
+            ) from None
+
+    def recv(self):
+        """One reply, or a diagnosis: dead worker (:class:`_ShardDied`,
+        revivable) versus alive-but-silent past the configured timeout
+        (:class:`RuntimeError`, fatal — a hung worker holds state a
+        restart cannot reconstruct mid-round)."""
+        waited = 0.0
+        while True:
+            if self._pipe.poll(_POLL_INTERVAL):
+                try:
+                    # Guarded: poll() confirmed data (or EOF) is ready.
+                    return self._pipe.recv()  # repro-lint: ignore[no-naked-recv]
+                except (EOFError, OSError):
+                    # EOFError on an orderly close, ConnectionResetError
+                    # when the worker was killed outright.
+                    raise self._died("mid-round (pipe closed)") from None
+            if not self._process.is_alive():
+                raise self._died(
+                    f"mid-round (exit code {self._process.exitcode})"
+                )
+            waited += _POLL_INTERVAL
+            if waited >= self._timeout:
+                raise RuntimeError(
+                    f"shard {self.index} (cells {self.cells}) sent no "
+                    f"result within {self._timeout:.1f}s; worker is alive "
+                    "but silent (raise MultiCellConfig.shard_timeout for "
+                    "slow hosts)"
+                )
+
+    def revive(self) -> None:
+        """Restart the worker and replay its barrier log."""
+        if self.restarts >= self._max_restarts:
+            raise RuntimeError(
+                f"shard {self.index} (cells {self.cells}) died "
+                f"{self.restarts + 1} times; giving up after "
+                f"{self._max_restarts} restart(s)"
+            )
+        self.restarts += 1
+        self.close()
+        self._start()
+        for n_slots, floors in self.completed:
+            self.send(("run", n_slots, floors))
+            # _ShardHandle.recv polls with a timeout internally.
+            self.recv()  # repro-lint: ignore[no-naked-recv]
+
+    def close(self) -> None:
+        if self._pipe is not None:
+            try:
+                self._pipe.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        if self._process is not None:
+            self._process.join(timeout=5)
+            if self._process.is_alive():  # pragma: no cover - hung worker
+                self._process.terminate()
+                self._process.join()
 
 
 class MultiCellSimulation:
@@ -517,6 +692,11 @@ class MultiCellSimulation:
             stats.idle_slots += cs.idle_slots
             stats.drift_reports += cs.drift_reports
             stats.latency_slots_total += cs.latency_slots_total
+            stats.frames_lost_backplane += cs.frames_lost_backplane
+            stats.frames_delayed_backplane += cs.frames_delayed_backplane
+            stats.csi_rejections += cs.csi_rejections
+            stats.fallback_slots += cs.fallback_slots
+            stats.re_elections += cs.re_elections
         if floor_history:
             floors = np.stack(floor_history)
             stats.mean_interference_floor = float(floors.mean())
@@ -558,50 +738,86 @@ class MultiCellSimulation:
 
         # Persistent shard processes: cells live in their worker between
         # barriers; only scalar floors and summaries cross the pipes.
+        # Every receive is timeout-guarded and every crashed worker is
+        # restarted and replayed from its barrier log, so a SIGKILLed
+        # shard heals to a bit-identical digest and a hung shard fails
+        # loudly naming itself instead of hanging the caller forever.
         try:
             ctx = mp.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
             ctx = mp.get_context("spawn")
         shards = [list(range(w, config.n_cells, workers)) for w in range(workers)]
-        pipes, processes = [], []
+        handles: List[_ShardHandle] = []
         try:
-            for cells in shards:
-                parent, child = ctx.Pipe()
-                process = ctx.Process(
-                    target=_shard_worker,
-                    args=(
-                        child,
+            for index, cells in enumerate(shards):
+                handles.append(
+                    _ShardHandle(
+                        ctx,
+                        index,
                         cells,
                         {k: self._configs[k] for k in cells},
                         {k: self._edge_local_ids[k] for k in cells},
-                    ),
+                        timeout=config.shard_timeout,
+                        max_restarts=config.max_shard_restarts,
+                    )
                 )
-                process.start()
-                child.close()
-                pipes.append(parent)
-                processes.append(process)
             for step in rounds:
                 floor_history.append(floors)
                 floor_map = dict(enumerate(floors))
-                for pipe, cells in zip(pipes, shards):
-                    pipe.send(("run", step, {k: floor_map[k] for k in cells}))
+                messages = [
+                    ("run", step, {k: floor_map[k] for k in handle.cells})
+                    for handle in handles
+                ]
+                # Optimistic broadcast keeps the shards concurrent; a
+                # death here surfaces at (and is healed by) the collect
+                # phase's roundtrip below.
+                for handle, message in zip(handles, messages):
+                    try:
+                        handle.send(message)
+                    except _ShardDied:
+                        pass
                 summaries: Dict[int, CellSummary] = {}
-                for pipe in pipes:
-                    summaries.update(pipe.recv())
+                for handle, message in zip(handles, messages):
+                    summaries.update(self._roundtrip(handle, message))
+                    handle.completed.append((message[1], message[2]))
                 floors = self._floors_from(summaries)
             cell_stats: Dict[int, WLANStats] = {}
-            for pipe in pipes:
-                pipe.send(("stats",))
-            for pipe in pipes:
-                cell_stats.update(pipe.recv())
-            for pipe in pipes:
-                pipe.send(("stop",))
+            for handle in handles:
+                try:
+                    handle.send(("stats",))
+                except _ShardDied:
+                    pass
+            for handle in handles:
+                cell_stats.update(self._roundtrip(handle, ("stats",)))
+            for handle in handles:
+                try:
+                    handle.send(("stop",))
+                except _ShardDied:  # pragma: no cover - died after stats
+                    pass
         finally:
-            for pipe in pipes:
-                pipe.close()
-            for process in processes:
-                process.join(timeout=30)
-                if process.is_alive():  # pragma: no cover - hung worker
-                    process.terminate()
-                    process.join()
-        return self._aggregate(cell_stats, n_slots, floor_history)
+            for handle in handles:
+                handle.close()
+        stats = self._aggregate(cell_stats, n_slots, floor_history)
+        stats.shard_restarts = sum(h.restarts for h in handles)
+        return stats
+
+    @staticmethod
+    def _roundtrip(handle: _ShardHandle, message):
+        """The shard's reply to ``message``, healing crashes en route.
+
+        A dead worker is revived (fresh process, barrier log replayed)
+        and the in-flight message resent; repeated deaths keep healing
+        until :meth:`_ShardHandle.revive` exhausts its restart budget
+        and raises.  An alive-but-silent worker raises from
+        :meth:`_ShardHandle.recv` directly — hangs are not healable.
+        """
+        while True:
+            try:
+                # _ShardHandle.recv polls with a timeout internally.
+                return handle.recv()  # repro-lint: ignore[no-naked-recv]
+            except _ShardDied:
+                handle.revive()
+                try:
+                    handle.send(message)
+                except _ShardDied:  # pragma: no cover - died instantly
+                    continue

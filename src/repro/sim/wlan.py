@@ -48,9 +48,16 @@ import numpy as np
 from repro.baselines.dot11_mimo import best_ap_link
 from repro.core.plans import BandedChannelSet, ChannelSet
 from repro.engine import make_evaluator
-from repro.mac.association import LeaderAP, SubordinateAP, elect_leader
+from repro.faults import FaultInjector, FaultPlan
+from repro.mac.association import (
+    ChannelUpdate,
+    LeaderAP,
+    SubordinateAP,
+    elect_leader,
+)
 from repro.mac.concurrency import make_selector
 from repro.mac.queueing import QueuedPacket, TransmissionQueue
+from repro.net.ethernet import EthernetHub, HubFrame
 from repro.phy.channel.provider import ChannelProvider, WidebandFadingNetwork
 from repro.phy.channel.timevarying import FadingNetwork
 from repro.sim.traffic import ClientChurn, MobilityModel, TrafficModel, make_traffic
@@ -109,6 +116,17 @@ class WLANConfig:
     #: ``"flat_anchor"`` reuses one band-centre solution band-wide (the
     #: paper's baseline worry).
     alignment: str = "per_subcarrier"
+    #: Fault-injection plan (:class:`repro.faults.FaultPlan` fields as a
+    #: flat dict): backplane loss/delay, CSI corruption/staleness, leader
+    #: crash.  ``None`` (default) disables the fault path entirely — the
+    #: backplane is the implicit lossless wire of the original model and
+    #: the simulation's trajectory is bit-identical to pre-fault builds.
+    fault_params: Optional[Dict[str, Any]] = None
+    #: Service discipline: ``"iac"`` (aligned three-client groups, the
+    #: paper's system) or ``"p2p"`` (always serve the queue head alone at
+    #: its best AP — the point-to-point floor that faulted runs degrade
+    #: toward; the selector never runs, so its RNG stream is untouched).
+    service: str = "iac"
     seed: int = 0
 
 
@@ -117,7 +135,8 @@ class WLANEvent:
     """One entry of the simulation's event log.
 
     ``kind`` is one of ``"join"``, ``"leave"``, ``"start_move"``,
-    ``"stop_move"``; ``slot`` is the absolute slot index (persistent
+    ``"stop_move"``, ``"leader_crash"`` (``client`` then carries the
+    crashed AP's id); ``slot`` is the absolute slot index (persistent
     across repeated ``run()`` calls).
     """
 
@@ -159,10 +178,28 @@ class WLANStats:
     max_queue_depth: int = 0
     #: Join/leave/mobility transitions, in slot order.
     events: List[WLANEvent] = field(default_factory=list)
+    # ---- fault/degradation counters (all 0 without fault injection) --- #
+    #: Backplane frames the faulted Ethernet hub lost outright.
+    frames_lost_backplane: int = 0
+    #: Backplane frames the faulted hub delayed past their slot.
+    frames_delayed_backplane: int = 0
+    #: Drift reports the leader's corrupt-CSI guard rejected.
+    csi_rejections: int = 0
+    #: Group-capable slots degraded to point-to-point service (lost
+    #: backplane data, quarantined CSI in the selected group, or a
+    #: post-crash deployment with too few APs left to align).
+    fallback_slots: int = 0
+    #: Leader re-elections after a leader-AP crash.
+    re_elections: int = 0
 
     @property
     def total_rate(self) -> float:
         return float(sum(self.per_client_rate.values()))
+
+    @property
+    def fallback_fraction(self) -> float:
+        """Fraction of simulated slots degraded to point-to-point."""
+        return self.fallback_slots / self.slots if self.slots else 0.0
 
     @property
     def mean_staleness_loss_db(self) -> float:
@@ -220,7 +257,19 @@ class WLANSimulation:
             raise ValueError("IAC downlink groups need three APs")
         if config.n_clients < config.n_aps:
             raise ValueError("need at least as many clients as APs")
+        if config.service not in ("iac", "p2p"):
+            raise ValueError(
+                f"unknown service discipline {config.service!r} "
+                "(expected 'iac' or 'p2p')"
+            )
         self.config = config
+        #: The fault plan, or None — parsed up front so a bad
+        #: ``fault_params`` dict fails at construction, not mid-run.
+        self.fault_plan: Optional[FaultPlan] = (
+            FaultPlan.from_params(config.fault_params)
+            if config.fault_params is not None
+            else None
+        )
         self.rng = default_rng(config.seed)
 
         self.ap_ids = list(range(config.n_aps))
@@ -253,7 +302,16 @@ class WLANSimulation:
         self._banded = self.fading.n_bins > 1
 
         leader_id = elect_leader(self.ap_ids)
-        self.leader = LeaderAP(ap_id=leader_id, ap_ids=self.ap_ids)
+        #: The corrupt-CSI guard only arms under fault injection; without
+        #: it the leader trusts every report (pre-fault behaviour).
+        self._csi_guard = (
+            self.fault_plan.csi_guard_threshold
+            if self.fault_plan is not None
+            else None
+        )
+        self.leader = LeaderAP(
+            ap_id=leader_id, ap_ids=self.ap_ids, csi_guard=self._csi_guard
+        )
         self.subordinates = {
             ap: SubordinateAP(ap_id=ap, drift_threshold=config.drift_threshold)
             for ap in self.ap_ids
@@ -263,11 +321,14 @@ class WLANSimulation:
             self._associate(c)
 
         self.selector = make_selector(config.algorithm, group_size=3, rng=self.rng)
+        #: The APs that transmit an aligned group (first three, leader
+        #: included); rebuilt on leader crash from the survivors.
+        self._transmit_aps = tuple(self.ap_ids[:3])
         #: Scores candidate groups against the leader's believed channels;
         #: the batched engine memoises solutions on the leader's per-client
         #: channel-map versions (see :mod:`repro.engine`).
         self.evaluator = make_evaluator(
-            config.engine, source=self.leader, aps=tuple(self.ap_ids[:3]),
+            config.engine, source=self.leader, aps=self._transmit_aps,
             alignment=config.alignment,
         )
 
@@ -303,13 +364,36 @@ class WLANSimulation:
             self.mobility = None
         # Dedicated streams: spawned from the config seed, independent of
         # ``self.rng`` so the saturated default draws the exact sequence
-        # the pre-dynamic simulation drew.
-        traffic_seq, churn_seq, mobility_seq = np.random.SeedSequence(
+        # the pre-dynamic simulation drew.  SeedSequence children are
+        # keyed by sequential spawn index, so growing spawn(3) to
+        # spawn(4) leaves the first three streams bit-identical.
+        traffic_seq, churn_seq, mobility_seq, fault_seq = np.random.SeedSequence(
             config.seed
-        ).spawn(3)
+        ).spawn(4)
         self._traffic_rng = np.random.default_rng(traffic_seq)
         self._churn_rng = np.random.default_rng(churn_seq)
         self._mobility_rng = np.random.default_rng(mobility_seq)
+        # ---- fault wiring (all None without fault_params) ------------- #
+        self.injector: Optional[FaultInjector] = None
+        self.hub: Optional[EthernetHub] = None
+        if self.fault_plan is not None:
+            self.injector = FaultInjector(self.fault_plan, fault_seq)
+            # The explicit backplane: CSI annotations and the leader's
+            # per-slot data frames to the other transmit APs cross this
+            # hub and are subject to the injector's loss/delay.  Without
+            # faults the wire stays implicit (and lossless), exactly as
+            # before.
+            self.hub = EthernetHub(faults=self.injector)
+            for ap in self.ap_ids:
+                self.hub.attach(
+                    ap,
+                    lambda frame, port=ap: self._on_backplane_frame(port, frame),
+                )
+        #: True once a leader crash leaves fewer than three APs: every
+        #: subsequent non-idle slot is point-to-point (permanent fallback).
+        self._degraded = False
+        #: update_bytes accumulated by leaders that have since crashed.
+        self._update_bytes_base = 0
         self._active = set(self.client_ids)
         #: Extra interference power per client (in noise units), injected
         #: by an enclosing multi-cell simulation at slot barriers; empty
@@ -460,16 +544,148 @@ class WLANSimulation:
         estimate, the drift norm and the reported annotation all span the
         per-subcarrier stack (a drift report costs ``n_bins`` times the
         flat annotation bytes — the §6c price on the Ethernet).
+
+        Under fault injection three things change: an AP can miss the
+        ack outright (forced staleness — that sounding never happens); a
+        subordinate's report crosses the lossy Ethernet hub and may be
+        lost, delayed or corrupted in transit (the subordinate's *own*
+        tracker stays clean — the wire is what fails); and a quarantined
+        client forces a full refresh report from every subordinate at
+        the next ack, bypassing the drift threshold, so recovery doesn't
+        wait for the channel to drift again.
         """
         if slot % self.config.ack_period:
             return
         for c in sorted(self._active):
             for a in self.ap_ids:
+                if self.injector is not None and self.injector.ack_missed():
+                    continue
                 update = self.subordinates[a].observe(c, self._sound(a, c))
-                if update is not None:
+                if (
+                    update is None
+                    and self.injector is not None
+                    and a != self.leader.ap_id
+                    and self.leader.is_quarantined(c)
+                ):
+                    update = ChannelUpdate(
+                        ap_id=a, client_id=c, h=self.subordinates[a].channel_to(c)
+                    )
+                if update is None:
+                    continue
+                if self.hub is not None and a != self.leader.ap_id:
+                    # The report rides the backplane as an annotation;
+                    # what the leader sees is the (possibly corrupted)
+                    # wire copy, applied by _on_backplane_frame on
+                    # delivery — this slot, later (delay), or never.
+                    wire = ChannelUpdate(
+                        ap_id=a,
+                        client_id=c,
+                        h=self.injector.corrupt_report(update.h),
+                    )
+                    self.hub.broadcast(
+                        HubFrame(
+                            src_port=a,
+                            payload_bytes=0,
+                            annotation_bytes=update.nbytes(),
+                            kind="csi-update",
+                            data=wire,
+                        )
+                    )
+                else:
+                    # The leader's own tracker reports never cross the
+                    # wire (and the fault-free path keeps its original
+                    # direct call, bit for bit).
                     self.leader.handle_update(update)
                     self.stats.drift_reports += 1
-        self.stats.update_bytes = self.leader.update_bytes
+        self.stats.update_bytes = self._update_bytes_base + self.leader.update_bytes
+
+    # ------------------------------------------------------------------ #
+    # Fault handling (never reached without ``fault_params``)
+    # ------------------------------------------------------------------ #
+
+    def _on_backplane_frame(self, port: int, frame: HubFrame) -> None:
+        """Hub delivery callback for AP ``port``.
+
+        Only CSI annotations arriving at the *current* leader's port
+        carry state; data frames (and frames addressed to a crashed
+        ex-leader's port) are inert on arrival.
+        """
+        if frame.kind != "csi-update" or port != self.leader.ap_id:
+            return
+        update: ChannelUpdate = frame.data
+        if update.client_id not in self.leader.table:
+            # Delivered after the client churned away (a delayed frame);
+            # a §8a re-association would re-sound from scratch anyway.
+            return
+        if self.leader.handle_update(update):
+            self.stats.drift_reports += 1
+        else:
+            self.stats.csi_rejections += 1
+
+    def _backplane_data_ready(self) -> bool:
+        """Ship the slot's data frames to the other transmit APs.
+
+        "Every decoded packet is broadcast only once to all APs"
+        (§7.1(d)): before an aligned slot the leader pushes one payload
+        frame per non-leader transmit AP across the hub.  Any loss or
+        delay means that AP has nothing to precode — the slot must fall
+        back to point-to-point service.  Called *before* the selector
+        runs, so a lost backplane never costs selector RNG draws (at
+        loss 1.0 the trajectory equals the ``service="p2p"`` floor).
+        """
+        delivered_all = True
+        for ap in self._transmit_aps:
+            if ap == self.leader.ap_id:
+                continue
+            delivered = self.hub.broadcast(
+                HubFrame(
+                    src_port=self.leader.ap_id,
+                    payload_bytes=1500,
+                    kind="decoded-packet",
+                )
+            )
+            delivered_all = delivered_all and delivered
+        return delivered_all
+
+    def _crash_leader(self, slot: int) -> None:
+        """Kill the leader AP; re-elect and rebuild from the survivors.
+
+        The dead AP leaves the deployment entirely (its subordinate
+        tracker dies with it).  The new leader is elected by the same
+        lowest-id rule and rebuilds its association table and channel
+        map from the *surviving* subordinates' tracked estimates — the
+        distributed state the paper's design already maintains (§7.1(c)),
+        so no re-sounding round is needed.  With fewer than three APs
+        left the deployment can no longer align: it serves every
+        remaining slot point-to-point (counted in ``fallback_slots``).
+        """
+        dead = self.leader.ap_id
+        self.stats.events.append(WLANEvent(slot, "leader_crash", dead))
+        self.stats.re_elections += 1
+        self._update_bytes_base += self.leader.update_bytes
+        self.ap_ids = [a for a in self.ap_ids if a != dead]
+        del self.subordinates[dead]
+        new_leader = LeaderAP(
+            ap_id=elect_leader(self.ap_ids),
+            ap_ids=self.ap_ids,
+            csi_guard=self._csi_guard,
+        )
+        for c in sorted(self._active):
+            estimates = {
+                a: self.subordinates[a].channel_to(c) for a in self.ap_ids
+            }
+            new_leader.handle_association(c, estimates)
+        self.leader = new_leader
+        if len(self.ap_ids) >= 3:
+            self._transmit_aps = tuple(self.ap_ids[:3])
+            self.evaluator = make_evaluator(
+                self.config.engine,
+                source=new_leader,
+                aps=self._transmit_aps,
+                alignment=self.config.alignment,
+            )
+        else:
+            self._degraded = True
 
     # ------------------------------------------------------------------ #
     # Dynamic-workload steps (no-ops under the default configuration)
@@ -545,6 +761,15 @@ class WLANSimulation:
         for _ in range(n_slots):
             slot = self._slot
             self._slot += 1
+            if self.hub is not None:
+                # Matured delayed frames (late CSI) land at slot start.
+                self.hub.tick()
+            if (
+                self.injector is not None
+                and self.injector.crash_due(slot)
+                and len(self.ap_ids) > 1
+            ):
+                self._crash_leader(slot)
             self.fading.step()
             if self.churn is not None:
                 self._apply_churn(slot)
@@ -564,10 +789,38 @@ class WLANSimulation:
             # it on a 1-2 client backlog would let BestOfTwo reset the
             # fairness credits of companions that never get served (and
             # solve candidate groups the degenerate slot then ignores).
-            if len(self.queue.clients_in_order()) >= 3:
-                served = tuple(self.selector.select(self.queue, self.evaluator))
-                rates = self._transmit_group(served)
+            # Under ``service="p2p"`` — or after a crash left too few APs
+            # to align — it never runs at all, so its RNG stream (shared
+            # with the fading substrate) is consumed identically by a
+            # faulted run falling back every slot and its p2p twin.
+            p2p_only = self.config.service == "p2p" or self._degraded
+            if not p2p_only and len(self.queue.clients_in_order()) >= 3:
+                if self.injector is not None and not self._backplane_data_ready():
+                    # Backplane data lost or late: the other transmit APs
+                    # have nothing to precode this slot.  Decided before
+                    # the selector runs, so a lossy wire costs zero
+                    # selector draws (at loss 1.0 the trajectory is the
+                    # p2p floor, bit for bit).
+                    self.stats.fallback_slots += 1
+                    served = (self.queue.head().client_id,)
+                    rates = self._serve_head_alone(served[0])
+                else:
+                    served = tuple(self.selector.select(self.queue, self.evaluator))
+                    if any(self.leader.is_quarantined(c) for c in served):
+                        # Aligning against distrusted CSI would null the
+                        # wrong subspace for every client in the group:
+                        # degrade the slot instead of transmitting on it.
+                        self.stats.fallback_slots += 1
+                        served = (self.queue.head().client_id,)
+                        rates = self._serve_head_alone(served[0])
+                    else:
+                        rates = self._transmit_group(served)
             else:
+                if self._degraded and self.config.service == "iac":
+                    # Post-crash permanent degradation (< 3 APs left):
+                    # every served slot is a fallback.  A configured p2p
+                    # floor is *service*, not degradation — not counted.
+                    self.stats.fallback_slots += 1
                 served = (self.queue.head().client_id,)
                 rates = self._serve_head_alone(served[0])
             for c in served:
@@ -580,6 +833,9 @@ class WLANSimulation:
                         )
                     )
         self.stats.slots += n_slots
+        if self.hub is not None:
+            self.stats.frames_lost_backplane = self.hub.frames_lost
+            self.stats.frames_delayed_backplane = self.hub.frames_delayed
         self.stats.per_client_rate = {
             c: total / self.stats.slots for c, total in self._cumulative_rate.items()
         }

@@ -1,0 +1,34 @@
+"""Lint fixture: no-naked-recv (violating + clean + suppressed).
+
+Covers both blocking shapes — zero-argument ``.recv()`` on a pipe and
+zero-positional-argument ``.get()`` on a queue — plus the legal forms:
+a ``timeout=`` keyword, an ordinary ``dict.get(key)`` lookup, and the
+poll-guarded waiver the multicell layer uses.
+"""
+
+
+def violating_recv(conn):
+    return conn.recv()  # expect: no-naked-recv
+
+
+def violating_queue_get(queue):
+    return queue.get()  # expect: no-naked-recv
+
+
+def violating_get_block_kwarg(queue):
+    return queue.get(block=True)  # expect: no-naked-recv
+
+
+def clean_get_timeout(queue):
+    return queue.get(timeout=5.0)
+
+
+def clean_dict_get(mapping, key):
+    return mapping.get(key, 0.0)
+
+
+def clean_poll_then_recv(conn):
+    while not conn.poll(0.2):
+        pass
+    # The poll above bounds the wait; the recv cannot block forever.
+    return conn.recv()  # repro-lint: ignore[no-naked-recv]

@@ -51,6 +51,7 @@ FILE_RULE_FIXTURES = {
     "no_wallclock.py": "repro/sim/fake.py",
     "no_print_in_library.py": "repro/sim/fake.py",
     "no_unordered_iteration.py": "repro/sim/multicell.py",
+    "no_naked_recv.py": "repro/sim/fake.py",
     "unused_suppression.py": "repro/sim/fake.py",
 }
 

@@ -1,0 +1,145 @@
+"""Tests for the fault_resilience and backplane_loss_sweep scenarios."""
+
+import json
+
+import pytest
+
+from repro.experiments import get_scenario, run_experiment
+from repro.experiments.fault_scenarios import (
+    _fault_params_from,
+    canonical_loss_params,
+    canonical_resilience_params,
+)
+
+#: Small-but-real settings shared by the cheap resilience tests below.
+_FAST = {
+    "n_cells": 2,
+    "clients_per_cell": 4,
+    "n_slots": 10,
+    "barrier_slots": 5,
+    "leader_crash_slot": 4,
+}
+
+_FAST_LOSS = {"n_slots": 15, "n_clients": 6}
+
+
+class TestRegistration:
+    @pytest.mark.parametrize("name", ["fault_resilience", "backplane_loss_sweep"])
+    def test_registered_with_tags_and_formatter(self, name):
+        scenario = get_scenario(name)
+        assert "faults" in scenario.tags
+        assert scenario.formatter is not None
+        assert scenario.canonicalize is not None
+
+    def test_resilience_defaults_survive_the_crash(self):
+        # Four APs per cell: three survive the leader crash, so the
+        # scenario demonstrates re-election, not permanent degradation.
+        p = get_scenario("fault_resilience").default_params
+        assert p["aps_per_cell"] == 4
+        assert p["leader_crash_slot"] >= 0
+
+
+class TestFaultParamsEncoding:
+    def test_crash_sentinel_minus_one_disables(self):
+        assert "leader_crash_slot" not in _fault_params_from(
+            {"leader_crash_slot": -1}
+        )
+        assert _fault_params_from({"leader_crash_slot": 5}) == {
+            "leader_crash_slot": 5
+        }
+
+    def test_only_fault_knobs_extracted(self):
+        plan = _fault_params_from(
+            {"backplane_loss_rate": 0.3, "n_cells": 64, "workers": 4}
+        )
+        assert plan == {"backplane_loss_rate": 0.3}
+
+    def test_canonicalizers_strip_execution_knobs(self):
+        q = canonical_resilience_params({"workers": 4, "engine": "batched",
+                                         "n_cells": 2, "traffic": "poisson",
+                                         "load": 0.7})
+        assert "workers" not in q and "engine" not in q
+        assert "engine" not in canonical_loss_params({"engine": "batched"})
+
+
+class TestResilienceTrial:
+    def test_metrics_surface_the_degradation_counters(self):
+        result = run_experiment(
+            "fault_resilience", n_trials=1, seed=3, params=_FAST
+        )
+        m = result.records[0].metrics
+        for key in (
+            "network_rate",
+            "frames_lost_backplane",
+            "csi_rejections",
+            "fallback_slots",
+            "fallback_fraction",
+            "re_elections",
+        ):
+            assert key in m
+        assert m["re_elections"] == _FAST["n_cells"]  # one crash per cell
+        assert m["network_rate"] > 0.0  # degraded, never dead
+
+    def test_worker_invariant_and_json_stable(self):
+        serial = run_experiment(
+            "fault_resilience", n_trials=1, seed=7, params=_FAST
+        )
+        sharded = run_experiment(
+            "fault_resilience", n_trials=1, seed=7,
+            params={**_FAST, "workers": 2},
+        )
+        assert serial.records[0].metrics == sharded.records[0].metrics
+        # Same seed twice → byte-identical JSON (the CI fault-smoke check).
+        again = run_experiment(
+            "fault_resilience", n_trials=1, seed=7, params=_FAST
+        )
+        assert serial.to_json() == again.to_json()
+
+    def test_formatter_renders(self):
+        scenario = get_scenario("fault_resilience")
+        result = run_experiment(
+            "fault_resilience", n_trials=1, seed=1, params=_FAST
+        )
+        text = scenario.formatter(result)
+        assert "fault_resilience" in text and "re-election" in text
+
+
+class TestLossSweepTrial:
+    def test_dead_wire_is_exactly_the_p2p_floor(self):
+        result = run_experiment(
+            "backplane_loss_sweep", n_trials=2, seed=5,
+            params={**_FAST_LOSS, "loss_rate": 1.0},
+        )
+        for r in result.records:
+            m = r.metrics
+            assert m["goodput"] == m["floor_rate"]  # bit for bit
+            assert m["degradation"] == pytest.approx(1.0)
+            assert m["fallback_fraction"] == 1.0
+
+    def test_lossless_wire_costs_nothing(self):
+        result = run_experiment(
+            "backplane_loss_sweep", n_trials=2, seed=5,
+            params={**_FAST_LOSS, "loss_rate": 0.0},
+        )
+        for r in result.records:
+            m = r.metrics
+            assert m["goodput"] == m["ceiling_rate"]
+            assert m["degradation"] == 0.0
+
+    def test_brackets_order(self):
+        result = run_experiment(
+            "backplane_loss_sweep", n_trials=1, seed=9,
+            params={**_FAST_LOSS, "loss_rate": 0.5},
+        )
+        m = result.records[0].metrics
+        assert m["floor_rate"] < m["ceiling_rate"]
+        assert m["goodput"] <= m["ceiling_rate"] + 1e-9
+
+    def test_formatter_renders(self):
+        scenario = get_scenario("backplane_loss_sweep")
+        result = run_experiment(
+            "backplane_loss_sweep", n_trials=1, seed=1,
+            params={**_FAST_LOSS, "loss_rate": 0.5},
+        )
+        text = scenario.formatter(result)
+        assert "backplane_loss_sweep" in text and "degradation" in text

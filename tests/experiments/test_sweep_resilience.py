@@ -1,0 +1,189 @@
+"""Sweep self-healing: per-cell retries, quarantine, corrupt-cache recovery."""
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import register_scenario, unregister_scenario
+from repro.experiments.sweep import (
+    QuarantinedCell,
+    SweepCache,
+    SweepResult,
+    run_sweep,
+)
+
+
+@pytest.fixture
+def flaky_scenario():
+    """Fails the first ``fail_times`` attempts of each cell, then succeeds.
+
+    The failure counter is keyed by the cell's ``scale`` so retries of
+    one cell never consume another cell's failures.
+    """
+    name = "_sweep_flaky"
+    failures = {}
+
+    @register_scenario(
+        name,
+        figure="test",
+        description="flaky sweep target",
+        paper="n/a",
+        default_params={"scale": 1.0, "fail_times": 0},
+        default_trials=2,
+    )
+    def flaky_trial(ctx):
+        scale = float(ctx.params["scale"])
+        budget = int(ctx.params["fail_times"])
+        if failures.get(scale, 0) < budget:
+            failures[scale] = failures.get(scale, 0) + 1
+            raise RuntimeError(f"transient failure for scale={scale}")
+        return {"value": float(ctx.rng.random()) * scale, "gain": 1.0}
+
+    yield name, failures
+    unregister_scenario(name)
+
+
+class TestRetries:
+    def test_transient_failures_heal_within_budget(self, flaky_scenario):
+        name, failures = flaky_scenario
+        result = run_sweep(
+            name, {"scale": [1.0, 2.0]}, params={"fail_times": 2}, retries=2
+        )
+        assert len(result.cells) == 2 and not result.quarantined
+        assert failures == {1.0: 2, 2.0: 2}  # each cell burned its budget
+
+    def test_retried_cell_reruns_the_same_seed(self, flaky_scenario):
+        """Retrying changes when work happens, never what it computes."""
+        name, _ = flaky_scenario
+        healed = run_sweep(
+            name, {"scale": [3.0]}, params={"fail_times": 1}, retries=1
+        )
+        clean = run_sweep(name, {"scale": [3.0]}, params={"fail_times": 1})
+        # fail_times enters the cell identity, so both sweeps hash the
+        # same cell; the healed run's summary must match the clean one
+        # (whose failure counter was already exhausted by the first).
+        assert healed.cells[0].summary == clean.cells[0].summary
+        assert healed.cells[0].seed == clean.cells[0].seed
+
+    def test_exhausted_retries_propagate_without_quarantine(
+        self, flaky_scenario
+    ):
+        name, _ = flaky_scenario
+        with pytest.raises(RuntimeError, match="transient failure"):
+            run_sweep(name, {"scale": [1.0]}, params={"fail_times": 5}, retries=1)
+
+    def test_knob_validation(self, flaky_scenario):
+        name, _ = flaky_scenario
+        with pytest.raises(ValueError, match="retries"):
+            run_sweep(name, {"scale": [1.0]}, retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            run_sweep(name, {"scale": [1.0]}, backoff=-0.5)
+
+
+class TestQuarantine:
+    def test_hopeless_cell_quarantined_healthy_cells_complete(
+        self, flaky_scenario, tmp_path
+    ):
+        name, _ = flaky_scenario
+        cache = SweepCache(str(tmp_path / "cache.json"))
+        result = run_sweep(
+            name,
+            # fail_times=99 never recovers within one retry; 0 is clean.
+            {"fail_times": [99, 0]},
+            retries=1,
+            quarantine=True,
+            cache=cache,
+        )
+        assert [c.params["fail_times"] for c in result.cells] == [0]
+        assert len(result.quarantined) == 1
+        q = result.quarantined[0]
+        assert q.params == {"fail_times": 99}
+        assert q.attempts == 2
+        assert q.error.startswith("RuntimeError: transient failure")
+        # The failure is never memoised: a later sweep retries it fresh.
+        assert cache.get(q.key) is None
+        assert cache.get(result.cells[0].key) is not None
+
+    def test_quarantined_round_trips_through_json(self, flaky_scenario):
+        name, _ = flaky_scenario
+        result = run_sweep(
+            name, {"scale": [1.0]}, params={"fail_times": 99}, quarantine=True
+        )
+        clone = SweepResult.from_dict(json.loads(result.to_json()))
+        assert clone.quarantined == result.quarantined
+        assert clone.to_json() == result.to_json()
+
+    def test_worker_invariance_with_quarantine(self, flaky_scenario):
+        name, failures = flaky_scenario
+        grid = {"scale": [1.0, 2.0, 3.0], "fail_times": [99]}
+        serial = run_sweep(name, grid, quarantine=True)
+        failures.clear()
+        threaded = run_sweep(name, grid, quarantine=True, workers=3)
+        assert serial.to_dict() == threaded.to_dict()
+
+
+class TestCorruptCache:
+    def test_garbage_cache_is_renamed_and_rebuilt(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{ not json at all")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            cache = SweepCache(path)
+        assert os.path.exists(path + ".corrupt")
+        assert cache.get("anything") is None  # rebuilt empty, usable
+
+    def test_wrong_shape_cache_is_quarantined_too(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(["a", "list", "not", "a", "mapping"], fh)
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            SweepCache(path)
+        assert os.path.exists(path + ".corrupt")
+
+    def test_newer_schema_is_an_error_not_corruption(self, tmp_path):
+        """A future schema must not be silently discarded as garbage."""
+        path = str(tmp_path / "cache.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"schema_version": 999, "cells": {}}, fh)
+        with pytest.raises(ValueError, match="999"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                SweepCache(path)
+        assert not os.path.exists(path + ".corrupt")
+
+    def test_corrupt_cache_sweep_end_to_end(self, flaky_scenario, tmp_path):
+        name, _ = flaky_scenario
+        path = str(tmp_path / "cache.json")
+        cache = SweepCache(path)
+        first = run_sweep(name, {"scale": [1.0]}, cache=cache)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\x00garbage")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            rebuilt = SweepCache(path)
+        again = run_sweep(name, {"scale": [1.0]}, cache=rebuilt)
+        assert again.cells[0].summary == first.cells[0].summary
+        assert again.cached_cells == 0  # recomputed, not resurrected
+
+
+class TestResilienceCLI:
+    def test_quarantine_summary_printed(self, flaky_scenario, capsys):
+        name, _ = flaky_scenario
+        code = main(
+            [
+                "sweep", name,
+                "--grid", "scale=1.0,2.0",
+                "--grid", "fail_times=99",
+                "--retries", "1",
+                "--quarantine",
+                "--no-cache",
+                "--quiet",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # quarantine is the graceful path
+        assert "2 quarantined" in out
+        assert "RuntimeError: transient failure" in out
+        assert "2 attempt(s)" in out

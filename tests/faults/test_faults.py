@@ -1,0 +1,178 @@
+"""Tests for the fault plan and the seeded fault injector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultInjector, FaultPlan
+
+
+def injector(plan, seed=3):
+    return FaultInjector(plan, np.random.SeedSequence(seed))
+
+
+class TestPlanValidation:
+    def test_defaults_are_a_no_op_plan(self):
+        plan = FaultPlan()
+        assert plan.backplane_loss_rate == 0.0
+        assert plan.leader_crash_slot is None
+        assert not plan.delays_frames
+
+    @pytest.mark.parametrize(
+        "knob",
+        [
+            "backplane_loss_rate",
+            "burst_enter",
+            "burst_loss_rate",
+            "backplane_delay_rate",
+            "csi_corrupt_rate",
+            "csi_stale_rate",
+        ],
+    )
+    def test_probabilities_bounded(self, knob):
+        with pytest.raises(ValueError, match=knob):
+            FaultPlan(**{knob: 1.5})
+        with pytest.raises(ValueError, match=knob):
+            FaultPlan(**{knob: -0.1})
+
+    def test_burst_exit_must_be_escapable(self):
+        # burst_exit=0 is a burst the chain can never leave; modelling
+        # that is loss_rate=1.0, so the plan rejects it.
+        with pytest.raises(ValueError, match="burst_exit"):
+            FaultPlan(burst_exit=0.0)
+
+    def test_negative_scalars_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(backplane_delay_max=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(csi_corrupt_sigma=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(csi_guard_threshold=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan(leader_crash_slot=-5)
+
+    def test_delays_frames_needs_both_knobs(self):
+        assert not FaultPlan(backplane_delay_rate=0.5).delays_frames
+        assert not FaultPlan(backplane_delay_max=3).delays_frames
+        assert FaultPlan(
+            backplane_delay_rate=0.5, backplane_delay_max=3
+        ).delays_frames
+
+
+class TestPlanParams:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            backplane_loss_rate=0.2, csi_corrupt_rate=0.1, leader_crash_slot=7
+        )
+        assert FaultPlan.from_params(plan.to_params()) == plan
+
+    def test_none_and_empty_are_the_default_plan(self):
+        assert FaultPlan.from_params(None) == FaultPlan()
+        assert FaultPlan.from_params({}) == FaultPlan()
+
+    def test_unknown_key_rejected(self):
+        # A misspelled knob must fail loudly, not silently run a
+        # different fault plan under the requested name.
+        with pytest.raises(ValueError, match="backplane_los_rate"):
+            FaultPlan.from_params({"backplane_los_rate": 0.5})
+
+
+class TestInjectorBackplane:
+    def test_no_fault_plan_never_drops(self):
+        inj = injector(FaultPlan())
+        assert all(inj.frame_fate() == (False, 0) for _ in range(200))
+
+    def test_loss_one_drops_everything(self):
+        inj = injector(FaultPlan(backplane_loss_rate=1.0))
+        assert all(inj.frame_fate() == (True, 0) for _ in range(200))
+
+    def test_loss_rate_is_roughly_honoured(self):
+        inj = injector(FaultPlan(backplane_loss_rate=0.3), seed=11)
+        losses = sum(inj.frame_fate()[0] for _ in range(4000))
+        assert 0.25 < losses / 4000 < 0.35
+
+    def test_burst_state_raises_loss(self):
+        # With certain burst entry and no exit-free escape, losses in
+        # the bad state follow burst_loss_rate=1.0.
+        inj = injector(FaultPlan(burst_enter=1.0, burst_exit=1e-9))
+        fates = [inj.frame_fate() for _ in range(100)]
+        # First frame enters the burst before its loss draw.
+        assert all(lost for lost, _ in fates)
+
+    def test_delay_bounded_and_only_on_delivered_frames(self):
+        inj = injector(
+            FaultPlan(backplane_delay_rate=1.0, backplane_delay_max=3), seed=5
+        )
+        delays = [inj.frame_fate()[1] for _ in range(200)]
+        assert set(delays) <= {1, 2, 3}
+        assert len(set(delays)) > 1  # uniform over 1..max, not constant
+
+    def test_delay_stream_independent_of_loss_stream(self):
+        """Toggling the delay knobs never shifts the loss sequence."""
+        plain = injector(FaultPlan(backplane_loss_rate=0.4), seed=9)
+        delayed = injector(
+            FaultPlan(
+                backplane_loss_rate=0.4,
+                backplane_delay_rate=0.5,
+                backplane_delay_max=4,
+            ),
+            seed=9,
+        )
+        losses_plain = [plain.frame_fate()[0] for _ in range(500)]
+        losses_delayed = [delayed.frame_fate()[0] for _ in range(500)]
+        assert losses_plain == losses_delayed
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_same_seed_same_fates(self, seed):
+        plan = FaultPlan(
+            backplane_loss_rate=0.3,
+            burst_enter=0.05,
+            burst_exit=0.4,
+            backplane_delay_rate=0.2,
+            backplane_delay_max=2,
+        )
+        a = injector(plan, seed=seed)
+        b = injector(plan, seed=seed)
+        assert [a.frame_fate() for _ in range(100)] == [
+            b.frame_fate() for _ in range(100)
+        ]
+
+
+class TestInjectorCsi:
+    def test_corruption_disabled_returns_input_unchanged(self, rng):
+        inj = injector(FaultPlan())
+        h = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        assert inj.corrupt_report(h) is not None
+        np.testing.assert_array_equal(inj.corrupt_report(h), h)
+
+    def test_corruption_is_large_relative_to_the_estimate(self, rng):
+        inj = injector(FaultPlan(csi_corrupt_rate=1.0, csi_corrupt_sigma=8.0))
+        h = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        garbled = inj.corrupt_report(h)
+        rel = np.linalg.norm(garbled - h) / np.linalg.norm(h)
+        assert rel > 4.0  # far beyond honest drift: the guard must see it
+
+    def test_corruption_never_mutates_the_callers_copy(self, rng):
+        inj = injector(FaultPlan(csi_corrupt_rate=1.0))
+        h = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        original = h.copy()
+        inj.corrupt_report(h)
+        np.testing.assert_array_equal(h, original)
+
+    def test_ack_missed_rate(self):
+        inj = injector(FaultPlan(csi_stale_rate=0.5), seed=13)
+        missed = sum(inj.ack_missed() for _ in range(2000))
+        assert 0.45 < missed / 2000 < 0.55
+        assert not any(injector(FaultPlan()).ack_missed() for _ in range(100))
+
+
+class TestInjectorCrash:
+    def test_crash_fires_exactly_at_the_planned_slot(self):
+        inj = injector(FaultPlan(leader_crash_slot=7))
+        assert [s for s in range(20) if inj.crash_due(s)] == [7]
+
+    def test_no_plan_never_crashes(self):
+        inj = injector(FaultPlan())
+        assert not any(inj.crash_due(s) for s in range(50))

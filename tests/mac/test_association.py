@@ -128,3 +128,67 @@ class TestLeader:
                 leader.handle_update(update)
                 reports += 1
         assert 1 <= reports < 10  # some reports, but far from every frame
+
+
+class TestCsiGuard:
+    """The leader's corrupt-CSI guard and quarantine lifecycle."""
+
+    def _leader_with_client(self, rng, csi_guard=4.0):
+        leader = LeaderAP(ap_id=0, ap_ids=[0, 1, 2], csi_guard=csi_guard)
+        estimates = {ap: rayleigh_channel(2, 2, rng) for ap in (0, 1, 2)}
+        leader.handle_association(7, estimates)
+        return leader, estimates
+
+    def test_plausible_update_accepted(self, rng):
+        leader, estimates = self._leader_with_client(rng)
+        drift = estimates[1] + 0.01 * rayleigh_channel(2, 2, rng)
+        assert leader.handle_update(ChannelUpdate(ap_id=1, client_id=7, h=drift))
+        assert not leader.is_quarantined(7)
+        np.testing.assert_array_equal(leader.channel_map(7)[1], drift)
+
+    def test_wildly_implausible_update_quarantines(self, rng):
+        leader, estimates = self._leader_with_client(rng)
+        version = leader.channel_version(7)
+        garbage = estimates[1] + 100.0 * rayleigh_channel(2, 2, rng)
+        update = ChannelUpdate(ap_id=1, client_id=7, h=garbage)
+        assert not leader.handle_update(update)
+        assert leader.is_quarantined(7)
+        assert leader.quarantined_clients() == [7]
+        # Believed map and version untouched: the engine keeps the last
+        # good estimate and its memoised solutions stay valid.
+        np.testing.assert_array_equal(leader.channel_map(7)[1], estimates[1])
+        assert leader.channel_version(7) == version
+        # Bytes accounted either way: the wire carried the annotation.
+        assert leader.update_bytes == update.nbytes()
+
+    def test_non_finite_update_always_rejected(self, rng):
+        leader, estimates = self._leader_with_client(rng)
+        bad = estimates[1].copy()
+        bad[0, 0] = np.nan
+        assert not leader.handle_update(ChannelUpdate(ap_id=1, client_id=7, h=bad))
+        assert leader.is_quarantined(7)
+
+    def test_plausible_report_clears_quarantine(self, rng):
+        leader, estimates = self._leader_with_client(rng)
+        garbage = estimates[1] + 100.0 * rayleigh_channel(2, 2, rng)
+        leader.handle_update(ChannelUpdate(ap_id=1, client_id=7, h=garbage))
+        assert leader.is_quarantined(7)
+        honest = estimates[1] + 0.01 * rayleigh_channel(2, 2, rng)
+        assert leader.handle_update(ChannelUpdate(ap_id=1, client_id=7, h=honest))
+        assert not leader.is_quarantined(7)
+
+    def test_reassociation_clears_quarantine(self, rng):
+        leader, estimates = self._leader_with_client(rng)
+        garbage = estimates[1] + 100.0 * rayleigh_channel(2, 2, rng)
+        leader.handle_update(ChannelUpdate(ap_id=1, client_id=7, h=garbage))
+        leader.handle_association(
+            7, {ap: rayleigh_channel(2, 2, rng) for ap in (0, 1, 2)}
+        )
+        assert not leader.is_quarantined(7)
+
+    def test_no_guard_trusts_everything(self, rng):
+        """csi_guard=None is the pre-fault behaviour, bit for bit."""
+        leader, estimates = self._leader_with_client(rng, csi_guard=None)
+        garbage = estimates[1] + 100.0 * rayleigh_channel(2, 2, rng)
+        assert leader.handle_update(ChannelUpdate(ap_id=1, client_id=7, h=garbage))
+        assert not leader.is_quarantined(7)

@@ -103,3 +103,55 @@ class TestNodes:
     def test_antenna_validation(self):
         with pytest.raises(ValueError):
             Node(node_id=0, n_antennas=0)
+
+
+class TestHubFaults:
+    """Lossy/delaying hub behaviour driven by the fault injector."""
+
+    def _faulted_hub(self, plan, seed=3):
+        import numpy as np
+
+        from repro.faults import FaultInjector
+
+        hub = EthernetHub(faults=FaultInjector(plan, np.random.SeedSequence(seed)))
+        seen = {1: [], 2: []}
+        for port in seen:
+            hub.attach(port, on_frame=lambda f, p=port: seen[p].append(f))
+        return hub, seen
+
+    def test_lost_frames_counted_but_never_delivered(self):
+        from repro.faults import FaultPlan
+
+        hub, seen = self._faulted_hub(FaultPlan(backplane_loss_rate=1.0))
+        for _ in range(10):
+            assert not hub.broadcast(HubFrame(src_port=1, payload_bytes=100))
+        assert hub.frames_lost == 10 and seen[2] == []
+        # The sender spent the wire either way: bytes still accounted.
+        assert hub.total_bytes == 1000
+
+    def test_delayed_frames_mature_on_tick_in_order(self):
+        from repro.faults import FaultPlan
+
+        hub, seen = self._faulted_hub(
+            FaultPlan(backplane_delay_rate=1.0, backplane_delay_max=1)
+        )
+        first = HubFrame(src_port=1, payload_bytes=10)
+        second = HubFrame(src_port=1, payload_bytes=20)
+        assert not hub.broadcast(first)
+        assert not hub.broadcast(second)
+        assert seen[2] == []  # queued, not dropped
+        assert hub.tick() == 2  # both mature one slot later
+        assert seen[2] == [first, second]  # send order preserved
+        assert hub.frames_delayed == 2 and hub.frames_lost == 0
+
+    def test_faultless_hub_tick_is_a_no_op(self):
+        hub = EthernetHub()
+        hub.attach(1)
+        assert hub.tick() == 0
+
+    def test_no_fault_plan_delivers_immediately(self):
+        from repro.faults import FaultPlan
+
+        hub, seen = self._faulted_hub(FaultPlan())
+        assert hub.broadcast(HubFrame(src_port=1, payload_bytes=100))
+        assert len(seen[2]) == 1

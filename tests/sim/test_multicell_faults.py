@@ -1,0 +1,161 @@
+"""Faulted multi-cell runs: worker-invariance and crash-safe shards.
+
+Two separate robustness layers are under test here:
+
+* *injected* faults (the :mod:`repro.faults` plan riding in
+  ``MultiCellConfig.fault_params``) must leave the digest bit-identical
+  for every worker count — fault streams are spawned from hashed cell
+  seeds, never from shard-local state;
+* *real* faults (a shard worker SIGKILLed or wedged) must either heal
+  to the same digest (deterministic restart-and-replay from the last
+  barrier) or fail loudly naming the dead shard and its cells.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.sim.multicell as multicell
+from repro.sim.multicell import MultiCellConfig, MultiCellSimulation
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        n_cells=4,
+        aps_per_cell=3,
+        clients_per_cell=4,
+        barrier_slots=4,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return MultiCellConfig(**defaults)
+
+
+COCKTAIL = {
+    "backplane_loss_rate": 0.1,
+    "burst_enter": 0.05,
+    "burst_exit": 0.3,
+    "backplane_delay_rate": 0.1,
+    "backplane_delay_max": 2,
+    "csi_corrupt_rate": 0.1,
+    "csi_stale_rate": 0.1,
+    "leader_crash_slot": 4,
+}
+
+
+fault_plans = st.fixed_dictionaries(
+    {},
+    optional={
+        "backplane_loss_rate": st.floats(0.0, 1.0),
+        "burst_enter": st.floats(0.0, 0.2),
+        "backplane_delay_rate": st.floats(0.0, 0.5),
+        "backplane_delay_max": st.integers(1, 3),
+        "csi_corrupt_rate": st.floats(0.0, 0.3),
+        "csi_stale_rate": st.floats(0.0, 0.3),
+        "leader_crash_slot": st.integers(0, 7),
+    },
+)
+
+
+class TestFaultedWorkerInvariance:
+    @given(plan=fault_plans)
+    @settings(max_examples=5, deadline=None)
+    def test_any_fault_plan_is_worker_invariant(self, plan):
+        """The ISSUE's headline property: same (seed, plan), any workers."""
+        digests = set()
+        for workers in (1, 2, 4):
+            stats = MultiCellSimulation(
+                tiny_config(fault_params=dict(plan))
+            ).run(8, workers=workers)
+            digests.add(stats.digest())
+        assert len(digests) == 1
+
+    def test_fault_counters_aggregate_into_digest(self):
+        stats = MultiCellSimulation(tiny_config(fault_params=COCKTAIL)).run(8)
+        doc = stats.to_dict()
+        for key in (
+            "frames_lost_backplane",
+            "frames_delayed_backplane",
+            "csi_rejections",
+            "fallback_slots",
+            "re_elections",
+        ):
+            assert key in doc
+        assert stats.frames_lost_backplane > 0
+        assert stats.re_elections == stats.n_cells  # one crash per cell
+
+    def test_shard_restarts_excluded_from_digest(self):
+        stats = MultiCellSimulation(tiny_config()).run(4)
+        assert "shard_restarts" not in stats.to_dict()
+
+
+def _kill_once_worker(sentinel):
+    """A _shard_worker wrapper that SIGKILLs shard 0's first process."""
+    real = multicell._shard_worker
+
+    def worker(conn, cells, configs, edge_local_ids):
+        if 0 in cells and not os.path.exists(sentinel):
+            with open(sentinel, "w", encoding="utf-8"):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+        real(conn, cells, configs, edge_local_ids)
+
+    return worker
+
+
+def _wedged_worker():
+    """A _shard_worker wrapper whose shard-0 process never answers."""
+    real = multicell._shard_worker
+
+    def worker(conn, cells, configs, edge_local_ids):
+        if 0 in cells:
+            time.sleep(60)
+        real(conn, cells, configs, edge_local_ids)
+
+    return worker
+
+
+class TestCrashSafeShards:
+    def test_sigkilled_shard_heals_to_identical_digest(
+        self, tmp_path, monkeypatch
+    ):
+        config = tiny_config(barrier_slots=2)
+        baseline = MultiCellSimulation(config).run(6, workers=2)
+        assert baseline.shard_restarts == 0
+        monkeypatch.setattr(
+            multicell,
+            "_shard_worker",
+            _kill_once_worker(str(tmp_path / "killed-once")),
+        )
+        healed = MultiCellSimulation(config).run(6, workers=2)
+        assert healed.digest() == baseline.digest()
+        assert healed.shard_restarts == 1
+
+    def test_restart_budget_exhaustion_names_the_shard(
+        self, tmp_path, monkeypatch
+    ):
+        def always_dies(conn, cells, configs, edge_local_ids):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        monkeypatch.setattr(multicell, "_shard_worker", always_dies)
+        sim = MultiCellSimulation(tiny_config(max_shard_restarts=1))
+        with pytest.raises(RuntimeError, match=r"shard \d .*giving up after 1"):
+            sim.run(4, workers=2)
+
+    def test_wedged_shard_times_out_naming_shard_and_cells(self, monkeypatch):
+        monkeypatch.setattr(multicell, "_shard_worker", _wedged_worker())
+        sim = MultiCellSimulation(tiny_config(shard_timeout=0.6))
+        with pytest.raises(
+            RuntimeError, match=r"shard 0 \(cells \[0, 2\]\).*alive but silent"
+        ):
+            sim.run(4, workers=2)
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError, match="shard_timeout"):
+            MultiCellSimulation(tiny_config(shard_timeout=0.0))
+        with pytest.raises(ValueError, match="max_shard_restarts"):
+            MultiCellSimulation(tiny_config(max_shard_restarts=-1))

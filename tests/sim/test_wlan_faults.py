@@ -1,0 +1,146 @@
+"""Fault injection through the WLAN stack: graceful IAC degradation.
+
+The contract under test (docs/ARCHITECTURE.md §"Fault model"): faults
+degrade IAC service toward the plain-802.11 (p2p) floor, never below it
+and never to a crash.  The strongest form is exact — a dead backplane
+(``backplane_loss_rate=1.0``) produces *bit-identical* per-client rates
+to a ``service="p2p"`` run at the same seed, because the fault streams
+are spawned separately from the simulation streams.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.wlan import WLANConfig, WLANSimulation
+
+
+def config(**overrides):
+    defaults = dict(
+        n_aps=3,
+        n_clients=8,
+        n_antennas=2,
+        rho=0.998,
+        mean_gain_db=15.0,
+        algorithm="best2",
+        seed=11,
+    )
+    defaults.update(overrides)
+    return WLANConfig(**defaults)
+
+
+def run(cfg, n_slots=40):
+    return WLANSimulation(cfg).run(n_slots)
+
+
+class TestNoOpPlan:
+    def test_zero_plan_is_bit_identical_to_no_plan(self):
+        """An all-zeros fault plan must not perturb a single draw."""
+        clean = run(config())
+        zeroed = run(config(fault_params={}))
+        assert clean.per_client_rate == zeroed.per_client_rate
+        assert zeroed.fallback_slots == 0
+        assert zeroed.csi_rejections == 0
+
+    def test_unknown_fault_knob_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown fault plan parameter"):
+            WLANSimulation(config(fault_params={"loss": 0.5}))
+
+
+class TestBackplaneLoss:
+    def test_dead_backplane_equals_p2p_floor_exactly(self):
+        """loss=1.0 *is* the p2p baseline, bit for bit, in every slot."""
+        dead = run(config(fault_params={"backplane_loss_rate": 1.0}), n_slots=40)
+        floor = run(config(service="p2p"), n_slots=40)
+        assert dead.per_client_rate == floor.per_client_rate
+        assert dead.fallback_slots == 40
+        assert dead.frames_lost_backplane > 0
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_dead_backplane_floor_property(self, seed):
+        dead = run(
+            config(seed=seed, fault_params={"backplane_loss_rate": 1.0}),
+            n_slots=20,
+        )
+        floor = run(config(seed=seed, service="p2p"), n_slots=20)
+        assert dead.per_client_rate == floor.per_client_rate
+
+    def test_partial_loss_lands_between_floor_and_ceiling(self):
+        ceiling = run(config(), n_slots=60)
+        floor = run(config(service="p2p"), n_slots=60)
+        lossy = run(
+            config(fault_params={"backplane_loss_rate": 0.5}), n_slots=60
+        )
+        assert floor.total_rate < ceiling.total_rate  # IAC headroom exists
+        assert lossy.total_rate <= ceiling.total_rate + 1e-9
+        assert 0 < lossy.fallback_slots < 60
+
+    def test_delay_only_plan_counts_delayed_frames(self):
+        delayed = run(
+            config(
+                fault_params={
+                    "backplane_delay_rate": 1.0,
+                    "backplane_delay_max": 2,
+                }
+            )
+        )
+        assert delayed.frames_delayed_backplane > 0
+
+
+class TestCsiFaults:
+    def test_corruption_is_rejected_not_believed(self):
+        corrupted = run(
+            config(fault_params={"csi_corrupt_rate": 0.3}), n_slots=60
+        )
+        assert corrupted.csi_rejections > 0
+        assert corrupted.total_rate > 0.0  # degraded, not dead
+
+    def test_staleness_completes_and_serves(self):
+        stale = run(config(fault_params={"csi_stale_rate": 0.5}), n_slots=40)
+        assert stale.total_rate > 0.0
+
+
+class TestLeaderCrash:
+    def test_crash_with_four_aps_re_elects_and_keeps_aligning(self):
+        stats = run(
+            config(n_aps=4, fault_params={"leader_crash_slot": 20}), n_slots=40
+        )
+        assert stats.re_elections == 1
+        assert any(e.kind == "leader_crash" for e in stats.events)
+        assert stats.total_rate > 0.0
+        # Three APs survive: the rebuilt deployment still aligns.
+        assert stats.fallback_slots < 20
+
+    def test_crash_with_three_aps_degrades_to_p2p_for_good(self):
+        stats = run(
+            config(n_aps=3, fault_params={"leader_crash_slot": 10}), n_slots=40
+        )
+        assert stats.re_elections == 1
+        # Two survivors cannot align 3-packet groups: every remaining
+        # slot is a fallback, but service continues.
+        assert stats.fallback_slots == 30
+        assert stats.total_rate > 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_faulted_stats(self):
+        cocktail = {
+            "backplane_loss_rate": 0.1,
+            "burst_enter": 0.05,
+            "burst_exit": 0.3,
+            "backplane_delay_rate": 0.1,
+            "backplane_delay_max": 2,
+            "csi_corrupt_rate": 0.1,
+            "csi_stale_rate": 0.1,
+            "leader_crash_slot": 20,
+        }
+        cfg = config(n_aps=4, fault_params=cocktail)
+        a = run(cfg)
+        b = run(dataclasses.replace(cfg))
+        assert a.per_client_rate == b.per_client_rate
+        assert a.fallback_slots == b.fallback_slots
+        assert a.csi_rejections == b.csi_rejections
+        assert a.frames_lost_backplane == b.frames_lost_backplane

@@ -152,6 +152,19 @@ class TestRegistryCLI:
         for entry in doc["scenarios"].values():
             assert entry["n_trials"] == 2
 
+    def test_bench_faults_artifact(self, capsys, tmp_path):
+        assert main([
+            "bench", "--quick", "--slots", "6", "--clients", "6",
+            "--skip-scenarios", "--skip-signal", "--faults",
+            "--out-dir", str(tmp_path),
+        ]) == 0
+        doc = json.loads((tmp_path / "BENCH_faults.json").read_text())
+        assert doc["benchmark"] == "faults"
+        assert doc["bit_identical"] and doc["deterministic"]
+        # The loss curve brackets: loss=1.0 sits exactly on the p2p floor.
+        dead = [p for p in doc["loss_curve"] if p["loss_rate"] == 1.0]
+        assert dead and dead[0]["goodput"] == dead[0]["floor_rate"]
+
     def test_quiet_suppresses_plots(self, capsys):
         assert main(["fig12", "--trials", "3"]) == 0
         full = capsys.readouterr().out

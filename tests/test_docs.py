@@ -96,7 +96,7 @@ class TestDocsExist:
         """Relative links the README promises actually exist."""
         for target in ("EXPERIMENTS.md", "docs/ARCHITECTURE.md",
                        "BENCH_wlan.json", "BENCH_signal.json",
-                       "BENCH_city.json"):
+                       "BENCH_city.json", "BENCH_faults.json"):
             assert f"({target})" in README.read_text(encoding="utf-8")
             assert (ROOT / target).exists(), f"README links to missing {target}"
 
