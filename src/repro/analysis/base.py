@@ -99,6 +99,10 @@ class LintConfig:
     experiments_package: str = "repro/experiments"
     #: Suffix naming the slow bit-exact twin of a fast engine.
     reference_suffix: str = "_reference"
+    #: Columnar fast-path modules: their public ``run_*`` entry points
+    #: must carry a ``*_reference`` oracle, and per-slot Python loops
+    #: inside them need an explicit waiver (``no-python-slot-loop``).
+    columnar_modules: Tuple[str, ...] = ("repro/sim/columnar.py",)
 
 
 class FileContext:

@@ -6,11 +6,20 @@ file set (:class:`~repro.analysis.base.ProjectRule`):
 * **engine-pair** — every ``*_reference`` callable is the slow bit-exact
   twin of a fast engine (PRs 2-3's discipline).  A reference without a
   fast counterpart is dead weight; one never named in a test is an
-  equivalence check that silently stopped existing.
+  equivalence check that silently stopped existing.  The columnar
+  extension inverts the direction for ``LintConfig.columnar_modules``:
+  there every *public ``run_*`` entry point* must carry a
+  ``{name}_reference`` oracle in the same module, itself named in a
+  test — a columnar driver without a pinned scalar twin is an
+  unverifiable fast path.
 * **scenario-registration** — ``@register_scenario`` only registers a
   scenario when its module is imported; a module not reachable from
   ``repro/experiments/__init__.py`` ships scenarios the CLI can never
   see.
+
+One advisory file rule rides along: **no-python-slot-loop**, scoped to
+the columnar modules, where a per-slot Python loop is the exact cost the
+module exists to remove — the top-level drivers waive theirs explicitly.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from repro.analysis.base import (
     Finding,
     ProjectContext,
     ProjectRule,
+    Rule,
     dotted_name,
     register_rule,
 )
@@ -82,6 +92,70 @@ class EnginePair(ProjectRule):
                         f"{name} is never named in any test — the "
                         "fast/reference equivalence check does not exist",
                     )
+            if ctx.rel_path in project.config.columnar_modules:
+                yield from self._check_columnar(project, ctx, names, defined)
+
+    def _check_columnar(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        names: List[Tuple[str, ast.AST]],
+        defined: Set[str],
+    ) -> Iterator[Finding]:
+        """Columnar modules: every public ``run_*`` needs a pinned oracle."""
+        suffix = project.config.reference_suffix
+        for name, node in names:
+            if not name.startswith("run_") or name.endswith(suffix):
+                continue
+            reference = name + suffix
+            if reference not in defined:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"columnar entry point {name} has no {reference}() in "
+                    "the same module — a fast path without its scalar "
+                    "oracle cannot be equivalence-checked",
+                )
+            elif not project.name_in_tests(reference):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"{reference} is never named in any test — the "
+                    f"columnar bit-identity check for {name} does not exist",
+                )
+
+
+@register_rule
+class NoPythonSlotLoop(Rule):
+    """Advisory: per-slot Python loops in columnar modules need a waiver."""
+
+    rule_id = "no-python-slot-loop"
+    summary = (
+        "columnar modules must not iterate slots in Python — vectorise "
+        "the work, or waive the driver loop explicitly with "
+        "# repro-lint: ignore[no-python-slot-loop]"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.rel_path not in ctx.config.columnar_modules:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For) and _is_slot_range(node.iter):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "per-slot Python loop in a columnar module — the cost "
+                    "this module exists to amortise; vectorise or waive",
+                )
+
+
+def _is_slot_range(node: ast.AST) -> bool:
+    """``range(...)`` whose argument expression mentions a slot count."""
+    if not isinstance(node, ast.Call):
+        return False
+    if dotted_name(node.func) != "range":
+        return False
+    return any("slot" in ast.unparse(arg).lower() for arg in node.args)
 
 
 def _uses_register_scenario(tree: ast.Module) -> Optional[ast.AST]:

@@ -401,6 +401,11 @@ def _cmd_bench(args) -> int:
     )
     print(format_wlan_bench(wlan_doc))
     docs = {"BENCH_wlan.json": wlan_doc}
+    if not wlan_doc["bit_identical"]:
+        return _fail(
+            "columnar WLAN digest differs from the batched reference "
+            "(see BENCH_wlan.json 'engines')"
+        )
     if not args.skip_signal:
         signal_doc = bench_signal(
             n_sessions=sessions, repeats=repeats, seed=args.seed
@@ -470,6 +475,40 @@ def _cmd_bench(args) -> int:
         except OSError as exc:
             return _fail(f"cannot write {path} (--out-dir {args.out_dir}): {exc}")
         print(f"  (written to {path})")
+    return 0
+
+
+def _cmd_digest(args) -> int:
+    """Check (or regenerate) the golden-digest corpus."""
+    from repro.sim import golden
+
+    path = golden.DEFAULT_BASELINE if args.baseline is None else args.baseline
+    computed = golden.compute_digests()
+    if args.update:
+        try:
+            golden.write_baseline(computed, path)
+        except OSError as exc:
+            return _fail(f"cannot write {path}: {exc}")
+        print(f"golden-digest corpus updated: {len(computed)} cases -> {path}")
+        return 0
+    try:
+        baseline = golden.load_baseline(path)
+    except FileNotFoundError:
+        return _fail(
+            f"no corpus at {path}; generate it with `repro digest --update`"
+        )
+    except (OSError, ValueError) as exc:
+        return _fail(f"cannot read corpus {path}: {exc}")
+    problems = golden.compare(computed, baseline)
+    for problem in problems:
+        print(f"  {problem}")
+    if problems:
+        return _fail(
+            f"golden-digest corpus drift: {len(problems)} problem(s); if the "
+            "numerical change is intentional, rerun with --update and review "
+            "the diff"
+        )
+    print(f"golden-digest corpus intact: {len(computed)} cases match {path}")
     return 0
 
 
@@ -737,6 +776,22 @@ def build_parser() -> argparse.ArgumentParser:
              "then exit 0",
     )
 
+    pdig = sub.add_parser(
+        "digest",
+        help="check the golden-digest corpus (tests/baselines/digests.json) "
+             "against freshly recomputed simulation trajectories",
+    )
+    pdig.add_argument(
+        "--update", action="store_true",
+        help="regenerate the corpus file from the current code (the "
+             "reviewed way to land an intentional numerical change)",
+    )
+    pdig.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="corpus file to check or update "
+             "(default: tests/baselines/digests.json in the repository)",
+    )
+
     pl2 = sub.add_parser("lemmas", help="print the DoF table (Lemmas 5.1/5.2)")
     common(pl2)
 
@@ -757,6 +812,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig16": _cmd_fig16,
         "fig17": _cmd_fig17,
         "bench": _cmd_bench,
+        "digest": _cmd_digest,
         "lint": _cmd_lint,
         "lemmas": _cmd_lemmas,
         "overhead": _cmd_overhead,

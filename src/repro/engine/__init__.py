@@ -37,6 +37,7 @@ from repro.engine.batched import (
     downlink_sinrs_band,
     downlink_sinrs_batch,
     downlink_transmit_sinrs_band,
+    downlink_transmit_sinrs_cached,
     solve_downlink_three_band,
     solve_downlink_three_batch,
     stack_downlink_channels,
@@ -46,6 +47,7 @@ from repro.engine.evaluator import (
     ALIGNMENT_MODES,
     BatchedGroupEvaluator,
     ChannelSource,
+    ColumnarGroupEvaluator,
     GroupEvaluator,
     ScalarGroupEvaluator,
     StaticChannelSource,
@@ -56,12 +58,14 @@ __all__ = [
     "ALIGNMENT_MODES",
     "BatchedGroupEvaluator",
     "ChannelSource",
+    "ColumnarGroupEvaluator",
     "GroupEvaluator",
     "ScalarGroupEvaluator",
     "StaticChannelSource",
     "downlink_sinrs_band",
     "downlink_sinrs_batch",
     "downlink_transmit_sinrs_band",
+    "downlink_transmit_sinrs_cached",
     "make_evaluator",
     "solve_downlink_three_band",
     "solve_downlink_three_batch",

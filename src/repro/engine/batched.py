@@ -46,10 +46,17 @@ import numpy as np
 
 from repro.phy.mimo.detection import max_sinr_vectors, post_projection_sinr_batch
 from repro.phy.mimo.precoding import normalize_encodings
+from repro.utils.linalg import stacked_eig, stacked_inv
 
 #: Index layout of the channel batch: ``h[g, i, j]`` is the believed
 #: channel from AP ``aps[i]`` to client ``group[j]`` of group ``g``.
 GROUP_SIZE = 3
+
+#: Receiver indices and interfering-packet indices per receiver for the
+#: 3-packet downlink.  Hoisted to module level so the per-slot hot path
+#: never rebuilds them.
+_RX = np.arange(GROUP_SIZE)
+_OTHERS = np.array([[1, 2], [0, 2], [0, 1]])
 
 
 def stack_downlink_channels(
@@ -89,7 +96,12 @@ def stack_downlink_channels(
     return h
 
 
-def downlink_sinrs_batch(h: np.ndarray, v: np.ndarray, noise_power: float) -> np.ndarray:
+def downlink_sinrs_batch(
+    h: np.ndarray,
+    v: np.ndarray,
+    noise_power: float,
+    return_filters: bool = False,
+) -> np.ndarray:
     """Rate-level SINRs of batched downlink-3 solutions.
 
     Mirrors :func:`repro.core.decoder.decode_rate_level` for the
@@ -110,7 +122,11 @@ def downlink_sinrs_batch(h: np.ndarray, v: np.ndarray, noise_power: float) -> np
     Returns
     -------
     numpy.ndarray
-        ``(..., 3)`` SINRs, packet ``i`` decoded at client ``i``.
+        ``(..., 3)`` SINRs, packet ``i`` decoded at client ``i``.  With
+        ``return_filters=True``, the tuple ``(sinrs, w)`` where ``w`` is
+        the ``(..., 3, M)`` max-SINR receive filters the SINRs were
+        evaluated with (computed either way; returning them lets callers
+        memoise the believed-design filters for the transmit step).
     """
     # ht[g, j, i] = channel AP i -> client j; received directions
     # d[..., j, i] = H(ap_i, k_j) v_i  (packet i as seen by receiver j).
@@ -120,16 +136,16 @@ def downlink_sinrs_batch(h: np.ndarray, v: np.ndarray, noise_power: float) -> np
         extra = v.ndim - 3
         ht = ht.reshape(ht.shape[:1] + (1,) * extra + ht.shape[1:])
     d = np.einsum("...jimn,...in->...jim", ht, v)
-    sinrs = []
-    for i in range(GROUP_SIZE):
-        desired = d[..., i, i, :]
-        others = [j for j in range(GROUP_SIZE) if j != i]
-        interference = d[..., i, others, :]
-        w = max_sinr_vectors(desired, interference, noise_power)
-        sinrs.append(
-            post_projection_sinr_batch(w, desired, interference, noise_power)
-        )
-    return np.stack(sinrs, axis=-1)
+    # All three receivers in one batched filter design + SINR evaluation:
+    # the receiver axis is just one more batch axis on the same per-slice
+    # arithmetic, so this is bit-identical to looping ``i in range(3)``.
+    desired = d[..., _RX, _RX, :]  # (..., 3, M)
+    interference = d[..., _RX[:, None], _OTHERS, :]  # (..., 3, 2, M)
+    w = max_sinr_vectors(desired, interference, noise_power)
+    sinrs = post_projection_sinr_batch(w, desired, interference, noise_power)
+    if return_filters:
+        return sinrs, w
+    return sinrs
 
 
 def stack_downlink_channels_band(
@@ -235,10 +251,6 @@ def downlink_sinrs_band(h: np.ndarray, v: np.ndarray, noise_power: float) -> np.
     return flat.reshape(g, b, GROUP_SIZE)
 
 
-#: Interfering-packet indices per receiver for the 3-packet downlink.
-_OTHERS = np.array([[1, 2], [0, 2], [0, 1]])
-
-
 def downlink_transmit_sinrs(
     h_true: np.ndarray,
     h_believed: np.ndarray,
@@ -269,21 +281,55 @@ def downlink_transmit_sinrs(
     (actual, ideal):
         Two ``(3,)`` arrays of per-packet SINRs, packet ``i`` at client ``i``.
     """
-    rx = np.arange(GROUP_SIZE)
-    # d[j, i] = H(ap_i, k_j) v_i under each channel belief.
-    d_true = np.einsum("jimn,in->jim", np.swapaxes(h_true, 0, 1), v)
-    d_bel = np.einsum("jimn,in->jim", np.swapaxes(h_believed, 0, 1), v)
-    desired_true = d_true[rx, rx]  # (3, M)
-    interf_true = d_true[rx[:, None], _OTHERS]  # (3, 2, M)
-    desired_bel = d_bel[rx, rx]
-    interf_bel = d_bel[rx[:, None], _OTHERS]
-    # Axis 0: filter design — 0 = believed (actual), 1 = true (genie).
-    design_desired = np.stack([desired_bel, desired_true])
-    design_interf = np.stack([interf_bel, interf_true])
-    w = max_sinr_vectors(design_desired, design_interf, noise_power)
-    sinr = post_projection_sinr_batch(
-        w, desired_true[None], interf_true[None], noise_power
-    )
+    # d[x, j, i] = H(ap_i, k_j) v_i — axis 0 is the filter design:
+    # 0 = believed (actual outcome), 1 = true (genie bound).
+    ht = np.stack([np.swapaxes(h_believed, 0, 1), np.swapaxes(h_true, 0, 1)])
+    d = np.einsum("xjimn,in->xjim", ht, v)
+    desired = d[:, _RX, _RX]  # (2, 3, M)
+    interference = d[:, _RX[:, None], _OTHERS]  # (2, 3, 2, M)
+    w = max_sinr_vectors(desired, interference, noise_power)
+    # Both designs are evaluated against the *true* received directions.
+    sinr = post_projection_sinr_batch(w, desired[1:], interference[1:], noise_power)
+    return sinr[0], sinr[1]
+
+
+def downlink_transmit_sinrs_cached(
+    h_true: np.ndarray,
+    v: np.ndarray,
+    w_believed: np.ndarray,
+    noise_power: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`downlink_transmit_sinrs` reusing memoised believed filters.
+
+    The believed-design receive filters are a pure function of the
+    believed channels and the encoding vectors — both already fixed when
+    the evaluator solved/scored this group — so the evaluator caches
+    them (:func:`downlink_sinrs_batch` with ``return_filters``) and the
+    transmit step only designs the genie (true-channel) filters here.
+    Batch-slice invariance of the max-SINR design makes the cached
+    filters bit-identical to recomputing them from ``h_believed``, so
+    this returns exactly what :func:`downlink_transmit_sinrs` would.
+
+    Parameters
+    ----------
+    h_true:
+        ``(3, 3, M, M)`` true-channel stack for one group.
+    v:
+        ``(3, M)`` unit-norm encoding vectors of the transmitted solution.
+    w_believed:
+        ``(3, M)`` memoised believed-design receive filters.
+    noise_power:
+        Receiver noise power per antenna.
+    """
+    # d[j, i] = H(ap_i, k_j) v_i over the *true* channels only.
+    d = np.einsum("jimn,in->jim", np.swapaxes(h_true, 0, 1), v)
+    desired = d[_RX, _RX]  # (3, M)
+    interference = d[_RX[:, None], _OTHERS]  # (3, 2, M)
+    w_true = max_sinr_vectors(desired, interference, noise_power)
+    w = np.stack([w_believed, w_true])
+    # Both designs are evaluated against the true received directions
+    # (they broadcast across the design axis of ``w``).
+    sinr = post_projection_sinr_batch(w, desired, interference, noise_power)
     return sinr[0], sinr[1]
 
 
@@ -315,27 +361,22 @@ def downlink_transmit_sinrs_band(
     """
     n_bins = h_true.shape[0]
     v = np.broadcast_to(v, (n_bins,) + v.shape[1:])
-    rx = np.arange(GROUP_SIZE)
-    # d[b, j, i] = H_b(ap_i, k_j) v_i under each channel belief.
-    d_true = np.einsum("bjimn,bin->bjim", np.swapaxes(h_true, 1, 2), v)
-    d_bel = np.einsum("bjimn,bin->bjim", np.swapaxes(h_believed, 1, 2), v)
-    desired_true = d_true[:, rx, rx]  # (B, 3, M)
-    interf_true = d_true[:, rx[:, None], _OTHERS]  # (B, 3, 2, M)
-    desired_bel = d_bel[:, rx, rx]
-    interf_bel = d_bel[:, rx[:, None], _OTHERS]
-    # Axis 0: filter design — 0 = believed (actual), 1 = true (genie).
-    design_desired = np.stack([desired_bel, desired_true])
-    design_interf = np.stack([interf_bel, interf_true])
-    w = max_sinr_vectors(design_desired, design_interf, noise_power)
-    sinr = post_projection_sinr_batch(
-        w, desired_true[None], interf_true[None], noise_power
-    )
+    # d[x, b, j, i] = H_b(ap_i, k_j) v_i — axis 0 is the filter design:
+    # 0 = believed (actual outcome), 1 = true (genie bound).
+    ht = np.stack([np.swapaxes(h_believed, 1, 2), np.swapaxes(h_true, 1, 2)])
+    d = np.einsum("xbjimn,bin->xbjim", ht, v)
+    desired = d[:, :, _RX, _RX]  # (2, B, 3, M)
+    interference = d[:, :, _RX[:, None], _OTHERS]  # (2, B, 3, 2, M)
+    w = max_sinr_vectors(desired, interference, noise_power)
+    # Both designs are evaluated against the *true* received directions.
+    sinr = post_projection_sinr_batch(w, desired[1:], interference[1:], noise_power)
     return sinr[0], sinr[1]
 
 
 def solve_downlink_three_batch(
     h: np.ndarray,
     noise_power: float = 1.0,
+    return_filters: bool = False,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Solve the 3-AP/3-client downlink alignment for a batch of groups.
 
@@ -359,36 +400,43 @@ def solve_downlink_three_batch(
         ``encodings`` is ``(G, 3, M)`` — the winning unit-norm encoding
         vectors per group; ``rates`` is ``(G,)`` estimated group throughput
         (Eq. 9); ``sinrs`` is ``(G, 3)`` the winning per-packet SINRs.
+        With ``return_filters=True``, a fourth element — the winning
+        candidates' ``(G, 3, M)`` believed-design receive filters, for
+        :func:`downlink_transmit_sinrs_cached`.
     """
-    inv = np.linalg.inv
-    h01, h02 = h[:, 0, 1], h[:, 0, 2]
-    h10, h12 = h[:, 1, 0], h[:, 1, 2]
-    h20, h21 = h[:, 2, 0], h[:, 2, 1]
-
     # Loop matrix at client 0 (same association order as the scalar solver):
     #   left  = H(a2,k0) H(a2,k1)^-1 H(a0,k1)
     #   right = H(a1,k0) H(a1,k2)^-1 H(a0,k2)
-    inv_h21 = inv(h21)
-    inv_h12 = inv(h12)
-    left = h20 @ inv_h21 @ h01
-    right = h10 @ inv_h12 @ h02
-    loop = inv(left) @ right
+    # The two inversions and the two triple products are stacked along one
+    # more batch axis — per-slice LAPACK/BLAS calls are unchanged, so the
+    # results are bit-identical to computing left and right separately.
+    # All four pair stacks are sliced out of ONE fancy-index gather of
+    # ``h`` (h[:, i, j] is the channel AP i -> client j):
+    #   [H(a2,k1), H(a1,k2), H(a2,k0), H(a1,k0), H(a0,k1), H(a0,k2)]
+    hp = h[:, (2, 1, 2, 1, 0, 0), (1, 2, 0, 0, 1, 2)]
+    inv_pair = stacked_inv(hp[:, 0:2])  # [H(a2,k1)^-1, H(a1,k2)^-1]
+    lr = hp[:, 2:4] @ inv_pair @ hp[:, 4:6]
+    loop = stacked_inv(lr[:, 0]) @ lr[:, 1]
 
-    values, vectors = np.linalg.eig(loop)  # (G, M), (G, M, M) column eigvecs
+    values, vectors = stacked_eig(loop)  # (G, M), (G, M, M) column eigvecs
     order = np.argsort(-np.abs(values), axis=-1)
-    # v0 candidates: (G, C, M) with C = M, best-|eigenvalue| first.
-    v0 = np.swapaxes(np.take_along_axis(vectors, order[:, None, :], axis=2), 1, 2)
+    # v0 candidates: (G, C, M) with C = M, best-|eigenvalue| first — the
+    # inlined gather is ``np.take_along_axis(vectors, order[:, None, :], 2)``.
+    g_idx = np.arange(h.shape[0])
+    m_idx = np.arange(h.shape[-1])
+    v0 = np.swapaxes(vectors[g_idx[:, None, None], m_idx[None, :, None], order[:, None, :]], 1, 2)
     v0 = normalize_encodings(v0)
 
-    # v1 = H(a1,k2)^-1 H(a0,k2) v0,  v2 = H(a2,k1)^-1 H(a0,k1) v0 (Eqs. 6-7).
-    b1 = inv_h12 @ h02
-    b2 = inv_h21 @ h01
-    v1 = normalize_encodings(np.einsum("gmn,gcn->gcm", b1, v0))
-    v2 = normalize_encodings(np.einsum("gmn,gcn->gcm", b2, v0))
-    v = np.stack([v0, v1, v2], axis=2)  # (G, C, 3, M)
+    # v1 = H(a1,k2)^-1 H(a0,k2) v0,  v2 = H(a2,k1)^-1 H(a0,k1) v0 (Eqs. 6-7),
+    # again stacked: b[:, 0] maps v0 -> v1, b[:, 1] maps v0 -> v2.
+    b = inv_pair[:, ::-1] @ hp[:, 5:3:-1]  # view: [H(a0,k2), H(a0,k1)]
+    v12 = normalize_encodings(np.einsum("gxmn,gcn->gxcm", b, v0))
+    v = np.stack([v0, v12[:, 0], v12[:, 1]], axis=2)  # (G, C, 3, M)
 
-    sinrs = downlink_sinrs_batch(h, v, noise_power)  # (G, C, 3)
-    rates = np.log2(1.0 + sinrs).sum(axis=-1)  # (G, C)
+    sinrs, w = downlink_sinrs_batch(h, v, noise_power, return_filters=True)
+    rates = np.add.reduce(np.log2(1.0 + sinrs), axis=-1)  # (G, C)
     best = np.argmax(rates, axis=1)  # first maximum, like the scalar loop
     g_idx = np.arange(h.shape[0])
+    if return_filters:
+        return v[g_idx, best], rates[g_idx, best], sinrs[g_idx, best], w[g_idx, best]
     return v[g_idx, best], rates[g_idx, best], sinrs[g_idx, best]

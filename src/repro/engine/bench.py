@@ -4,11 +4,13 @@
 JSON document each, so the repository's performance trajectory is
 recorded alongside its correctness results:
 
-* :func:`bench_wlan` times ``WLANSimulation.run`` under both group-
-  evaluation engines (``scalar`` — the pre-engine reference path — and
-  ``batched``) on identical seeds and reports the speedup.  The default
-  workload (200 slots, 12 clients) is the acceptance workload of the
-  engine PR; ``BENCH_wlan.json``.
+* :func:`bench_wlan` times ``WLANSimulation.run`` under all three
+  execution engines (``scalar`` — the pre-engine reference path —
+  ``batched``, and ``columnar``) on identical seeds and reports both
+  speedups plus the per-engine ``WLANStats.digest()``; ``bit_identical``
+  asserts columnar == batched bit-for-bit.  The default workload
+  (200 slots, 12 clients) is the acceptance workload of the engine and
+  columnar PRs; ``BENCH_wlan.json``.
 * :func:`bench_signal` times the sample-accurate pipeline
   (:func:`repro.core.run_session`) under the ``fast`` (block phase
   tracking, batched Viterbi, table-driven FEC) and ``reference`` (scalar)
@@ -75,18 +77,25 @@ def bench_wlan(
     algorithm: str = "best2",
     n_antennas: int = 2,
 ) -> dict:
-    """Time ``WLANSimulation.run(n_slots)`` under both engines.
+    """Time ``WLANSimulation.run(n_slots)`` under all three engines.
 
     Returns the ``BENCH_wlan.json`` document (see ``EXPERIMENTS.md``).
-    The two engines run the same seed; their total rates are included so a
-    regression in numerical equivalence is visible in the artifact too.
+    The engines run the same seed; per-engine total rates and
+    ``WLANStats.digest()`` values are included so a regression in
+    numerical equivalence is visible in the artifact, and
+    ``bit_identical`` asserts the columnar digest equals the batched one
+    (the columnar PR's correctness contract).  ``speedup`` remains the
+    batched-vs-scalar ratio of the engine PR; ``speedup_columnar`` is the
+    columnar-vs-scalar ratio (the columnar PR's >= 10x acceptance
+    number).
     """
     from repro.sim.wlan import WLANConfig, WLANSimulation  # deferred: keep import light
 
-    engines: Dict[str, Dict[str, float]] = {}
-    for engine in ("scalar", "batched"):
+    engines: Dict[str, Dict[str, object]] = {}
+    for engine in ("scalar", "batched", "columnar"):
         best = float("inf")
         total_rate = 0.0
+        digest = ""
         for _ in range(max(1, repeats)):
             sim = WLANSimulation(
                 WLANConfig(
@@ -102,7 +111,12 @@ def bench_wlan(
             stats = sim.run(n_slots)
             best = min(best, time.perf_counter() - start)
             total_rate = stats.total_rate
-        engines[engine] = {"seconds": best, "total_rate": total_rate}
+            digest = stats.digest()
+        engines[engine] = {
+            "seconds": best,
+            "total_rate": total_rate,
+            "digest": digest,
+        }
     return {
         "benchmark": "wlan",
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -118,6 +132,12 @@ def bench_wlan(
         },
         "engines": engines,
         "speedup": engines["scalar"]["seconds"] / engines["batched"]["seconds"],
+        "speedup_columnar": (
+            engines["scalar"]["seconds"] / engines["columnar"]["seconds"]
+        ),
+        "bit_identical": (
+            engines["columnar"]["digest"] == engines["batched"]["digest"]
+        ),
         "environment": _environment(),
         "timestamp": _timestamp(),
     }
@@ -594,6 +614,12 @@ def format_wlan_bench(doc: dict) -> str:
             f"total rate {stats['total_rate']:.3f} b/s/Hz"
         )
     lines.append(f"  speedup : {doc['speedup']:.2f}x (batched vs scalar)")
+    if "speedup_columnar" in doc:
+        identical = "yes" if doc.get("bit_identical") else "NO - BROKEN"
+        lines.append(
+            f"  speedup : {doc['speedup_columnar']:.2f}x (columnar vs scalar), "
+            f"columnar digest == batched digest: {identical}"
+        )
     return "\n".join(lines)
 
 

@@ -40,6 +40,7 @@ from repro.engine.batched import (
     GROUP_SIZE,
     downlink_sinrs_band,
     downlink_transmit_sinrs,
+    downlink_transmit_sinrs_cached,
     downlink_transmit_sinrs_band,
     solve_downlink_three_band,
     solve_downlink_three_batch,
@@ -320,6 +321,16 @@ class _CacheEntry:
     #: per-bin on banded sources in per-subcarrier mode.
     encodings: np.ndarray
     sinrs: np.ndarray  # (3,) flat, (B, 3) banded
+    #: Believed-design max-SINR receive filters of the winning candidate
+    #: (``(3, M)``, flat solves only) — reused by the transmit decode via
+    #: :func:`~repro.engine.batched.downlink_transmit_sinrs_cached` so it
+    #: skips redesigning them.  ``None`` on banded entries.
+    w_bel: "np.ndarray | None" = None
+    #: Source ``version_epoch`` at which ``versions`` was last confirmed
+    #: current (``-1`` when the source has no epoch counter).  Epoch
+    #: unchanged implies *no* client's version changed, so revalidation
+    #: can skip polling every member — same hit/miss decisions, cheaper.
+    validated_epoch: int = -1
 
 
 class BatchedGroupEvaluator(GroupEvaluator):
@@ -349,10 +360,23 @@ class BatchedGroupEvaluator(GroupEvaluator):
         return {"hits": self.hits, "misses": self.misses, "entries": len(self._cache)}
 
     def _entry(self, group: Group) -> _CacheEntry:
-        """Cached entry for ``group``, refusing stale versions."""
-        versions = tuple(self.source.channel_version(c) for c in group)
+        """Cached entry for ``group``, refusing stale versions.
+
+        Fast path: when the source exposes a global ``version_epoch`` and
+        it hasn't moved since this entry was last validated, no client's
+        version can have changed, so the per-member version poll is
+        skipped — the hit/miss decision is identical either way.
+        """
         entry = self._cache.get(group)
-        if entry is not None and entry.versions == versions:
+        if entry is None:
+            raise KeyError(group)
+        epoch = getattr(self.source, "version_epoch", None)
+        if epoch is not None and entry.validated_epoch == epoch:
+            return entry
+        versions = tuple(self.source.channel_version(c) for c in group)
+        if entry.versions == versions:
+            if epoch is not None:
+                entry.validated_epoch = epoch
             return entry
         raise KeyError(group)
 
@@ -362,17 +386,29 @@ class BatchedGroupEvaluator(GroupEvaluator):
         missing: List[Group] = []
         missing_idx: List[List[int]] = []
         position: Dict[Group, int] = {}
+        # Inline of :meth:`_entry` without the KeyError control flow
+        # (misses dominate under drift; exception dispatch is pure
+        # overhead on this per-slot path).  Decisions are identical.
+        cache_get = self._cache.get
+        epoch = getattr(self.source, "version_epoch", None)
+        channel_version = self.source.channel_version
         for i, group in enumerate(groups):
             if len(group) < GROUP_SIZE:
                 continue
             if len(group) > GROUP_SIZE:
                 raise ValueError(f"group {group} exceeds {GROUP_SIZE} clients")
-            try:
-                rates[i] = self._entry(group).rate
-                self.hits += 1
-                continue
-            except KeyError:
-                pass
+            entry = cache_get(group)
+            if entry is not None:
+                if epoch is not None and entry.validated_epoch == epoch:
+                    rates[i] = entry.rate
+                    self.hits += 1
+                    continue
+                if entry.versions == tuple(channel_version(c) for c in group):
+                    if epoch is not None:
+                        entry.validated_epoch = epoch
+                    rates[i] = entry.rate
+                    self.hits += 1
+                    continue
             self.misses += 1
             if group in position:  # duplicate within this probe
                 missing_idx[position[group]].append(i)
@@ -398,8 +434,11 @@ class BatchedGroupEvaluator(GroupEvaluator):
             h = stack_downlink_channels(
                 groups, _flatten_one_bin(channel_maps), self.aps
             )
-            encodings, rates, sinrs = solve_downlink_three_batch(h, self.noise_power)
+            encodings, rates, sinrs, w_bel = solve_downlink_three_batch(
+                h, self.noise_power, return_filters=True
+            )
         else:
+            w_bel = None
             h = stack_downlink_channels_band(groups, channel_maps, self.aps)
             if self.alignment == "flat_anchor":
                 # Solve once at the band-centre anchor, score the stale
@@ -414,12 +453,15 @@ class BatchedGroupEvaluator(GroupEvaluator):
             # Band throughput: per-subcarrier sum rate averaged over the
             # evaluated bins (b/s/Hz, comparable across bin counts).
             rates = np.log2(1.0 + sinrs).sum(axis=-1).mean(axis=-1)
+        epoch = getattr(self.source, "version_epoch", -1)
         for g, group in enumerate(groups):
             self._cache[group] = _CacheEntry(
                 versions=tuple(versions[c] for c in group),
                 rate=float(rates[g]),
                 encodings=encodings[g],
                 sinrs=sinrs[g],
+                w_bel=None if w_bel is None else w_bel[g],
+                validated_epoch=epoch,
             )
 
     def _cached_entry(self, group: Group) -> _CacheEntry:
@@ -456,11 +498,16 @@ class BatchedGroupEvaluator(GroupEvaluator):
         entry = self._cached_entry(group)
         maps = self._group_maps(group)
         if _map_n_bins(maps) == 1:
-            h_bel = stack_downlink_channels([group], _flatten_one_bin(maps), self.aps)[0]
-            h_true = np.empty_like(h_bel)
+            m = entry.encodings.shape[-1]
+            h_true = np.empty((GROUP_SIZE, GROUP_SIZE, m, m), dtype=complex)
             for i, ap in enumerate(self.aps):
                 for j, client in enumerate(group):
                     h_true[i, j] = true_channels.h(ap, client)
+            if entry.w_bel is not None:
+                return downlink_transmit_sinrs_cached(
+                    h_true, entry.encodings, entry.w_bel, self.noise_power
+                )
+            h_bel = stack_downlink_channels([group], _flatten_one_bin(maps), self.aps)[0]
             return downlink_transmit_sinrs(
                 h_true, h_bel, entry.encodings, self.noise_power
             )
@@ -475,6 +522,205 @@ class BatchedGroupEvaluator(GroupEvaluator):
         return downlink_transmit_sinrs_band(h_true, h_bel, v, self.noise_power)
 
 
+class ColumnarGroupEvaluator(BatchedGroupEvaluator):
+    """The batched evaluator plus a columnar believed-channel mirror.
+
+    Believed channels live in one ``(capacity, 3, M, M)`` ndarray indexed
+    by a per-client row; a row is refreshed **only** when the client's
+    channel-map version changed since the last sync (the "incremental
+    drift update" — a drift report touches exactly one row, everything
+    else stays in place).  Stacking a probe's candidate groups is then a
+    single fancy-index gather instead of the per-group dict walk of
+    :func:`~repro.engine.batched.stack_downlink_channels`, and the
+    gathered values are byte-for-byte the leader's believed matrices, so
+    :func:`~repro.engine.batched.solve_downlink_three_batch` produces
+    bit-identical solutions (pinned by the columnar equivalence suite).
+
+    The mirror only covers flat (one-bin) sources; a genuinely banded
+    source falls back to the parent's wideband route wholesale.  Two
+    extra hooks — :meth:`uncached` + :meth:`insert_solved` — let the
+    stacked multi-simulation driver (:func:`repro.sim.columnar.run_stacked`)
+    pull many simulations' missing groups into **one** shared
+    ``np.linalg`` solve and scatter the entries back; batch-slice
+    invariance of the solver makes the shared solve bit-identical to the
+    per-simulation ones.
+    """
+
+    def __init__(
+        self,
+        source: ChannelSource,
+        aps: Sequence[int],
+        noise_power: float = 1.0,
+        alignment: str = "per_subcarrier",
+    ):
+        super().__init__(source, aps, noise_power, alignment)
+        self._rows: Dict[int, int] = {}
+        self._bel: np.ndarray | None = None  # (capacity, 3, M, M) mirror
+        self._bel_versions: np.ndarray | None = None  # (capacity,) int64
+        #: Source ``version_epoch`` at which each row was last confirmed
+        #: fresh (-1 = never): lets :meth:`_sync` skip even the per-client
+        #: version poll while the leader's table is globally unchanged.
+        self._row_epochs: np.ndarray | None = None  # (capacity,) int64
+        #: Tri-state: None = not yet probed, True = flat mirror active,
+        #: False = banded source (delegate everything to the parent).
+        self._flat: bool | None = None
+
+    # -------------------------- mirror plumbing ----------------------- #
+
+    def flat_capable(self, client: int) -> bool:
+        """Whether the mirror route applies (lazily probed once)."""
+        if self._flat is None:
+            h = np.asarray(next(iter(self.source.channel_map(client).values())))
+            self._flat = h.ndim != 3 or h.shape[0] == 1
+        return self._flat
+
+    def _grow(self, row: int, cmap: Mapping[int, np.ndarray]) -> None:
+        if self._bel is None:
+            h0 = np.asarray(next(iter(cmap.values())))
+            m = h0.shape[-1]
+            cap = max(8, row + 1)
+            self._bel = np.zeros((cap, len(self.aps), m, m), dtype=complex)
+            self._bel_versions = np.full(cap, -1, dtype=np.int64)
+            self._row_epochs = np.full(cap, -1, dtype=np.int64)
+        elif row >= self._bel.shape[0]:
+            cap = max(2 * self._bel.shape[0], row + 1)
+            bel = np.zeros((cap,) + self._bel.shape[1:], dtype=complex)
+            bel[: self._bel.shape[0]] = self._bel
+            versions = np.full(cap, -1, dtype=np.int64)
+            versions[: self._bel_versions.shape[0]] = self._bel_versions
+            epochs = np.full(cap, -1, dtype=np.int64)
+            epochs[: self._row_epochs.shape[0]] = self._row_epochs
+            self._bel, self._bel_versions = bel, versions
+            self._row_epochs = epochs
+
+    def _sync(self, client: int) -> int:
+        """Row of ``client`` in the mirror, refreshed iff its version moved."""
+        row = self._rows.get(client)
+        epoch = getattr(self.source, "version_epoch", None)
+        if row is not None and epoch is not None and self._row_epochs[row] == epoch:
+            # Global epoch unchanged since this row was confirmed fresh:
+            # the client's version cannot have moved either.
+            return row
+        version = self.source.channel_version(client)
+        if row is not None and self._bel_versions[row] == version:
+            if epoch is not None:
+                self._row_epochs[row] = epoch
+            return row
+        cmap = self.source.channel_map(client)
+        if row is None:
+            row = len(self._rows)
+            self._rows[client] = row
+        self._grow(row, cmap)
+        for i, ap in enumerate(self.aps):
+            h = np.asarray(cmap[ap])
+            if h.ndim == 3:  # one-bin banded source: the flat squeeze
+                h = h[0]
+            self._bel[row, i] = h
+        self._bel_versions[row] = version
+        if epoch is not None:
+            self._row_epochs[row] = epoch
+        return row
+
+    def stack_believed(
+        self, groups: Sequence[Group]
+    ) -> Tuple[np.ndarray, List[Tuple[int, ...]]]:
+        """Gather ``(G, 3, 3, M, M)`` believed channels plus version keys."""
+        # Sync each distinct client once per probe: _sync is idempotent
+        # between source mutations, so memoising it is observationally
+        # identical to calling it per (group, member).
+        sync = self._sync
+        memo: Dict[int, int] = {}
+        rows_list = []
+        for g in groups:
+            row_g = []
+            for c in g:
+                r = memo.get(c)
+                if r is None:
+                    r = sync(c)
+                    memo[c] = r
+                row_g.append(r)
+            rows_list.append(row_g)
+        rows = np.array(rows_list)
+        # mirror rows are client-major; the solver wants h[g, ap, client]
+        # (a strided view is fine: the solver's gufuncs buffer per slice).
+        h = np.swapaxes(self._bel[rows], 1, 2)
+        versions = [tuple(v) for v in self._bel_versions[rows].tolist()]
+        return h, versions
+
+    def uncached(self, candidates: Sequence[Group]) -> List[Group]:
+        """Distinct full-size candidate groups with no valid cache entry."""
+        out: List[Group] = []
+        seen = set()
+        for group in candidates:
+            group = tuple(group)
+            if len(group) != GROUP_SIZE or group in seen:
+                continue
+            try:
+                self._entry(group)
+            except KeyError:
+                seen.add(group)
+                out.append(group)
+        return out
+
+    def insert_solved(
+        self,
+        groups: Sequence[Group],
+        versions: Sequence[Tuple[int, ...]],
+        encodings: np.ndarray,
+        rates: np.ndarray,
+        sinrs: np.ndarray,
+        w_bel: "np.ndarray | None" = None,
+    ) -> None:
+        """Adopt externally solved entries (the stacked driver's scatter)."""
+        epoch = getattr(self.source, "version_epoch", -1)
+        for g, group in enumerate(groups):
+            self._cache[group] = _CacheEntry(
+                versions=tuple(versions[g]),
+                rate=float(rates[g]),
+                encodings=encodings[g],
+                sinrs=sinrs[g],
+                w_bel=None if w_bel is None else w_bel[g],
+                validated_epoch=epoch,
+            )
+
+    # -------------------------- engine overrides ---------------------- #
+
+    def _solve_batch(self, groups: Sequence[Group]) -> None:
+        if groups and not self.flat_capable(groups[0][0]):
+            super()._solve_batch(groups)
+            return
+        groups = [tuple(g) for g in groups]
+        h, versions = self.stack_believed(groups)
+        encodings, rates, sinrs, w_bel = solve_downlink_three_batch(
+            h, self.noise_power, return_filters=True
+        )
+        self.insert_solved(groups, versions, encodings, rates, sinrs, w_bel)
+
+    def transmit_sinrs_fast(
+        self, group: Group, h_true: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Flat transmission decode from a pre-gathered true-channel stack.
+
+        ``h_true`` is the ``(3, 3, M, M)`` stack ``h[i, j]`` = true channel
+        from ``aps[i]`` to ``group[j]`` — the columnar slot loop gathers
+        it straight from the fading stack, skipping the
+        :class:`~repro.core.plans.ChannelSet` round-trip of the scalar
+        path.  Only valid on flat sources (callers check
+        :meth:`flat_capable`).
+        """
+        group = tuple(group)
+        entry = self._cached_entry(group)
+        if entry.w_bel is not None:
+            return downlink_transmit_sinrs_cached(
+                h_true, entry.encodings, entry.w_bel, self.noise_power
+            )
+        rows = [self._sync(c) for c in group]
+        h_bel = np.swapaxes(self._bel[rows], 0, 1)
+        return downlink_transmit_sinrs(
+            h_true, h_bel, entry.encodings, self.noise_power
+        )
+
+
 def make_evaluator(
     name: str,
     source: ChannelSource,
@@ -482,7 +728,9 @@ def make_evaluator(
     noise_power: float = 1.0,
     alignment: str = "per_subcarrier",
 ) -> GroupEvaluator:
-    """Factory: ``"batched"`` (default engine) or ``"scalar"`` (reference).
+    """Factory: ``"batched"`` (default engine), ``"columnar"`` (the
+    batched engine plus the believed-channel mirror consumed by the
+    columnar slot loop) or ``"scalar"`` (reference).
 
     ``alignment`` selects the wideband strategy (``"per_subcarrier"`` or
     ``"flat_anchor"``); it only matters when the channel source carries
@@ -491,6 +739,10 @@ def make_evaluator(
     key = name.lower()
     if key == "batched":
         return BatchedGroupEvaluator(source, aps, noise_power, alignment)
+    if key == "columnar":
+        return ColumnarGroupEvaluator(source, aps, noise_power, alignment)
     if key == "scalar":
         return ScalarGroupEvaluator(source, aps, noise_power, alignment)
-    raise ValueError(f"unknown engine {name!r} (expected 'batched' or 'scalar')")
+    raise ValueError(
+        f"unknown engine {name!r} (expected 'batched', 'columnar' or 'scalar')"
+    )

@@ -174,6 +174,13 @@ class LeaderAP:
         #: every applied drift report.  The group-evaluation engine
         #: (:mod:`repro.engine`) keys its memoised solutions on these.
         self._channel_versions: Dict[int, int] = {}
+        #: Bumped alongside *every* per-client version bump.  The engine's
+        #: evaluators check this one counter to revalidate memoised group
+        #: solutions without polling every member's version each probe —
+        #: epoch unchanged implies no version changed, so the hit/miss
+        #: decisions (and therefore the simulated trajectory) are
+        #: identical to comparing version tuples.
+        self.version_epoch = 0
         self._quarantined: set = set()
 
     def handle_association(
@@ -191,6 +198,7 @@ class LeaderAP:
         # quarantine from a previous life of this client id is moot.
         self._quarantined.discard(client_id)
         self._channel_versions[client_id] = self._channel_versions.get(client_id, 0) + 1
+        self.version_epoch += 1
         return record
 
     def handle_disassociation(self, client_id: int) -> None:
@@ -207,6 +215,7 @@ class LeaderAP:
         self._channel_versions[client_id] = (
             self._channel_versions.get(client_id, 0) + 1
         )
+        self.version_epoch += 1
 
     def _plausible(self, update: ChannelUpdate) -> bool:
         """Whether a report passes the corrupt-CSI guard.
@@ -252,6 +261,7 @@ class LeaderAP:
         self._channel_versions[update.client_id] = (
             self._channel_versions.get(update.client_id, 0) + 1
         )
+        self.version_epoch += 1
         return True
 
     def is_quarantined(self, client_id: int) -> bool:

@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.mac.queueing import TransmissionQueue
 from repro.utils.rng import default_rng
@@ -60,6 +60,33 @@ def _best_group(
     return groups[max(range(len(groups)), key=scores.__getitem__)]
 
 
+@dataclass(frozen=True)
+class GroupProposal:
+    """A selector decision with the RNG consumed but the scoring deferred.
+
+    :meth:`ConcurrencySelector.propose` front-loads every random draw and
+    returns the candidate groups; :meth:`ConcurrencySelector.resolve`
+    scores them and applies any bookkeeping (fairness credits).
+    ``resolve(propose(queue), evaluate)`` is exactly ``select(queue,
+    evaluate)`` — the split exists so the columnar engine's stacked
+    driver can solve many simulations' candidate groups in one batched
+    ``np.linalg`` call *between* the two halves.
+    """
+
+    #: Decided without scoring (degenerate backlog); resolve returns it.
+    immediate: Optional[Tuple[int, ...]] = None
+    #: Candidate groups to score (resolve picks the first-best).
+    groups: Tuple[Tuple[int, ...], ...] = ()
+    #: Used when ``groups`` is empty (all random combos collided).
+    fallback: Optional[Tuple[int, ...]] = None
+    #: Clients considered for membership (BestOfTwo credit accounting).
+    considered: FrozenSet[int] = frozenset()
+    #: Set by the base-class fallback for selectors without a native
+    #: split: resolve re-runs ``select`` on this queue (draws happen at
+    #: resolve time, which is still in-slot and per-selector-RNG safe).
+    deferred: Optional[TransmissionQueue] = None
+
+
 class ConcurrencySelector(ABC):
     """Strategy interface for picking one transmission group."""
 
@@ -73,6 +100,30 @@ class ConcurrencySelector(ABC):
         Fewer than ``group_size`` clients are returned when the queue holds
         fewer distinct clients.
         """
+
+    def propose(self, queue: TransmissionQueue) -> GroupProposal:
+        """Draw-complete half of :meth:`select` (see :class:`GroupProposal`).
+
+        Subclasses override this to expose their candidate groups; the
+        base implementation defers the whole decision to resolve time,
+        which is always correct (nothing touches the queue or this
+        selector's RNG between the two halves of a slot) but shares no
+        solves.
+        """
+        return GroupProposal(deferred=queue)
+
+    def resolve(
+        self, proposal: GroupProposal, evaluate: GroupEvaluator
+    ) -> Tuple[int, ...]:
+        """Scoring half of :meth:`select`: pick, account, return."""
+        if proposal.deferred is not None:
+            return self.select(proposal.deferred, evaluate)
+        if proposal.immediate is not None:
+            return proposal.immediate
+        if proposal.groups:
+            return _best_group(evaluate, list(proposal.groups))
+        assert proposal.fallback is not None
+        return proposal.fallback
 
 
 def _head_and_others(queue: TransmissionQueue) -> Tuple[int, List[int]]:
@@ -93,8 +144,13 @@ class FifoGrouping(ConcurrencySelector):
     group_size: int = 3
 
     def select(self, queue: TransmissionQueue, evaluate: GroupEvaluator) -> Tuple[int, ...]:
+        return self.resolve(self.propose(queue), evaluate)
+
+    def propose(self, queue: TransmissionQueue) -> GroupProposal:
         head, others = _head_and_others(queue)
-        return tuple([head] + others[: self.group_size - 1])
+        return GroupProposal(
+            immediate=tuple([head] + others[: self.group_size - 1])
+        )
 
 
 @dataclass
@@ -110,12 +166,18 @@ class BruteForce(ConcurrencySelector):
     group_size: int = 3
 
     def select(self, queue: TransmissionQueue, evaluate: GroupEvaluator) -> Tuple[int, ...]:
+        return self.resolve(self.propose(queue), evaluate)
+
+    def propose(self, queue: TransmissionQueue) -> GroupProposal:
         head, others = _head_and_others(queue)
         k = min(self.group_size - 1, len(others))
         if k == 0:
-            return (head,)
-        groups = [(head,) + combo for combo in itertools.permutations(others, k)]
-        return _best_group(evaluate, groups)
+            return GroupProposal(immediate=(head,))
+        return GroupProposal(
+            groups=tuple(
+                (head,) + combo for combo in itertools.permutations(others, k)
+            )
+        )
 
 
 @dataclass
@@ -138,10 +200,15 @@ class BestOfTwo(ConcurrencySelector):
         self.rng = default_rng(self.rng)
 
     def select(self, queue: TransmissionQueue, evaluate: GroupEvaluator) -> Tuple[int, ...]:
+        return self.resolve(self.propose(queue), evaluate)
+
+    def propose(self, queue: TransmissionQueue) -> GroupProposal:
         head, others = _head_and_others(queue)
         n_companions = min(self.group_size - 1, len(others))
         if n_companions == 0:
-            return (head,)
+            # Degenerate backlog: decided now, and crucially *without*
+            # the credit accounting below (the head keeps its credits).
+            return GroupProposal(immediate=(head,))
 
         # Clients owed service come first, regardless of throughput.
         forced = [c for c in others if self.credits.get(c, 0) >= self.threshold]
@@ -160,21 +227,32 @@ class BestOfTwo(ConcurrencySelector):
             considered.update(picks)
 
         combos = itertools.product(*position_candidates) if position_candidates else [()]
-        groups = [
+        groups = tuple(
             (head,) + tuple(forced) + tuple(combo)
             for combo in combos
             if len(set(combo)) == len(combo)  # no client fills two positions
-        ]
-        if groups:
-            best_group = _best_group(evaluate, groups)
+        )
+        # All combos collided (tiny pools): fall back to arrival order.
+        fallback = (head,) + tuple(forced) + tuple(pool[:free_positions])
+        return GroupProposal(
+            groups=groups, fallback=fallback, considered=frozenset(considered)
+        )
+
+    def resolve(
+        self, proposal: GroupProposal, evaluate: GroupEvaluator
+    ) -> Tuple[int, ...]:
+        if proposal.immediate is not None:
+            return proposal.immediate
+        if proposal.groups:
+            best_group = _best_group(evaluate, list(proposal.groups))
         else:
-            # All combos collided (tiny pools); fall back to arrival order.
-            best_group = (head,) + tuple(forced) + tuple(pool[:free_positions])
+            assert proposal.fallback is not None
+            best_group = proposal.fallback
 
         # Credit accounting: picked -> reset, considered-but-ignored -> +1.
         for client in best_group:
             self.credits[client] = 0
-        for client in considered - set(best_group):
+        for client in set(proposal.considered) - set(best_group):
             self.credits[client] = self.credits.get(client, 0) + 1
         return best_group
 

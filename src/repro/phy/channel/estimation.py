@@ -21,6 +21,32 @@ import numpy as np
 from repro.utils.linalg import herm
 
 
+def frobenius_norms(x: np.ndarray, batch_ndim: int = 0) -> np.ndarray:
+    """Frobenius norm over all axes past the first ``batch_ndim``.
+
+    The accumulation order is pinned: squared magnitudes are summed
+    element-by-element in C order with a single sequential accumulator.
+    ``np.linalg.norm`` delegates to BLAS dot products whose summation
+    order (and therefore rounding) depends on the kernel and on whether
+    the input is a single matrix or a stack — exactly the variability a
+    bit-identity contract cannot tolerate.  With this helper, the norm
+    of one ``(M, M)`` estimate and slice ``p`` of a stacked
+    ``(P, M, M)`` batch perform the *same* float operations in the
+    *same* order, so the scalar drift check and the columnar engine's
+    vectorised drift check agree to the last ulp.
+    """
+    x = np.asarray(x)
+    flat = x.reshape(x.shape[:batch_ndim] + (-1,))
+    if np.iscomplexobj(flat):
+        sq = flat.real * flat.real + flat.imag * flat.imag
+    else:
+        sq = flat * flat
+    acc = sq[..., 0]
+    for k in range(1, sq.shape[-1]):
+        acc = acc + sq[..., k]
+    return np.sqrt(acc)
+
+
 def estimate_channel(received: np.ndarray, preamble: np.ndarray) -> np.ndarray:
     """Least-squares MIMO channel estimate from a preamble burst.
 
@@ -96,11 +122,16 @@ class ChannelEstimate:
     age: int = 0
 
     def drift_from(self, other: "ChannelEstimate") -> float:
-        """Relative Frobenius-norm change against another estimate."""
-        denom = np.linalg.norm(other.h)
+        """Relative Frobenius-norm change against another estimate.
+
+        Uses :func:`frobenius_norms` (sequential accumulation) so the
+        columnar engine's stacked drift check reproduces this value
+        bit-for-bit.
+        """
+        denom = float(frobenius_norms(other.h))
         if denom == 0:
             return float("inf")
-        return float(np.linalg.norm(self.h - other.h) / denom)
+        return float(frobenius_norms(self.h - other.h)) / denom
 
     def tick(self) -> None:
         """Advance the freshness clock by one slot."""

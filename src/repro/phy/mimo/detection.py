@@ -13,7 +13,21 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.utils.linalg import herm, normalize, orthogonal_complement
+from repro.utils.linalg import herm, normalize, orthogonal_complement, stacked_solve
+
+#: ``noise_power * I_M`` terms reused across the per-slot hot path; keyed
+#: by ``(M, noise_power)`` and kept read-only so no caller can mutate one.
+_SCALED_EYE_CACHE: dict = {}
+
+
+def _scaled_eye(m: int, noise_power: float) -> np.ndarray:
+    key = (m, float(noise_power))
+    eye = _SCALED_EYE_CACHE.get(key)
+    if eye is None:
+        eye = noise_power * np.eye(m, dtype=complex)
+        eye.flags.writeable = False
+        _SCALED_EYE_CACHE[key] = eye
+    return eye
 
 
 def decoding_vector(
@@ -126,9 +140,12 @@ def max_sinr_vectors(
     m = desired.shape[-1]
     # R = n0 I + sum_k d_k d_k^H over the interference axis.
     r = np.einsum("...ki,...kj->...ij", interference, np.conj(interference))
-    r = r + noise_power * np.eye(m, dtype=complex)
-    w = np.linalg.solve(r, desired[..., None])[..., 0]
-    return w / np.linalg.norm(w, axis=-1, keepdims=True)
+    r = r + _scaled_eye(m, noise_power)
+    w = stacked_solve(r, desired[..., None])[..., 0]
+    # Inlined ``np.linalg.norm(w, axis=-1, keepdims=True)`` (same ufunc
+    # sequence as numpy's ord=None vector branch, minus wrapper overhead).
+    norms = np.sqrt(np.add.reduce((np.conj(w) * w).real, axis=-1, keepdims=True))
+    return w / norms
 
 
 def post_projection_sinr_batch(
@@ -159,10 +176,11 @@ def post_projection_sinr_batch(
     w = np.asarray(w, dtype=complex)
     desired = np.asarray(desired, dtype=complex)
     interference = np.asarray(interference, dtype=complex)
-    sig = signal_power * np.abs(np.einsum("...m,...m->...", np.conj(w), desired)) ** 2
-    cross = np.einsum("...m,...km->...k", np.conj(w), interference)
-    interf = signal_power * np.sum(np.abs(cross) ** 2, axis=-1)
-    noise = noise_power * np.sum(np.abs(w) ** 2, axis=-1)
+    wc = np.conj(w)
+    sig = signal_power * np.abs(np.einsum("...m,...m->...", wc, desired)) ** 2
+    cross = np.einsum("...m,...km->...k", wc, interference)
+    interf = signal_power * np.add.reduce(np.abs(cross) ** 2, axis=-1)
+    noise = noise_power * np.add.reduce(np.abs(w) ** 2, axis=-1)
     return sig / (interf + noise)
 
 

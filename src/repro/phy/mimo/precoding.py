@@ -73,7 +73,12 @@ def normalize_encodings(vectors: np.ndarray) -> np.ndarray:
         If any vector in the batch is (numerically) zero.
     """
     vectors = np.asarray(vectors, dtype=complex)
-    norms = np.linalg.norm(vectors, axis=-1, keepdims=True)
+    # Inlined ``np.linalg.norm(vectors, axis=-1, keepdims=True)`` (same
+    # ufunc sequence as numpy's ord=None vector branch, minus wrapper
+    # overhead — this runs several times per simulated slot).
+    norms = np.sqrt(
+        np.add.reduce((np.conj(vectors) * vectors).real, axis=-1, keepdims=True)
+    )
     if np.any(norms < 1e-9):
         raise ValueError("cannot normalize a zero encoding vector")
     return vectors / norms

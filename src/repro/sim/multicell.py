@@ -338,7 +338,10 @@ class MultiCellStats:
     @property
     def jain_fairness(self) -> float:
         """Jain's index over every client in the city (1.0 = fair)."""
-        rates = list(self.per_client_rate.values())
+        # Sorted client order: the merge inserts clients in shard order,
+        # and float sums are order-sensitive at the ulp level — a
+        # canonical order keeps the summary permutation-invariant.
+        rates = [self.per_client_rate[c] for c in sorted(self.per_client_rate)]
         if not rates:
             return 1.0
         square_sum = sum(r * r for r in rates)

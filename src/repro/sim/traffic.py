@@ -68,6 +68,23 @@ class TrafficModel(ABC):
     ) -> Dict[int, int]:
         """Packets arriving for each active client during ``slot``."""
 
+    def arrival_counts(
+        self, slot: int, clients: Sequence[int], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vector form of :meth:`arrivals`: counts aligned with ``clients``.
+
+        Consumes the RNG stream *identically* to :meth:`arrivals` (the
+        base implementation simply calls it), so the columnar slot loop
+        can enqueue straight from the ndarray while staying bit-identical
+        to the scalar loop's dict path.  Models whose draw is already one
+        vectorised call (Poisson, heterogeneous) override this to skip
+        the dict round-trip; stateful models (bursty) keep the fallback.
+        """
+        arrivals = self.arrivals(slot, clients, rng)
+        return np.array(
+            [arrivals.get(c, 0) for c in clients], dtype=np.int64
+        )
+
 
 class SaturatedTraffic(TrafficModel):
     """Infinite demand: every client is always backlogged (paper §10.3).
@@ -103,6 +120,13 @@ class PoissonTraffic(TrafficModel):
     def arrivals(self, slot, clients, rng) -> Dict[int, int]:
         counts = rng.poisson(self.rate_per_client, size=len(clients))
         return {c: int(k) for c, k in zip(clients, counts) if k}
+
+    def arrival_counts(self, slot, clients, rng) -> np.ndarray:
+        # Same single draw as arrivals(), minus the dict round-trip.
+        return np.asarray(
+            rng.poisson(self.rate_per_client, size=len(clients)),
+            dtype=np.int64,
+        )
 
 
 @dataclass
@@ -181,17 +205,25 @@ class HeterogeneousTraffic(TrafficModel):
             return self.heavy_rate
         return self.base_rate
 
-    def arrivals(self, slot, clients, rng) -> Dict[int, int]:
+    def _lam(self, clients: Sequence[int]) -> np.ndarray:
         # One heavy-set computation per slot, not per client.
         heavy = self._heavy_set(clients)
         pinned = self.rates or {}
-        lam = np.array([
+        return np.array([
             float(pinned[c]) if c in pinned
             else (self.heavy_rate if c in heavy else self.base_rate)
             for c in clients
         ])
+
+    def arrivals(self, slot, clients, rng) -> Dict[int, int]:
+        lam = self._lam(clients)
         counts = rng.poisson(lam) if len(lam) else np.empty(0, dtype=int)
         return {c: int(k) for c, k in zip(clients, counts) if k}
+
+    def arrival_counts(self, slot, clients, rng) -> np.ndarray:
+        lam = self._lam(clients)
+        counts = rng.poisson(lam) if len(lam) else np.empty(0, dtype=int)
+        return np.asarray(counts, dtype=np.int64)
 
 
 def make_traffic(name: str, **params) -> TrafficModel:

@@ -20,6 +20,45 @@ import numpy as np
 #: Numerical tolerance used when deciding that two directions coincide.
 DEFAULT_ATOL = 1e-9
 
+# Low-overhead stacked linear algebra for the per-slot hot path.
+#
+# ``np.linalg.inv/solve/eig`` spend a large fraction of their time (for the
+# tiny 2x2/3x3 batches the engine solves every slot) in the pure-Python
+# wrapper: array coercion, shape assertions and error-callback setup.  The
+# underlying gufuncs are reachable directly and produce *bit-identical*
+# results — the wrapper adds no arithmetic — so the engine calls them via
+# the helpers below.  Callers guarantee well-formed stacked square complex
+# inputs; a singular input yields ``inf``/``nan`` entries instead of
+# ``LinAlgError`` (measure-zero for the sim's continuous fading draws).
+# If numpy ever moves its private module, the helpers fall back to the
+# public wrappers transparently.
+try:  # pragma: no cover - exercised indirectly by every engine test
+    from numpy.linalg import _umath_linalg as _ul
+
+    def stacked_inv(a: np.ndarray) -> np.ndarray:
+        """``np.linalg.inv`` for stacked square complex matrices."""
+        return _ul.inv(a, signature="D->D")
+
+    def stacked_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``np.linalg.solve`` for stacked complex systems (``b`` stacked)."""
+        return _ul.solve(a, b, signature="DD->D")
+
+    def stacked_eig(a: np.ndarray):
+        """``np.linalg.eig`` for stacked square complex matrices."""
+        return _ul.eig(a, signature="D->DD")
+
+    _probe = stacked_eig(np.eye(2, dtype=complex)[None])
+    if not isinstance(_probe, tuple) or len(_probe) != 2:  # pragma: no cover
+        raise ImportError("unexpected gufunc signature")
+    del _probe
+except Exception:  # pragma: no cover - future-numpy safety net
+    stacked_inv = np.linalg.inv
+
+    def stacked_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.linalg.solve(a, b)
+
+    stacked_eig = np.linalg.eig
+
 
 def herm(a: np.ndarray) -> np.ndarray:
     """Return the Hermitian (conjugate) transpose of ``a``."""

@@ -1,0 +1,31 @@
+"""Fixture: columnar-module contracts.
+
+Linted under ``repro/sim/columnar.py`` (a configured columnar module):
+public ``run_*`` entry points need a same-module ``*_reference`` oracle
+(engine-pair, columnar direction), and per-slot Python loops need an
+explicit waiver (no-python-slot-loop).
+"""
+
+
+def run_fast(sim, n_slots):  # expect: engine-pair
+    # No run_fast_reference() in this module: an unverifiable fast path.
+    for _ in range(n_slots):  # expect: no-python-slot-loop
+        sim.step()
+
+
+def run_checked(sim, n_slots):
+    # Paired and waived: the sanctioned top-level driver shape.
+    total = 0
+    for _ in range(n_slots):  # repro-lint: ignore[no-python-slot-loop]
+        total += sim.step()
+    return total
+
+
+def run_checked_reference(sim, n_slots):
+    return sim.run(n_slots)
+
+
+def _run_helper(sim, depths):
+    # Private helper, and not a slot loop: both rules stay quiet.
+    for depth in range(len(depths)):
+        sim.probe(depth)

@@ -82,6 +82,34 @@ class TestFixtureLiveness:
         got = sorted((f.path, f.line, f.rule) for f in findings)
         assert got == sorted(expected)
 
+    def test_columnar_fastpath_fixture(self):
+        """Columnar direction of engine-pair + the slot-loop advisory."""
+        tests = {
+            "tests/test_fake.py": (
+                "def test_columnar_equivalence():\n"
+                "    assert run_checked_reference is not None\n"
+            )
+        }
+        findings, expected = lint_fixture(
+            "columnar_fastpath.py", "repro/sim/columnar.py", test_sources=tests
+        )
+        got = sorted((f.path, f.line, f.rule) for f in findings)
+        assert got == sorted(expected)
+        assert expected, "columnar_fastpath.py has no # expect markers"
+
+    def test_columnar_rules_scoped_to_columnar_modules(self):
+        """The identical source is clean outside LintConfig.columnar_modules
+        — except its waiver, which then counts as stale."""
+        findings, _ = lint_fixture(
+            "columnar_fastpath.py", "repro/sim/other.py",
+            test_sources={"tests/test_fake.py": "run_checked_reference\n"},
+        )
+        assert [
+            f for f in findings
+            if f.rule in ("engine-pair", "no-python-slot-loop")
+        ] == []
+        assert any(f.rule == "unused-suppression" for f in findings)
+
     def test_scenario_registration_fixture(self):
         sources = {}
         mapping = {
@@ -129,6 +157,10 @@ class TestScopeExemptions:
                     FIXTURES / filename, "x.py"
                 )
             )
-        covered.update({"engine-pair", "scenario-registration"})
+        # Rules whose fixtures need test_sources / multi-file setups live
+        # in dedicated test methods above, not FILE_RULE_FIXTURES.
+        covered.update(
+            {"engine-pair", "scenario-registration", "no-python-slot-loop"}
+        )
         synthetic = {"parse-error"}
         assert covered >= set(rule_ids()) - synthetic

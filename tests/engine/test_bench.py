@@ -21,11 +21,20 @@ def wlan_doc():
 class TestWLANBench:
     def test_document_shape(self, wlan_doc):
         assert wlan_doc["benchmark"] == "wlan"
-        assert set(wlan_doc["engines"]) == {"scalar", "batched"}
+        assert set(wlan_doc["engines"]) == {"scalar", "batched", "columnar"}
         for stats in wlan_doc["engines"].values():
             assert stats["seconds"] > 0
+            assert stats["digest"]
         assert wlan_doc["speedup"] > 0
+        assert wlan_doc["speedup_columnar"] > 0
         assert wlan_doc["config"]["n_slots"] == 8
+
+    def test_columnar_bit_identical(self, wlan_doc):
+        assert wlan_doc["bit_identical"] is True
+        assert (
+            wlan_doc["engines"]["columnar"]["digest"]
+            == wlan_doc["engines"]["batched"]["digest"]
+        )
 
     def test_engines_agree_on_rate(self, wlan_doc):
         scalar = wlan_doc["engines"]["scalar"]["total_rate"]

@@ -1,0 +1,92 @@
+"""WLANStats/MultiCellStats summaries are accumulation-order invariant.
+
+The audit behind this file: a stats object's dicts are populated in
+*service* order (first client served inserts first), while the columnar
+engine and the multi-cell merge may insert in other deterministic
+orders.  Per-client values are bit-identical either way, but float
+addition is neither commutative nor associative at the ulp level, so any
+summary that iterates a dict in insertion order would report different
+numbers for bit-identical per-client data.  The contract pinned here:
+
+* ``to_dict()``/``digest()`` canonicalise by sorted key — two stats
+  objects with equal contents digest equally whatever order their dicts
+  were filled in;
+* the derived summaries (``total_rate``, ``jain_fairness``) iterate in
+  sorted client order, so they are exactly invariant under permutation
+  of the same (client, value) pairs;
+* the event log is *ordered history*, not a set: permuting it must
+  change the digest.
+"""
+
+import dataclasses
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.multicell import MultiCellStats
+from repro.sim.wlan import WLANEvent, WLANStats
+
+#: Values chosen so a wrong-order float sum actually differs: summing
+#: across ~12 orders of magnitude loses different low bits per order.
+_RATES = {3: 1.0e-9, 0: 1.7, 7: 3.0e6, 1: 0.1234567890123, 5: 2.5e-4}
+
+
+def _stats(order):
+    s = WLANStats(slots=40)
+    s.per_client_rate = {c: _RATES[c] for c in order}
+    s.per_client_latency = {c: float(c) + 0.5 for c in order}
+    return s
+
+
+class TestPermutationInvariance:
+    def test_digest_ignores_dict_insertion_order(self):
+        orders = [sorted(_RATES), sorted(_RATES, reverse=True), list(_RATES)]
+        digests = {_stats(order).digest() for order in orders}
+        assert len(digests) == 1
+
+    def test_total_rate_ignores_dict_insertion_order(self):
+        baseline = _stats(sorted(_RATES)).total_rate
+        for order in ([7, 5, 3, 1, 0], [1, 7, 0, 5, 3], list(_RATES)):
+            assert _stats(order).total_rate == baseline
+
+    def test_jain_ignores_dict_insertion_order(self):
+        baseline = _stats(sorted(_RATES)).jain_fairness
+        for order in ([7, 5, 3, 1, 0], [1, 7, 0, 5, 3], list(_RATES)):
+            assert _stats(order).jain_fairness == baseline
+
+    def test_multicell_jain_ignores_dict_insertion_order(self):
+        def stats(order):
+            return MultiCellStats(
+                n_cells=2, slots=40, per_client_rate={c: _RATES[c] for c in order}
+            )
+
+        baseline = stats(sorted(_RATES)).jain_fairness
+        for order in ([7, 5, 3, 1, 0], [1, 7, 0, 5, 3]):
+            assert stats(order).jain_fairness == baseline
+
+    @settings(deadline=None, max_examples=25)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_random_permutations_property(self, seed):
+        rng = random.Random(seed)
+        order = list(_RATES)
+        rng.shuffle(order)
+        reference = _stats(sorted(_RATES))
+        shuffled = _stats(order)
+        assert shuffled.digest() == reference.digest()
+        assert shuffled.total_rate == reference.total_rate
+        assert shuffled.jain_fairness == reference.jain_fairness
+
+
+class TestEventLogIsOrdered:
+    def test_permuting_events_changes_the_digest(self):
+        """History is a sequence: the digest must see its order."""
+        events = [
+            WLANEvent(slot=3, kind="leave", client=1),
+            WLANEvent(slot=3, kind="join", client=2),
+        ]
+        forward = dataclasses.replace(WLANStats(slots=10), events=list(events))
+        backward = dataclasses.replace(
+            WLANStats(slots=10), events=list(reversed(events))
+        )
+        assert forward.digest() != backward.digest()

@@ -86,6 +86,33 @@ class TestLintDocSync:
         )
 
 
+class TestEngineDocSync:
+    def test_every_engine_value_documented_in_experiments_md(self):
+        """EXPERIMENTS.md documents every value the `engine` knob accepts
+        — an engine the docs don't name is a fast path users can't reach."""
+        from repro.sim.wlan import WLAN_ENGINES
+
+        text = EXPERIMENTS.read_text(encoding="utf-8")
+        missing = [
+            engine
+            for engine in WLAN_ENGINES
+            if f'`engine="{engine}"`' not in text
+        ]
+        assert not missing, (
+            f"engine values missing from EXPERIMENTS.md: {missing} — "
+            "document them in 'The group-evaluation engine'"
+        )
+
+    def test_bench_wlan_schema_documents_columnar_fields(self):
+        """The BENCH_wlan.json schema block shows the columnar fields the
+        artifact actually carries (and CI gates on)."""
+        text = EXPERIMENTS.read_text(encoding="utf-8")
+        for field in ("speedup_columnar", "bit_identical"):
+            assert f'"{field}"' in text, (
+                f"EXPERIMENTS.md BENCH_wlan schema is missing {field!r}"
+            )
+
+
 class TestDocsExist:
     def test_front_door_files_present(self):
         assert README.is_file()
