@@ -1,0 +1,102 @@
+"""Event-kernel benchmark: idle-slot skipping vs the columnar slot loop.
+
+Not a paper figure — the paper's evaluation saturates its testbed — but
+the regime its dynamic-traffic discussion (§9) implies: mostly-idle
+cells where a slot-synchronous simulator burns its budget on slots
+where nothing happens.  ``engine="event"`` (:mod:`repro.sim.events`)
+jumps between wake-up points instead, under the repo's bit-identity
+contract.  Measured here:
+
+* **speedup vs offered load**: the same (seed, config) timed under
+  ``engine="columnar"`` and ``engine="event"`` at a sparse and a busy
+  offered load — the gap collapses as the idle fraction does, which is
+  the honest shape (the acceptance curve is ``BENCH_events.json``;
+  this harness uses a smaller workload to stay quick);
+* **bit-identity**: every timed pair must land on the same
+  ``WLANStats.digest()`` — the skipping machinery is only allowed to
+  move time, never numbers;
+* **skip accounting**: ``processed + skipped == n_slots``, with
+  skipping dominating at the sparse point.
+"""
+
+import time
+
+from repro.sim.wlan import WLANConfig, WLANSimulation
+
+N_SLOTS = 1200
+N_CLIENTS = 24
+N_APS = 3
+#: Offered load = expected network-wide arrivals per slot.
+SPARSE_LOAD = 0.002
+BUSY_LOAD = 0.3
+
+
+def _config(engine, load):
+    return WLANConfig(
+        n_aps=N_APS,
+        n_clients=N_CLIENTS,
+        n_antennas=2,
+        rho=0.9995,
+        mean_gain_db=15.0,
+        algorithm="best2",
+        ack_period=1,
+        seed=11,
+        engine=engine,
+        traffic="poisson",
+        traffic_params={"rate_per_client": load * N_APS / N_CLIENTS},
+    )
+
+
+def _run(engine, load):
+    sim = WLANSimulation(_config(engine, load))
+    start = time.perf_counter()
+    stats = sim.run(N_SLOTS)
+    return stats, time.perf_counter() - start, sim
+
+
+def test_event_kernel_speedup(benchmark, record):
+    results = benchmark.pedantic(
+        lambda: {
+            (engine, load): _run(engine, load)
+            for load in (SPARSE_LOAD, BUSY_LOAD)
+            for engine in ("columnar", "event")
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    for load, label in ((SPARSE_LOAD, "sparse"), (BUSY_LOAD, "busy")):
+        col_stats, col_s, _ = results[("columnar", load)]
+        ev_stats, ev_s, ev_sim = results[("event", load)]
+
+        # Bit-identity: the kernel may only move time, never numbers.
+        assert ev_stats.digest() == col_stats.digest()
+
+        summary = ev_sim.last_event_summary
+        processed = summary["processed_slots"]
+        skipped = summary["skipped_slots"]
+        assert processed + skipped == N_SLOTS
+
+        speedup = col_s / ev_s
+        record(
+            "event-kernel",
+            f"{label} load {load:g} speedup",
+            ">= 5x low-load acceptance",
+            f"{speedup:.2f}x ({col_s*1e3:.0f} -> {ev_s*1e3:.0f} ms)",
+        )
+        record(
+            "event-kernel",
+            f"{label} busy slots/s",
+            "n/a",
+            f"{processed / ev_s:.0f} ({processed}/{N_SLOTS} woken)",
+        )
+
+    sparse_summary = results[("event", SPARSE_LOAD)][2].last_event_summary
+    assert sparse_summary["skipped_slots"] > N_SLOTS // 2
+
+    sparse_speedup = (
+        results[("columnar", SPARSE_LOAD)][1]
+        / results[("event", SPARSE_LOAD)][1]
+    )
+    # Loose floor; the acceptance run is in BENCH_events.json.
+    assert sparse_speedup > 1.5

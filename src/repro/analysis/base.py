@@ -102,7 +102,15 @@ class LintConfig:
     #: Columnar fast-path modules: their public ``run_*`` entry points
     #: must carry a ``*_reference`` oracle, and per-slot Python loops
     #: inside them need an explicit waiver (``no-python-slot-loop``).
-    columnar_modules: Tuple[str, ...] = ("repro/sim/columnar.py",)
+    columnar_modules: Tuple[str, ...] = (
+        "repro/sim/columnar.py",
+        "repro/sim/events.py",
+    )
+    #: Package prefixes where heap pushes and time-based sort keys must
+    #: be ``(time, seq, ...)`` tuples (``event-key-total-order``): the
+    #: discrete-event layer, where a raw float key makes pop order
+    #: ill-defined under ties.
+    event_key_packages: Tuple[str, ...] = ("repro/sim",)
 
 
 class FileContext:

@@ -1,11 +1,21 @@
-"""Ordering rule: the sharded hot paths iterate in explicit order.
+"""Ordering rules: explicit iteration order and total-order event keys.
 
 The multicell layer and the sweep engine are bit-identical across
 worker counts *by construction*: every aggregation happens in a fixed,
 explicit order.  Iterating a ``set`` or a dict view there reintroduces
 producer-insertion (or hash) order — results that drift with shard
 assignment without ever crashing, the silent corruption class
-Push-and-Track/COTAG-style distributed loops are known for.
+Push-and-Track/COTAG-style distributed loops are known for
+(``no-unordered-iteration``).
+
+The event kernel adds a second ordering contract: heap pops and
+time-sorts decide *which event fires first*, and a raw float key makes
+that decision ill-defined the moment two events share a timestamp —
+``heapq`` then falls back to comparing the payloads, which is either a
+crash (uncomparable types) or an arbitrary order that changes with
+payload layout.  ``event-key-total-order`` requires every heap push in
+``repro/sim`` to be an explicit ``(time, seq, ...)`` tuple, and every
+time-based sort key to carry the same tiebreaker.
 """
 
 from __future__ import annotations
@@ -13,7 +23,13 @@ from __future__ import annotations
 import ast
 from typing import Iterator, List, Optional, Tuple
 
-from repro.analysis.base import FileContext, Finding, Rule, register_rule
+from repro.analysis.base import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    register_rule,
+)
 
 #: Wrappers that preserve their argument's iteration order — look through
 #: them for the underlying unordered expression.
@@ -82,3 +98,72 @@ class NoUnorderedIteration(Rule):
                 f"{why} in a worker-invariant hot path; wrap in sorted() "
                 "or suppress with a comment stating the ordering argument",
             )
+
+
+def _in_event_scope(ctx: FileContext) -> bool:
+    return any(
+        ctx.rel_path == pkg or ctx.rel_path.startswith(pkg + "/")
+        for pkg in ctx.config.event_key_packages
+    )
+
+
+def _is_total_order_key(node: ast.AST) -> bool:
+    """An explicit ``(time, seq, ...)`` tuple literal with a tiebreaker."""
+    return isinstance(node, ast.Tuple) and len(node.elts) >= 2
+
+
+def _sort_key(node: ast.Call) -> Optional[ast.AST]:
+    """The ``key=`` expression of a ``sorted``/``.sort`` call, if any."""
+    name = dotted_name(node.func)
+    if name is None or (name != "sorted" and not name.endswith(".sort")):
+        return None
+    for keyword in node.keywords:
+        if keyword.arg == "key":
+            return keyword.value
+    return None
+
+
+@register_rule
+class EventKeyTotalOrder(Rule):
+    """Event-layer heap/sort keys must be ``(time, seq, ...)`` tuples."""
+
+    rule_id = "event-key-total-order"
+    summary = (
+        "heap pushes in repro/sim must push an explicit (time, seq, ...) "
+        "tuple, and time-based sort keys need the same integer "
+        "tiebreaker — raw float keys leave pop order undefined under "
+        "timestamp ties"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_event_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in ("heappush", "heapq.heappush") and len(node.args) >= 2:
+                key = node.args[1]
+                if not _is_total_order_key(key):
+                    yield self.finding(
+                        ctx,
+                        key,
+                        "heap push without an explicit (time, seq, ...) "
+                        "tuple key — under a timestamp tie heapq compares "
+                        "whatever comes next, which is a crash or an "
+                        "arbitrary pop order",
+                    )
+                continue
+            key = _sort_key(node)
+            if key is None:
+                continue
+            body = key.body if isinstance(key, ast.Lambda) else key
+            if _is_total_order_key(body):
+                continue
+            if "time" in ast.unparse(body).lower():
+                yield self.finding(
+                    ctx,
+                    key,
+                    "sort keyed on a raw timestamp — add a (time, seq, "
+                    "...) tiebreaker so order is total under ties",
+                )

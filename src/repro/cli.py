@@ -13,7 +13,8 @@ no per-figure wiring of its own.  Usage::
     python -m repro fig15 [--slots N] [--direction uplink|downlink]
     python -m repro fig16 | fig17
     python -m repro lemmas | overhead
-    python -m repro bench [--quick] [--ofdm] [--city] [--faults] [--out-dir DIR]
+    python -m repro bench [--quick] [--events] [--ofdm] [--city] [--faults]
+                          [--skip-wlan|-signal|-scenarios] [--out-dir DIR]
     python -m repro lint [--json PATH] [--rule RULE-ID] [--no-baseline]
     python -m repro --version
 
@@ -29,13 +30,18 @@ registry.  ``bench`` times the WLAN hot path under both group-evaluation
 engines, the sample-accurate signal pipeline under its ``fast`` and
 ``reference`` engines, and a set of scenario trials, writing
 ``BENCH_wlan.json`` / ``BENCH_signal.json`` / ``BENCH_scenarios.json``
-(``--quick`` for the CI smoke variant; ``--ofdm`` adds the subcarrier-
-batched band solver vs the per-bin reference loop, ``BENCH_ofdm.json``;
+(``--quick`` for the CI smoke variant; ``--events`` adds the
+event-driven kernel vs the columnar slot loop across offered loads with
+per-point digest checks, ``BENCH_events.json``; ``--ofdm`` adds the
+subcarrier-batched band solver vs the per-bin reference loop,
+``BENCH_ofdm.json``;
 ``--city`` adds the sharded multi-cell city vs worker count with its
 bit-identity check, ``BENCH_city.json``; ``--faults`` adds the fault
 layer — a backplane-loss degradation curve plus a fully-faulted city
 whose digest must match across worker counts and same-seed reruns,
-``BENCH_faults.json``).  ``sweep --retries``/``--backoff`` retry failing
+``BENCH_faults.json``; ``--skip-wlan``/``--skip-signal``/
+``--skip-scenarios`` drop the default suites, so any subset runs in one
+invocation).  ``sweep --retries``/``--backoff`` retry failing
 cells on a capped deterministic schedule and ``--quarantine`` records
 exhausted failures in the result instead of aborting the sweep.
 ``lint`` runs the AST contract linter (:mod:`repro.analysis`) over the
@@ -371,12 +377,14 @@ def _cmd_bench(args) -> int:
     """Time the WLAN + signal hot paths + scenario trials; write BENCH_*.json."""
     from repro.engine.bench import (
         bench_city,
+        bench_events,
         bench_faults,
         bench_ofdm,
         bench_scenarios,
         bench_signal,
         bench_wlan,
         format_city_bench,
+        format_events_bench,
         format_faults_bench,
         format_ofdm_bench,
         format_scenario_bench,
@@ -393,24 +401,53 @@ def _cmd_bench(args) -> int:
         slots, repeats, trials, sessions = args.slots, args.repeats, args.trials, args.sessions
         ofdm_groups = args.ofdm_groups
         city_cells, city_slots = args.city_cells, args.city_slots
-    wlan_doc = bench_wlan(
-        n_slots=slots,
-        n_clients=args.clients,
-        repeats=repeats,
-        seed=args.seed,
-    )
-    print(format_wlan_bench(wlan_doc))
-    docs = {"BENCH_wlan.json": wlan_doc}
-    if not wlan_doc["bit_identical"]:
-        return _fail(
-            "columnar WLAN digest differs from the batched reference "
-            "(see BENCH_wlan.json 'engines')"
+    docs = {}
+    first = True
+
+    def _announce():
+        nonlocal first
+        if not first:
+            print()
+        first = False
+
+    if not args.skip_wlan:
+        wlan_doc = bench_wlan(
+            n_slots=slots,
+            n_clients=args.clients,
+            repeats=repeats,
+            seed=args.seed,
         )
+        _announce()
+        print(format_wlan_bench(wlan_doc))
+        docs["BENCH_wlan.json"] = wlan_doc
+        if not wlan_doc["bit_identical"]:
+            return _fail(
+                "columnar WLAN digest differs from the batched reference "
+                "(see BENCH_wlan.json 'engines')"
+            )
+    if args.events:
+        if args.quick:
+            events_doc = bench_events(
+                n_slots=1500,
+                repeats=2,
+                seed=args.seed,
+                loads=(0.001, 0.01, 0.1),
+            )
+        else:
+            events_doc = bench_events(seed=args.seed)
+        _announce()
+        print(format_events_bench(events_doc))
+        docs["BENCH_events.json"] = events_doc
+        if not events_doc["bit_identical"]:
+            return _fail(
+                "event-kernel digest differs from the columnar slot loop "
+                "(see BENCH_events.json 'loads')"
+            )
     if not args.skip_signal:
         signal_doc = bench_signal(
             n_sessions=sessions, repeats=repeats, seed=args.seed
         )
-        print()
+        _announce()
         print(format_signal_bench(signal_doc))
         docs["BENCH_signal.json"] = signal_doc
     if args.ofdm:
@@ -419,7 +456,7 @@ def _cmd_bench(args) -> int:
         ofdm_doc = bench_ofdm(
             n_groups=ofdm_groups, repeats=repeats, seed=args.seed
         )
-        print()
+        _announce()
         print(format_ofdm_bench(ofdm_doc))
         docs["BENCH_ofdm.json"] = ofdm_doc
     if args.city:
@@ -430,7 +467,7 @@ def _cmd_bench(args) -> int:
             repeats=1 if args.quick else repeats,
             seed=args.seed,
         )
-        print()
+        _announce()
         print(format_city_bench(city_doc))
         docs["BENCH_city.json"] = city_doc
         if not city_doc["bit_identical"]:
@@ -449,7 +486,7 @@ def _cmd_bench(args) -> int:
             )
         else:
             faults_doc = bench_faults(seed=args.seed)
-        print()
+        _announce()
         print(format_faults_bench(faults_doc))
         docs["BENCH_faults.json"] = faults_doc
         if not faults_doc["bit_identical"]:
@@ -464,7 +501,7 @@ def _cmd_bench(args) -> int:
             )
     if not args.skip_scenarios:
         scen_doc = bench_scenarios(n_trials=trials, seed=args.seed)
-        print()
+        _announce()
         print(format_scenario_bench(scen_doc))
         docs["BENCH_scenarios.json"] = scen_doc
     for name, doc in docs.items():
@@ -712,10 +749,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="signal-pipeline sessions to time per engine")
     pb.add_argument("--seed", type=int, default=7, help="benchmark seed")
     pb.add_argument("--out-dir", default=".", help="where BENCH_*.json land")
+    pb.add_argument("--skip-wlan", action="store_true",
+                    help="skip the WLAN engine timing suite")
     pb.add_argument("--skip-scenarios", action="store_true",
                     help="skip the scenario timing suite")
     pb.add_argument("--skip-signal", action="store_true",
                     help="skip the signal-pipeline timing suite")
+    pb.add_argument("--events", action="store_true",
+                    help="also time the event-driven kernel against the "
+                         "columnar slot loop across offered loads and check "
+                         "per-point digest equality (BENCH_events.json)")
     pb.add_argument("--ofdm", action="store_true",
                     help="also time the subcarrier-batched band solver "
                          "against the per-bin reference loop (BENCH_ofdm.json)")

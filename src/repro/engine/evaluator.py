@@ -739,10 +739,13 @@ def make_evaluator(
     key = name.lower()
     if key == "batched":
         return BatchedGroupEvaluator(source, aps, noise_power, alignment)
-    if key == "columnar":
+    if key in ("columnar", "event"):
+        # The event kernel reuses the columnar slot path wholesale, so it
+        # needs the same believed-channel mirror.
         return ColumnarGroupEvaluator(source, aps, noise_power, alignment)
     if key == "scalar":
         return ScalarGroupEvaluator(source, aps, noise_power, alignment)
     raise ValueError(
-        f"unknown engine {name!r} (expected 'batched', 'columnar' or 'scalar')"
+        f"unknown engine {name!r} "
+        "(expected 'batched', 'columnar', 'event' or 'scalar')"
     )

@@ -29,9 +29,13 @@ declarative surface:
   (``fault_resilience``/``backplane_loss_sweep``) driving the seeded
   fault-injection layer (:mod:`repro.faults`): lossy backplane,
   corrupt/stale CSI, mid-run leader crash, graceful p2p degradation;
+* :mod:`repro.experiments.store` — the append-only JSON-lines
+  :class:`ResultStore` (schema'd header, keyed records, O(1) appends,
+  torn-tail recovery, legacy-blob sniffing) the sweep cache sits on;
 * :mod:`repro.experiments.sweep` — the resumable parameter-grid sweep
   engine behind ``python -m repro sweep`` (:func:`run_sweep`,
-  per-cell RNG streams, JSON cell cache, :class:`SweepResult` tables).
+  per-cell RNG streams, store-backed cell cache,
+  :class:`SweepResult` tables).
 
 Quickstart::
 
@@ -54,6 +58,7 @@ from repro.experiments.registry import (
 )
 from repro.experiments.results import ExperimentResult, TrialRecord
 from repro.experiments.runner import ExperimentRunner, run_experiment
+from repro.experiments.store import CorruptStore, ResultStore, StoreSchemaTooNew
 from repro.experiments.sweep import (
     QuarantinedCell,
     SweepCache,
@@ -73,10 +78,13 @@ from repro.experiments import fault_scenarios as _fault_scenarios  # noqa: F401
 from repro.experiments.scenarios import gain_cdf_from_record, scatter_result
 
 __all__ = [
+    "CorruptStore",
     "ExperimentResult",
     "ExperimentRunner",
     "QuarantinedCell",
+    "ResultStore",
     "Scenario",
+    "StoreSchemaTooNew",
     "SweepCache",
     "SweepCell",
     "SweepResult",

@@ -1,0 +1,302 @@
+"""Append-only JSON-lines result store — O(1) appends, sniffed formats.
+
+The sweep cache used to be one JSON object rewritten in full after every
+completed cell — O(cells) bytes per append, quadratic over a sweep.
+:class:`ResultStore` replaces the blob with a columnar-friendly
+**JSON-lines** file:
+
+* line 1 is a schema'd **header** —
+  ``{"format": "repro-result-store", "schema_version": 1, "kind": ...}``;
+* every following line is one **record**: a flat JSON object carrying a
+  mandatory ``"key"`` field (duplicate keys are allowed; the *last*
+  occurrence wins, which is what makes updates append-only too).
+
+Appending a record is one ``write()`` of one line.  A torn final write
+(interrupted sweep, full disk) leaves a half-line **tail**, which the
+loader trims: every complete, newline-terminated line before it is kept,
+and the next append truncates the garbage before writing.  Corruption
+anywhere *before* the tail — or an unreadable header — raises
+:class:`CorruptStore`, which callers turn into their own quarantine
+policy (``SweepCache`` renames the file aside and rebuilds).  A file
+written by a **newer** schema raises :class:`ValueError` instead: that
+file is healthy, this reader is just too old to be trusted with it.
+
+The loader also **sniffs the legacy format** — the pre-store
+``{"schema_version": 1, "cells": {...}}`` object — and serves its cells
+transparently, so a sweep interrupted before this store existed resumes
+bit-identically; the first append rewrites the file as JSON-lines (the
+one remaining full rewrite, paid once per migrated file).
+
+Typed column access: :meth:`ResultStore.column` pulls one dotted-path
+field (e.g. ``"summary.total_rate.mean"``) across every record, with an
+optional cast — the accessor the bench and sweep tables read columns
+through instead of hand-walking nested dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+__all__ = [
+    "STORE_FORMAT",
+    "STORE_SCHEMA_VERSION",
+    "CorruptStore",
+    "StoreSchemaTooNew",
+    "ResultStore",
+]
+
+STORE_FORMAT = "repro-result-store"
+STORE_SCHEMA_VERSION = 1
+
+
+class CorruptStore(Exception):
+    """The file is unreadable as either store format (not merely newer)."""
+
+
+class StoreSchemaTooNew(ValueError):
+    """The file is healthy but written by a newer schema than this reader."""
+
+
+def _parse_legacy(data: Any, path: str) -> Dict[str, Dict[str, Any]]:
+    """Records from a pre-store ``{"schema_version", "cells"}`` object."""
+    try:
+        version = int(data.get("schema_version", STORE_SCHEMA_VERSION))
+    except (TypeError, ValueError):
+        raise CorruptStore("legacy cache schema_version is not an int") from None
+    if version > STORE_SCHEMA_VERSION:
+        raise StoreSchemaTooNew(
+            f"result store {path} has unsupported schema {version}"
+        )
+    cells = data.get("cells", {})
+    if not isinstance(cells, Mapping):
+        raise CorruptStore(
+            f"legacy cache 'cells' must be an object, "
+            f"got {type(cells).__name__}"
+        )
+    records: Dict[str, Dict[str, Any]] = {}
+    for key, cell in sorted(cells.items()):
+        if not isinstance(cell, Mapping):
+            raise CorruptStore(f"legacy cell {key!r} is not an object")
+        record = dict(cell)
+        record.setdefault("key", str(key))
+        records[str(key)] = record
+    return records
+
+
+class ResultStore:
+    """One JSON-lines file of keyed records; appends are O(1).
+
+    ``kind`` names what the records are (e.g. ``"sweep-cells"``) and is
+    pinned in the header — opening a store of a different kind is a
+    :class:`ValueError`, not a silent mix of unrelated records.  A
+    missing file is an empty store; the header is written with the
+    first flushed record.  ``put`` requires every record to carry its
+    ``"key"`` and keeps the last record per key.
+
+    Raises :class:`CorruptStore` for an unreadable file (callers decide
+    the quarantine policy) and :class:`ValueError` for a healthy file
+    this reader is too old for (newer ``schema_version``) or of the
+    wrong ``kind``.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], kind: str):
+        self.path = os.fspath(path)
+        self.kind = str(kind)
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._pending: List[Dict[str, Any]] = []
+        #: Byte offset after the last valid newline-terminated line;
+        #: the next append truncates any torn tail beyond it.
+        self._good_size = 0
+        #: Set when the file on disk is legacy-format (or has a torn
+        #: tail that plain appending can't extend): the next flush
+        #: rewrites it atomically as JSON-lines.
+        self._needs_rewrite = False
+        self._has_header = False
+        if os.path.exists(self.path):
+            self._load()
+
+    # ------------------------------ load ------------------------------ #
+
+    def _load(self) -> None:
+        with open(self.path, "rb") as fh:
+            raw = fh.read()
+        text = raw.decode("utf-8", errors="replace")
+        # Sniff: a whole-file JSON object is either a header-only store
+        # or the legacy single-blob cache.
+        try:
+            whole = json.loads(text)
+        except json.JSONDecodeError:
+            whole = None
+        if whole is not None:
+            if not isinstance(whole, Mapping):
+                raise CorruptStore(
+                    f"store root must be an object, "
+                    f"got {type(whole).__name__}"
+                )
+            if whole.get("format") == STORE_FORMAT:
+                self._check_header(whole)
+                self._good_size = len(raw)
+                self._has_header = True
+                return
+            self._records = _parse_legacy(whole, self.path)
+            self._needs_rewrite = True
+            return
+        # JSON-lines: header line, then one record per line.  Only
+        # newline-terminated lines count; a torn tail is trimmed.
+        offset = 0
+        header: Optional[Mapping[str, Any]] = None
+        for line in text.splitlines(keepends=True):
+            if not line.endswith("\n"):
+                # A torn tail is only recoverable *after* a valid
+                # header; a torn first line is just not a store.
+                if header is None:
+                    raise CorruptStore("missing store header")
+                break  # torn tail: keep everything before it
+            stripped = line.strip()
+            if header is None:
+                try:
+                    header = json.loads(stripped)
+                except json.JSONDecodeError as err:
+                    raise CorruptStore(f"unreadable header: {err}") from None
+                if (
+                    not isinstance(header, Mapping)
+                    or header.get("format") != STORE_FORMAT
+                ):
+                    raise CorruptStore("header is not a result-store header")
+                self._check_header(header)
+                offset += len(line.encode("utf-8"))
+                continue
+            if stripped:
+                try:
+                    record = json.loads(stripped)
+                except json.JSONDecodeError:
+                    # A torn write is only ever the *final* line; bad
+                    # JSON with complete lines after it is corruption.
+                    if offset + len(line.encode("utf-8")) < len(raw):
+                        raise CorruptStore(
+                            f"corrupt record at byte {offset}"
+                        ) from None
+                    break
+                if not isinstance(record, Mapping) or "key" not in record:
+                    raise CorruptStore(
+                        f"record at byte {offset} has no 'key'"
+                    )
+                self._records[str(record["key"])] = dict(record)
+            offset += len(line.encode("utf-8"))
+        self._good_size = offset
+        self._has_header = header is not None
+
+    def _check_header(self, header: Mapping[str, Any]) -> None:
+        try:
+            version = int(header.get("schema_version", STORE_SCHEMA_VERSION))
+        except (TypeError, ValueError):
+            raise CorruptStore("header schema_version is not an int") from None
+        if version > STORE_SCHEMA_VERSION:
+            raise StoreSchemaTooNew(
+                f"result store {self.path} has unsupported schema {version}"
+            )
+        kind = header.get("kind")
+        if kind != self.kind:
+            raise ValueError(
+                f"result store {self.path} holds {kind!r} records, "
+                f"expected {self.kind!r}"
+            )
+
+    # ----------------------------- access ----------------------------- #
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._records.get(key)
+
+    def keys(self) -> List[str]:
+        return list(self._records)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Every record, in first-insertion order (last write per key)."""
+        return list(self._records.values())
+
+    def column(
+        self, field: str, cast: Optional[Callable[[Any], Any]] = None,
+    ) -> List[Any]:
+        """One dotted-path field across every record, optionally cast.
+
+        ``column("summary.total_rate.mean", float)`` walks each record
+        down the path and applies the cast — the typed accessor tables
+        and benches read columns through.
+        """
+        parts = field.split(".")
+        out = []
+        for record in self._records.values():
+            value: Any = record
+            for part in parts:
+                value = value[part]
+            out.append(cast(value) if cast is not None else value)
+        return out
+
+    # ----------------------------- write ------------------------------ #
+
+    def put(self, record: Mapping[str, Any], flush: bool = True) -> None:
+        """Append one record (``record["key"]`` required)."""
+        if "key" not in record:
+            raise ValueError("store records must carry a 'key' field")
+        record = dict(record)
+        self._records[str(record["key"])] = record
+        self._pending.append(record)
+        if flush:
+            self.flush()
+
+    def _line(self, obj: Mapping[str, Any]) -> str:
+        return json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+
+    def _header_line(self) -> str:
+        return self._line({
+            "format": STORE_FORMAT,
+            "schema_version": STORE_SCHEMA_VERSION,
+            "kind": self.kind,
+        })
+
+    def flush(self) -> None:
+        """Write pending records: one appended line each.
+
+        A legacy-format file is rewritten atomically as JSON-lines the
+        first time (temp file + ``os.replace``); from then on every
+        flush is a single append, truncating any torn tail first.
+        """
+        if self._needs_rewrite or not self._has_header:
+            self._rewrite()
+            return
+        if not self._pending:
+            return
+        payload = "".join(
+            self._line(record) for record in self._pending
+        ).encode("utf-8")
+        with open(self.path, "r+b") as fh:
+            fh.truncate(self._good_size)
+            fh.seek(self._good_size)
+            fh.write(payload)
+        self._good_size += len(payload)
+        self._pending.clear()
+
+    def _rewrite(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(self._header_line())
+                for record in self._records.values():
+                    fh.write(self._line(record))
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self._good_size = os.path.getsize(self.path)
+        self._needs_rewrite = False
+        self._has_header = True
+        self._pending.clear()

@@ -29,7 +29,6 @@ import hashlib
 import itertools
 import json
 import os
-import tempfile
 import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
@@ -53,6 +52,7 @@ from repro.experiments.runner import (
     DEFAULT_TESTBED_SEED,
     ExperimentRunner,
 )
+from repro.experiments.store import CorruptStore, ResultStore, StoreSchemaTooNew
 
 SWEEP_SCHEMA_VERSION = 1
 
@@ -305,66 +305,59 @@ class SweepResult:
 
 
 # --------------------------------------------------------------------- #
-# The JSON cell cache
+# The cell cache (backed by the JSON-lines result store)
 # --------------------------------------------------------------------- #
 
-
-class _CacheSchemaTooNew(Exception):
-    """Internal: the cache file is from a *newer* writer, not corrupt."""
+#: ``kind`` pinned in the store header for sweep-cell caches.
+SWEEP_STORE_KIND = "sweep-cells"
 
 
 class SweepCache:
-    """A JSON file memoising completed sweep cells, keyed by identity hash.
+    """Memoised sweep cells on a :class:`~repro.experiments.store.ResultStore`.
 
-    The file is rewritten atomically (temp file + ``os.replace``) after
-    every completed cell, so an interrupted sweep resumes from its last
-    finished cell.  Keys hash the full cell identity, which makes the
-    cache safe to share between overlapping grids of the same scenario —
-    a key can only ever map to one set of numbers.
+    Each completed cell is one *appended* line in a JSON-lines store —
+    O(1) bytes per completed cell instead of the full-file rewrite the
+    old JSON-blob cache paid — so an interrupted sweep resumes from its
+    last finished cell.  Keys hash the full cell identity, which makes
+    the cache safe to share between overlapping grids of the same
+    scenario — a key can only ever map to one set of numbers.
 
-    A *corrupt* cache file (truncated write, bad JSON, mangled cells) is
-    never fatal: it is renamed aside to ``<path>.corrupt``, a single
-    :class:`RuntimeWarning` is emitted, and the sweep rebuilds the cache
-    from scratch — losing memoised cells costs recomputation, while
-    crashing on them costs the sweep.  A cache written by a *newer*
-    schema still raises: that file is healthy, this reader is just too
-    old to be trusted with it.
+    Pre-store caches (the legacy ``{"schema_version", "cells"}`` blob)
+    are read transparently and migrated to JSON-lines on the first
+    write, so sweeps interrupted before the migration resume
+    bit-identically.
+
+    A *corrupt* cache file (mid-file garbage, mangled cells, wrong
+    shape) is never fatal: it is renamed aside to ``<path>.corrupt``, a
+    single :class:`RuntimeWarning` is emitted, and the sweep rebuilds
+    the cache from scratch — losing memoised cells costs recomputation,
+    while crashing on them costs the sweep.  (A torn *final* line is
+    not even that: the store trims it and keeps every complete cell.)
+    A cache written by a *newer* schema still raises: that file is
+    healthy, this reader is just too old to be trusted with it.
     """
 
     def __init__(self, path: Union[str, os.PathLike]):
         self.path = os.fspath(path)
-        self._cells: Dict[str, SweepCell] = {}
-        if not os.path.exists(self.path):
-            return
         try:
-            with open(self.path, "r", encoding="utf-8") as fh:
-                data = json.load(fh)
-            if not isinstance(data, Mapping):
-                raise TypeError(
-                    f"cache root must be an object, got {type(data).__name__}"
-                )
-            version = data.get("schema_version", SWEEP_SCHEMA_VERSION)
-            if int(version) > SWEEP_SCHEMA_VERSION:
-                raise _CacheSchemaTooNew(version)
+            store = ResultStore(self.path, kind=SWEEP_STORE_KIND)
             cells = {
-                str(key): SweepCell.from_dict(cell)
-                for key, cell in sorted(data.get("cells", {}).items())
+                str(record["key"]): SweepCell.from_dict(record)
+                for record in store.records()
             }
-        except _CacheSchemaTooNew as err:
-            raise ValueError(
-                f"sweep cache {self.path} has unsupported schema {err.args[0]}"
-            ) from None
-        except (
-            json.JSONDecodeError,
-            UnicodeDecodeError,
-            KeyError,
-            TypeError,
-            ValueError,
-            AttributeError,
-        ) as err:
+        except StoreSchemaTooNew:
+            raise
+        except CorruptStore as err:
             self._quarantine_corrupt(err)
-        else:
-            self._cells = cells
+            store = ResultStore(self.path, kind=SWEEP_STORE_KIND)
+            cells = {}
+        except (KeyError, TypeError, ValueError, AttributeError) as err:
+            # The store was readable but its records are not sweep cells.
+            self._quarantine_corrupt(err)
+            store = ResultStore(self.path, kind=SWEEP_STORE_KIND)
+            cells = {}
+        self._store = store
+        self._cells: Dict[str, SweepCell] = cells
 
     def _quarantine_corrupt(self, err: Exception) -> None:
         """Move the unreadable file aside and start an empty cache."""
@@ -386,26 +379,10 @@ class SweepCache:
 
     def put(self, cell: SweepCell, flush: bool = True) -> None:
         self._cells[cell.key] = cell
-        if flush:
-            self.flush()
+        self._store.put(cell.to_dict(), flush=flush)
 
     def flush(self) -> None:
-        doc = {
-            "schema_version": SWEEP_SCHEMA_VERSION,
-            "cells": {key: cell.to_dict() for key, cell in sorted(self._cells.items())},
-        }
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(doc, fh, indent=2, sort_keys=True)
-                fh.write("\n")
-            os.replace(tmp, self.path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+        self._store.flush()
 
 
 # --------------------------------------------------------------------- #

@@ -101,6 +101,38 @@ class EthernetHub:
         self._deliver(frame)
         return True
 
+    def next_due(self) -> Optional[int]:
+        """Clock value at which the earliest pending frame matures.
+
+        ``None`` when nothing is queued.  The event kernel turns this
+        into a slot barrier: the slot whose :meth:`tick` reaches the due
+        clock must run on the per-slot path so the delivery callback
+        (which mutates leader state) fires at exactly the scalar time.
+        """
+        if not self._pending:
+            return None
+        return min(entry[0] for entry in self._pending)
+
+    def advance(self, n: int) -> None:
+        """Jump the clock ``n`` slots at once — ``n`` ticks, no delivery.
+
+        Only legal when no pending frame matures inside the jump (frames
+        enter the hub solely at ack/service slots, so an idle span's
+        pending set is fixed and the caller can bound the jump with
+        :meth:`next_due`).  Raises rather than silently skipping a
+        matured frame, because that would desynchronise the trajectory.
+        """
+        if n < 0:
+            raise ValueError("cannot advance backwards")
+        target = self._clock + n
+        due = self.next_due()
+        if due is not None and due <= target:
+            raise RuntimeError(
+                f"advance({n}) would skip a frame due at clock {due} "
+                f"(clock {self._clock})"
+            )
+        self._clock = target
+
     def tick(self) -> int:
         """Advance one slot; deliver matured delayed frames.  Returns the
         number delivered.  A no-op (but still a clock step) without

@@ -182,6 +182,104 @@ class ColumnarFadingNetwork(FadingNetwork):
         self.stack = self._rho_vec * self.stack + self._scale_vec * w
         self._stale = True
 
+    def step_block(
+        self,
+        n: int,
+        keep: Optional[List[int]] = None,
+        keep_rows: Optional[np.ndarray] = None,
+        snap_out: Optional[np.ndarray] = None,
+    ) -> List[np.ndarray]:
+        """Advance ``n`` slots with one blocked draw; return snapshots.
+
+        Bit-identical to ``n`` successive :meth:`step` calls: the
+        ``(n, L, 2, M, M)`` draw fills in C order (slot-major), so it
+        consumes the shared stream exactly as ``n`` per-slot draws
+        would, and the scaled innovations are precomputed with the same
+        elementwise expressions ``step`` uses — only the inherently
+        sequential AR(1) fold (two ndarray ops per slot; floating-point
+        non-associativity forbids compressing it) stays in the loop.
+        ``keep`` is a sorted list of offsets in ``[0, n)`` whose
+        post-step stacks the caller wants back (the event kernel passes
+        its ack-slot offsets); ``None`` keeps all ``n``.  When ``keep``
+        is given, the fold runs through two ping-pong scratch buffers
+        (``np.multiply``/``np.add`` with ``out=`` — the same ufuncs,
+        the same rounding) and only the kept offsets pay a copy, which
+        is what makes long idle spans cheap.  ``keep_rows`` (only with
+        ``keep``) narrows each snapshot to those stack rows — the fancy
+        index produces the fresh copy — so a sounding caller pays for
+        the (client, AP) rows it tracks instead of the whole stack;
+        ``snap_out`` (only with ``keep_rows``) is a preallocated
+        ``(len(keep), len(keep_rows), M, M)`` buffer the snapshots are
+        taken straight into (``np.take`` with ``out=``), skipping the
+        per-snapshot allocation — the return value is then empty and
+        the caller reads the buffer.  Callers must hold ``rho`` fixed
+        across the block — the kernel ends spans at mobility events.
+        """
+        if n < 0:
+            raise ValueError("cannot step backwards")
+        if not self._keys:
+            if keep is None:
+                return [self.stack] * n
+            base = self.stack if keep_rows is None else self.stack[keep_rows]
+            if snap_out is not None:
+                for idx in range(len(keep)):
+                    snap_out[idx] = base
+                return []
+            return [base] * len(keep)
+        m = self._m
+        L = len(self._keys)
+        rho = self._rho_vec
+        stack = self.stack
+        out = []
+        if keep is None:
+            draws = self._shared_rng.standard_normal((n, L, 2, m, m))
+            w = self._gain_scale * (draws[:, :, 0] + 1j * draws[:, :, 1])
+            sw = self._scale_vec * w
+            for i in range(n):
+                stack = rho * stack + sw[i]
+                out.append(stack)
+        else:
+            mul, add = np.multiply, np.add
+            take = np.take
+            bufs = (np.empty_like(stack), np.empty_like(stack))
+            keep_iter = iter(keep)
+            want = next(keep_iter, None)
+            kept = 0
+            # Draw and scale in bounded chunks so the innovation block
+            # stays cache-resident through the fold.  Sequential
+            # chunked draws consume the shared stream exactly as one
+            # blocked draw does (the same C-order fill lemma), so this
+            # is invisible to the bitstream.
+            chunk = 256
+            for c0 in range(0, n, chunk):
+                cn = min(chunk, n - c0)
+                draws = self._shared_rng.standard_normal((cn, L, 2, m, m))
+                w = self._gain_scale * (
+                    draws[:, :, 0] + 1j * draws[:, :, 1]
+                )
+                sw = self._scale_vec * w
+                for i in range(cn):
+                    nxt = bufs[(c0 + i) & 1]
+                    mul(rho, stack, out=nxt)
+                    add(nxt, sw[i], out=nxt)
+                    stack = nxt
+                    if want == c0 + i:
+                        if snap_out is not None:
+                            take(stack, keep_rows, axis=0,
+                                 out=snap_out[kept])
+                        elif keep_rows is None:
+                            out.append(stack.copy())
+                        else:
+                            out.append(stack[keep_rows])
+                        kept += 1
+                        want = next(keep_iter, None)
+            # Detach the live stack from the scratch buffers.
+            stack = stack.copy() if n else stack
+        if n:
+            self.stack = stack
+            self._stale = True
+        return out
+
 
 # --------------------------------------------------------------------- #
 # Per-run columnar state

@@ -96,6 +96,60 @@ GOLDEN_WLAN: Dict[str, Dict[str, Any]] = {
         },
         "n_slots": 40,
     },
+    "wlan_event_sparse_poisson": {
+        "config": {
+            "n_clients": 8,
+            "seed": 11,
+            "engine": "event",
+            "traffic": "poisson",
+            "traffic_params": {"rate_per_client": 0.05},
+        },
+        "n_slots": 40,
+    },
+    "wlan_event_sparse_ack1": {
+        "config": {
+            "n_clients": 8,
+            "seed": 11,
+            "engine": "event",
+            "ack_period": 1,
+            "traffic": "poisson",
+            "traffic_params": {"rate_per_client": 0.02},
+        },
+        "n_slots": 40,
+    },
+    "wlan_event_churn_mobility": {
+        "config": {
+            "n_clients": 8,
+            "seed": 11,
+            "engine": "event",
+            "traffic": "poisson",
+            "traffic_params": {"rate_per_client": 0.05},
+            "churn_params": {"p_leave": 0.05, "p_join": 0.1},
+            "mobility_params": {"p_start": 0.2, "p_stop": 0.3, "rho_moving": 0.9},
+        },
+        "n_slots": 40,
+    },
+    "wlan_event_full_cocktail": {
+        "config": {
+            "n_aps": 4,
+            "n_clients": 8,
+            "seed": 11,
+            "engine": "event",
+            "traffic": "poisson",
+            "traffic_params": {"rate_per_client": 0.1},
+            "fault_params": {
+                "backplane_loss_rate": 0.1,
+                "burst_enter": 0.05,
+                "burst_exit": 0.3,
+                "backplane_delay_rate": 0.1,
+                "backplane_delay_max": 2,
+                "csi_corrupt_rate": 0.1,
+                "csi_stale_rate": 0.1,
+                "leader_crash_slot": 20,
+            },
+        },
+        "n_slots": 40,
+    },
     "wlan_columnar_full_cocktail": {
         "config": {
             "n_aps": 4,

@@ -27,6 +27,19 @@ slot:
 All processes draw exclusively from the RNG handed to them by the
 simulation (one dedicated stream per process, spawned from the config
 seed), so a dynamic run is exactly as reproducible as a saturated one.
+
+The event-driven kernel (:mod:`repro.sim.events`) additionally needs to
+*look ahead*: it skips runs of slots where nothing happens, but the
+bit-identity contract requires every skipped slot to consume exactly the
+RNG draws the per-slot loop would have made.  Each process therefore
+exposes a scan/replay pair built on one lemma: ``Generator`` output
+buffers fill element-by-element in C order, so a single blocked draw of
+``n`` slots' worth consumes the bitstream identically to ``n``
+sequential per-slot draws.  ``scan_quiet(n, ...)`` draws ``n`` slots
+blocked and reports how many leading slots are event-free;
+``replay(j, ...)`` re-consumes exactly ``j`` slots' worth after the
+kernel restores a checkpoint (``rng.bit_generator.state``) to unwind an
+overdrawn scan.
 """
 
 from __future__ import annotations
@@ -47,6 +60,13 @@ __all__ = [
     "MobilityModel",
     "make_traffic",
 ]
+
+
+def _leading_quiet(busy: np.ndarray, n_slots: int) -> int:
+    """Index of the first eventful slot in a scan block (or ``n_slots``)."""
+    if not busy.any():
+        return n_slots
+    return int(np.argmax(busy))
 
 
 class TrafficModel(ABC):
@@ -84,6 +104,38 @@ class TrafficModel(ABC):
         return np.array(
             [arrivals.get(c, 0) for c in clients], dtype=np.int64
         )
+
+    def can_scan(self, clients: Sequence[int]) -> bool:
+        """Whether this model supports blocked lookahead *right now*.
+
+        ``False`` forces the event kernel onto the per-slot path (still
+        bit-identical, no skipping).  Stateful models may answer
+        per-state — bursty traffic is scannable only while every given
+        client's chain is OFF, because an ON client draws a variable
+        number of values per slot.
+        """
+        return False
+
+    def scan_quiet(
+        self, n_slots: int, clients: Sequence[int],
+        rng: np.random.Generator,
+    ) -> int:
+        """Draw ``n_slots`` of stream blocked; count leading quiet slots.
+
+        A quiet slot is one :meth:`arrivals` would have returned empty
+        for (and, for stateful models, left the model state unchanged).
+        Consumes exactly ``n_slots`` slots' worth of the stream; the
+        caller checkpoints/restores the generator and calls
+        :meth:`replay` to position it mid-block.
+        """
+        raise NotImplementedError
+
+    def replay(
+        self, n_slots: int, clients: Sequence[int],
+        rng: np.random.Generator,
+    ) -> None:
+        """Consume exactly ``n_slots`` quiet slots' worth of the stream."""
+        raise NotImplementedError
 
 
 class SaturatedTraffic(TrafficModel):
@@ -128,6 +180,20 @@ class PoissonTraffic(TrafficModel):
             dtype=np.int64,
         )
 
+    def can_scan(self, clients) -> bool:
+        return True
+
+    def scan_quiet(self, n_slots, clients, rng) -> int:
+        if not len(clients):
+            return n_slots
+        counts = rng.poisson(self.rate_per_client,
+                             size=(n_slots, len(clients)))
+        return _leading_quiet(counts.any(axis=1), n_slots)
+
+    def replay(self, n_slots, clients, rng) -> None:
+        if n_slots and len(clients):
+            rng.poisson(self.rate_per_client, size=(n_slots, len(clients)))
+
 
 @dataclass
 class BurstyTraffic(TrafficModel):
@@ -169,6 +235,24 @@ class BurstyTraffic(TrafficModel):
                 if k:
                     out[c] = k
         return out
+
+    def can_scan(self, clients) -> bool:
+        # An ON client draws an extra Poisson per slot (variable stream
+        # consumption) and usually emits — only the all-OFF state has a
+        # fixed per-slot draw shape the blocked scan can reproduce.
+        return not any(self._on.get(c, False) for c in clients)
+
+    def scan_quiet(self, n_slots, clients, rng) -> int:
+        # All chains OFF: a quiet slot consumes len(clients) uniforms
+        # and flips nobody ON (every flip draw >= p_on).
+        if not len(clients):
+            return n_slots
+        flips = rng.random((n_slots, len(clients)))
+        return _leading_quiet((flips < self.p_on).any(axis=1), n_slots)
+
+    def replay(self, n_slots, clients, rng) -> None:
+        if n_slots and len(clients):
+            rng.random((n_slots, len(clients)))
 
 
 @dataclass
@@ -224,6 +308,23 @@ class HeterogeneousTraffic(TrafficModel):
         lam = self._lam(clients)
         counts = rng.poisson(lam) if len(lam) else np.empty(0, dtype=int)
         return np.asarray(counts, dtype=np.int64)
+
+    def can_scan(self, clients) -> bool:
+        return True
+
+    def scan_quiet(self, n_slots, clients, rng) -> int:
+        # Mirrors arrivals(): with no clients the per-slot path skips the
+        # poisson call entirely, so the scan must consume nothing either.
+        lam = self._lam(clients)
+        if not len(lam):
+            return n_slots
+        counts = rng.poisson(lam, size=(n_slots, len(lam)))
+        return _leading_quiet(counts.any(axis=1), n_slots)
+
+    def replay(self, n_slots, clients, rng) -> None:
+        lam = self._lam(clients)
+        if n_slots and len(lam):
+            rng.poisson(lam, size=(n_slots, len(lam)))
 
 
 def make_traffic(name: str, **params) -> TrafficModel:
@@ -300,6 +401,47 @@ class ClientChurn:
                 joins.append(c)
         return ChurnEvents(leaves=leaves, joins=joins)
 
+    def scan_quiet(
+        self,
+        n_slots: int,
+        active: Sequence[int],
+        inactive: Sequence[int],
+        rng: np.random.Generator,
+    ) -> int:
+        """Leading slots of a block where :meth:`step` returns no events.
+
+        :meth:`step` draws ``random(len(active))`` then
+        ``random(len(inactive))`` unconditionally — both arrays
+        materialise before the loops — so one
+        ``random((n, na + ni))`` block consumes the identical bitstream.
+        A slot is eventful iff some inactive draw clears ``p_join``, or
+        the leave budget is positive *and* some active draw clears
+        ``p_leave`` (with a zero budget the leave loop breaks before
+        recording anything, whatever the draws say).
+        """
+        na, ni = len(active), len(inactive)
+        if not na + ni:
+            return n_slots
+        u = rng.random((n_slots, na + ni))
+        busy = np.zeros(n_slots, dtype=bool)
+        if na and len(active) - self.min_active > 0:
+            busy |= (u[:, :na] < self.p_leave).any(axis=1)
+        if ni:
+            busy |= (u[:, na:] < self.p_join).any(axis=1)
+        return _leading_quiet(busy, n_slots)
+
+    def replay(
+        self,
+        n_slots: int,
+        active: Sequence[int],
+        inactive: Sequence[int],
+        rng: np.random.Generator,
+    ) -> None:
+        """Consume exactly ``n_slots`` quiet slots' worth of the stream."""
+        total = len(active) + len(inactive)
+        if n_slots and total:
+            rng.random((n_slots, total))
+
 
 @dataclass(frozen=True)
 class ChurnEvents:
@@ -355,3 +497,33 @@ class MobilityModel:
                 self._moving[c] = moving
                 changed[c] = self.rho_moving if moving else self.rho_static
         return changed
+
+    def scan_quiet(
+        self, n_slots: int, clients: Sequence[int],
+        rng: np.random.Generator,
+    ) -> int:
+        """Leading slots of a block where :meth:`step` transitions nobody.
+
+        The per-slot draw is one ``random(len(clients))`` zipped against
+        ``sorted(clients)``, so the per-client toggle threshold
+        (``p_stop`` while moving, ``p_start`` while paused — frozen for
+        the span, since any transition ends it) lines up column-wise
+        with a ``(n, len(clients))`` block.
+        """
+        n = len(clients)
+        if not n:
+            return n_slots
+        thresh = np.array([
+            self.p_stop if self._moving.get(c, False) else self.p_start
+            for c in sorted(clients)
+        ])
+        u = rng.random((n_slots, n))
+        return _leading_quiet((u < thresh).any(axis=1), n_slots)
+
+    def replay(
+        self, n_slots: int, clients: Sequence[int],
+        rng: np.random.Generator,
+    ) -> None:
+        """Consume exactly ``n_slots`` quiet slots' worth of the stream."""
+        if n_slots and len(clients):
+            rng.random((n_slots, len(clients)))

@@ -68,7 +68,7 @@ from repro.utils.rng import default_rng
 
 #: Every value :attr:`WLANConfig.engine` accepts.  Doc-sync tests use
 #: this to require each engine be documented in EXPERIMENTS.md.
-WLAN_ENGINES: Tuple[str, ...] = ("scalar", "batched", "columnar")
+WLAN_ENGINES: Tuple[str, ...] = ("scalar", "batched", "columnar", "event")
 
 
 @dataclass
@@ -89,11 +89,15 @@ class WLANConfig:
     #: Clients re-sound the channel (ack overheard) every ``ack_period`` slots.
     ack_period: int = 4
     #: Group-evaluation engine: ``"batched"`` (memoised ndarray batches,
-    #: :mod:`repro.engine`), ``"scalar"`` (the reference per-group path)
-    #: or ``"columnar"`` (the batched evaluator plus the columnar slot
+    #: :mod:`repro.engine`), ``"scalar"`` (the reference per-group path),
+    #: ``"columnar"`` (the batched evaluator plus the columnar slot
     #: loop of :mod:`repro.sim.columnar` — stacked fading steps,
     #: vectorised drift tracking and ndarray per-client state; bit-exact
-    #: to the other two, ~10x faster than ``"scalar"``).
+    #: to the other two, ~10x faster than ``"scalar"``) or ``"event"``
+    #: (the event-driven kernel of :mod:`repro.sim.events` — the
+    #: columnar slot path plus idle-span skipping between scheduled
+    #: events, bit-exact again; the fast engine for non-saturated,
+    #: idle-heavy workloads).
     engine: str = "batched"
     #: Arrival process (:func:`repro.sim.traffic.make_traffic` name):
     #: ``"saturated"`` (the paper's infinite-demand regime, default),
@@ -355,7 +359,7 @@ class WLANSimulation:
             # construction draws are identical to the per-link reference
             # (same RNG stream, same order) but whose per-slot step is one
             # vectorised draw over every link.
-            if config.engine == "columnar":
+            if config.engine in ("columnar", "event"):
                 from repro.sim.columnar import ColumnarFadingNetwork
 
                 fading_cls = ColumnarFadingNetwork
@@ -839,13 +843,20 @@ class WLANSimulation:
         Under ``engine="columnar"`` the loop is executed by
         :func:`repro.sim.columnar.run_columnar` — same trajectory, same
         RNG stream consumption, bit-identical :class:`WLANStats` (pinned
-        by ``tests/sim/test_columnar_equivalence.py``); every other
-        engine runs the scalar reference loop below.
+        by ``tests/sim/test_columnar_equivalence.py``); under
+        ``engine="event"`` by :func:`repro.sim.events.run_event`, which
+        additionally skips idle spans between scheduled events (pinned
+        by ``tests/sim/test_event_equivalence.py``); every other engine
+        runs the scalar reference loop below.
         """
         if self.config.engine == "columnar":
             from repro.sim.columnar import run_columnar
 
             return run_columnar(self, n_slots, track=track)
+        if self.config.engine == "event":
+            from repro.sim.events import run_event
+
+            return run_event(self, n_slots, track=track)
         return self._run_scalar(n_slots, track)
 
     def _run_scalar(self, n_slots: int, track: bool = True) -> WLANStats:

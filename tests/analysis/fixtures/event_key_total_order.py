@@ -1,0 +1,47 @@
+"""Lint fixture: event-key-total-order (violating + clean + suppressed).
+
+Only meaningful when linted under a ``repro/sim`` rel_path; the test
+also lints it under a non-sim path and expects silence.
+"""
+
+import heapq
+
+
+def violating_raw_float_key(heap, event):
+    heapq.heappush(heap, event.time)  # expect: event-key-total-order
+
+
+def violating_opaque_key(heap, key):
+    heapq.heappush(heap, key)  # expect: event-key-total-order
+
+
+def violating_single_element_tuple(heap, event):
+    heapq.heappush(heap, (event.time,))  # expect: event-key-total-order
+
+
+def violating_time_sort(events):
+    return sorted(events, key=lambda e: e.time)  # expect: event-key-total-order
+
+
+def violating_inplace_time_sort(events):
+    events.sort(key=lambda e: e.time * 2.0)  # expect: event-key-total-order
+
+
+def clean_total_order(heap, event, seq):
+    heapq.heappush(heap, (int(event.time), seq, int(event.kind)))
+
+
+def clean_tuple_sort(events):
+    return sorted(events, key=lambda e: (e.time, e.seq))
+
+
+def clean_non_time_sort(clients):
+    return sorted(clients, key=lambda c: c.name)
+
+
+def clean_plain_sort(clients):
+    return sorted(clients)
+
+
+def suppressed(heap, key):
+    heapq.heappush(heap, key)  # repro-lint: ignore[event-key-total-order]

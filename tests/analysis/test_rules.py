@@ -45,6 +45,7 @@ def lint_fixture(filename, rel_path, **kwargs):
 #: fixture file -> the rel_path it is linted under (scoping matters for
 #: the wallclock / print / ordering rules).
 FILE_RULE_FIXTURES = {
+    "event_key_total_order.py": "repro/sim/events.py",
     "no_global_rng.py": "repro/phy/fake.py",
     "no_bare_default_rng.py": "repro/utils/fake.py",
     "no_mutable_default.py": "repro/sim/fake.py",
@@ -138,6 +139,15 @@ class TestScopeExemptions:
     def test_print_allowed_in_cli(self):
         findings, _ = lint_fixture("no_print_in_library.py", "repro/cli.py")
         assert [f for f in findings if f.rule == "no-print-in-library"] == []
+
+    def test_event_key_rule_only_in_sim(self):
+        findings, _ = lint_fixture(
+            "event_key_total_order.py", "repro/experiments/fake.py"
+        )
+        scoped = [f for f in findings if f.rule == "event-key-total-order"]
+        assert scoped == []
+        # ... but the waiver inside the fixture now counts as stale.
+        assert any(f.rule == "unused-suppression" for f in findings)
 
     def test_ordering_rule_only_in_hot_paths(self):
         findings, _ = lint_fixture(

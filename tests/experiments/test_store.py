@@ -1,0 +1,193 @@
+"""Unit tests for the append-only JSON-lines result store.
+
+Pins the on-disk contract of :mod:`repro.experiments.store`:
+
+* header line + one keyed record per line, last write per key wins;
+* appends are O(1) — one new line, never a rewrite;
+* a torn final line is trimmed and truncated on the next append;
+* corruption *before* the tail raises :class:`CorruptStore` (quarantine
+  policy belongs to the caller);
+* a newer ``schema_version`` or a different ``kind`` raises
+  :class:`ValueError` — the file is healthy, the reader is wrong;
+* the legacy ``{"schema_version", "cells"}`` blob is sniffed, served,
+  and migrated to JSON-lines on the first write.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.store import (
+    STORE_FORMAT,
+    STORE_SCHEMA_VERSION,
+    CorruptStore,
+    ResultStore,
+    StoreSchemaTooNew,
+)
+
+
+def make_store(tmp_path, **records):
+    store = ResultStore(str(tmp_path / "store.jsonl"), kind="test-records")
+    for key, value in records.items():
+        store.put({"key": key, "value": value})
+    return store
+
+
+class TestRoundTrip:
+    def test_missing_file_is_empty_store(self, tmp_path):
+        store = ResultStore(str(tmp_path / "absent.jsonl"), kind="k")
+        assert len(store) == 0
+        assert store.get("anything") is None
+
+    def test_put_get_reload(self, tmp_path):
+        store = make_store(tmp_path, a=1, b=2)
+        again = ResultStore(store.path, kind="test-records")
+        assert len(again) == 2
+        assert again.get("a") == {"key": "a", "value": 1}
+        assert again.keys() == ["a", "b"]
+
+    def test_header_line_schema(self, tmp_path):
+        store = make_store(tmp_path, a=1)
+        header = json.loads(open(store.path).readline())
+        assert header == {
+            "format": STORE_FORMAT,
+            "schema_version": STORE_SCHEMA_VERSION,
+            "kind": "test-records",
+        }
+
+    def test_last_write_per_key_wins(self, tmp_path):
+        store = make_store(tmp_path, a=1)
+        store.put({"key": "a", "value": 99})
+        # Both lines are on disk (append-only), but the reload resolves
+        # the duplicate to the last occurrence.
+        lines = open(store.path).read().splitlines()
+        assert len(lines) == 3  # header + two appends
+        again = ResultStore(store.path, kind="test-records")
+        assert len(again) == 1
+        assert again.get("a")["value"] == 99
+
+    def test_record_without_key_rejected(self, tmp_path):
+        store = make_store(tmp_path)
+        with pytest.raises(ValueError, match="key"):
+            store.put({"value": 1})
+
+    def test_unflushed_puts_batch_into_one_flush(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put({"key": "a", "value": 1}, flush=False)
+        store.put({"key": "b", "value": 2}, flush=False)
+        assert ResultStore(store.path, kind="test-records").keys() == []
+        store.flush()
+        assert ResultStore(store.path, kind="test-records").keys() == ["a", "b"]
+
+
+class TestAppendOnly:
+    def test_append_grows_file_by_one_line(self, tmp_path):
+        """The O(1) contract: a put appends; it never rewrites the file."""
+        store = make_store(tmp_path, **{f"k{i}": i for i in range(50)})
+        import os
+
+        before = os.path.getsize(store.path)
+        head_before = open(store.path, "rb").read(before)
+        store.put({"key": "fresh", "value": -1})
+        head_after = open(store.path, "rb").read(before)
+        assert head_after == head_before  # existing bytes untouched
+        tail = open(store.path).read().splitlines()[-1]
+        assert json.loads(tail)["key"] == "fresh"
+
+
+class TestRecovery:
+    def test_torn_tail_is_trimmed(self, tmp_path):
+        store = make_store(tmp_path, a=1, b=2)
+        with open(store.path, "a") as fh:
+            fh.write('{"key": "c", "val')  # interrupted write, no newline
+        again = ResultStore(store.path, kind="test-records")
+        assert again.keys() == ["a", "b"]
+
+    def test_next_append_truncates_torn_tail(self, tmp_path):
+        store = make_store(tmp_path, a=1)
+        with open(store.path, "a") as fh:
+            fh.write('{"key": "b"')
+        again = ResultStore(store.path, kind="test-records")
+        again.put({"key": "c", "value": 3})
+        final = ResultStore(store.path, kind="test-records")
+        assert final.keys() == ["a", "c"]
+        assert all(  # every line on disk is whole again
+            json.loads(line) for line in open(store.path).read().splitlines()
+        )
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        store = make_store(tmp_path, a=1, b=2)
+        lines = open(store.path).read().splitlines(keepends=True)
+        lines[1] = "not json at all\n"
+        open(store.path, "w").write("".join(lines))
+        with pytest.raises(CorruptStore):
+            ResultStore(store.path, kind="test-records")
+
+    def test_garbage_file_raises(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text("\x00garbage")
+        with pytest.raises(CorruptStore):
+            ResultStore(str(path), kind="test-records")
+
+    def test_record_line_without_key_raises(self, tmp_path):
+        store = make_store(tmp_path, a=1)
+        with open(store.path, "a") as fh:
+            fh.write('{"no_key": true}\n')
+        with pytest.raises(CorruptStore, match="key"):
+            ResultStore(store.path, kind="test-records")
+
+
+class TestSchemaGuards:
+    def test_newer_schema_raises_value_error(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        header = {"format": STORE_FORMAT, "schema_version": 999, "kind": "k"}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(StoreSchemaTooNew, match="999"):
+            ResultStore(str(path), kind="k")
+        assert isinstance(StoreSchemaTooNew("x"), ValueError)
+
+    def test_wrong_kind_raises(self, tmp_path):
+        store = make_store(tmp_path, a=1)
+        with pytest.raises(ValueError, match="test-records"):
+            ResultStore(store.path, kind="other-records")
+
+
+class TestLegacyMigration:
+    def test_legacy_blob_is_served(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        blob = {
+            "schema_version": 1,
+            "cells": {"a": {"key": "a", "value": 1}, "b": {"value": 2}},
+        }
+        path.write_text(json.dumps(blob, indent=2))
+        store = ResultStore(str(path), kind="sweep-cells")
+        assert len(store) == 2
+        assert store.get("b") == {"key": "b", "value": 2}  # key backfilled
+
+    def test_first_write_migrates_to_jsonl(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text(json.dumps({"schema_version": 1, "cells": {}}))
+        store = ResultStore(str(path), kind="sweep-cells")
+        store.put({"key": "a", "value": 1})
+        first = json.loads(open(path).readline())
+        assert first["format"] == STORE_FORMAT
+
+    def test_legacy_newer_schema_raises(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        path.write_text(json.dumps({"schema_version": 999, "cells": {}}))
+        with pytest.raises(ValueError, match="999"):
+            ResultStore(str(path), kind="sweep-cells")
+
+
+class TestColumns:
+    def test_dotted_path_column_with_cast(self, tmp_path):
+        store = make_store(tmp_path)
+        store.put({"key": "a", "stats": {"rate": {"mean": "1.5"}}})
+        store.put({"key": "b", "stats": {"rate": {"mean": "2.5"}}})
+        assert store.column("stats.rate.mean", float) == [1.5, 2.5]
+        assert store.column("key") == ["a", "b"]
+
+    def test_missing_field_raises_key_error(self, tmp_path):
+        store = make_store(tmp_path, a=1)
+        with pytest.raises(KeyError):
+            store.column("no.such.path")

@@ -134,15 +134,37 @@ class TestSweepCache:
         fresh = run_sweep(toy_scenario, grid, workers=2, cache=cache_path)
         assert fresh.cached_cells == 0
 
-        # Simulate an interrupted sweep: keep only half the cached cells.
-        doc = json.loads(cache_path.read_text())
-        kept = dict(list(sorted(doc["cells"].items()))[:3])
-        cache_path.write_text(json.dumps({**doc, "cells": kept}))
+        # Simulate an interrupted sweep: keep only half the cell lines.
+        header, *records = cache_path.read_text().splitlines(keepends=True)
+        kept = sorted(records, key=lambda line: json.loads(line)["key"])[:3]
+        cache_path.write_text(header + "".join(kept))
 
         resumed = run_sweep(toy_scenario, grid, workers=4, cache=cache_path)
         assert resumed.cached_cells == 3
         assert resumed.to_dict() == fresh.to_dict()
         assert resumed.to_json() == fresh.to_json()
+
+    def test_resume_from_pre_migration_cache(self, toy_scenario, tmp_path):
+        """A legacy v1 JSON-blob cache resumes bit-identically, then migrates."""
+        grid = {"scale": [1.0, 2.0, 3.0], "offset": [0.0, 5.0]}
+        cache_path = tmp_path / "cells.json"
+        fresh = run_sweep(toy_scenario, grid, cache=cache_path)
+
+        # Rewrite the cache in the pre-store blob format, minus one cell,
+        # exactly as an interrupted pre-migration sweep would have left it.
+        _header, *records = cache_path.read_text().splitlines()
+        cells = {rec["key"]: rec for rec in map(json.loads, records)}
+        del cells[sorted(cells)[-1]]
+        cache_path.write_text(
+            json.dumps({"schema_version": 1, "cells": cells}, indent=2)
+        )
+
+        resumed = run_sweep(toy_scenario, grid, cache=cache_path)
+        assert resumed.cached_cells == len(cells)
+        assert resumed.to_dict() == fresh.to_dict()
+        # The first write migrated the file to JSON-lines.
+        first_line = json.loads(cache_path.read_text().splitlines()[0])
+        assert first_line["format"] == "repro-result-store"
 
     def test_full_cache_runs_nothing(self, toy_scenario, tmp_path):
         grid = {"scale": [1.0, 2.0]}
@@ -168,15 +190,18 @@ class TestSweepCache:
     def test_cache_file_schema(self, toy_scenario, tmp_path):
         cache_path = tmp_path / "cells.json"
         run_sweep(toy_scenario, {"scale": [1.0]}, n_trials=2, cache=cache_path)
-        doc = json.loads(cache_path.read_text())
-        assert doc["schema_version"] == 1
-        (cell,) = doc["cells"].values()
+        lines = cache_path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["format"] == "repro-result-store"
+        assert header["schema_version"] == 1
+        assert header["kind"] == "sweep-cells"
+        (cell,) = (json.loads(line) for line in lines[1:])
         assert cell["n_trials"] == 2
         assert set(cell["summary"]["value"]) == {"mean", "min", "max", "std"}
         # Key and seed agree with the public derivations.
         key = cell_key(toy_scenario, 0, 2, {"scale": 1.0, "offset": 0.0})
-        assert key in doc["cells"]
-        assert doc["cells"][key]["seed"] == cell_seed(key)
+        assert cell["key"] == key
+        assert cell["seed"] == cell_seed(key)
 
     def test_default_trials_and_explicit_default_share_cells(
         self, toy_scenario, tmp_path

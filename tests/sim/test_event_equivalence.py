@@ -1,0 +1,185 @@
+"""Event-kernel bit-identity suite.
+
+The event-driven kernel (:mod:`repro.sim.events`) is only allowed to
+exist because it is *exactly* the slot loop with the idle slots fast-
+forwarded.  This suite pins that contract in its strongest form:
+
+* :func:`~repro.sim.events.run_event` — the ``engine="event"`` dispatch
+  target of ``WLANSimulation.run`` — produces a ``WLANStats`` whose
+  **every field, including the event log,** equals the scalar slot loop
+  :func:`~repro.sim.events.run_event_reference` bit for bit on the same
+  config and seed;
+* the event digest equals the ``engine="columnar"`` digest for the same
+  config (the two fast engines agree with each other and, transitively,
+  with the shared scalar oracle);
+* splitting a run across multiple ``run()`` calls lands on the same
+  bits as one slot-loop run (the kernel's resume path rebuilds state
+  exactly);
+* the multicell layer accepts ``engine="event"`` per cell and matches
+  its own columnar digest.
+
+The case grid is the columnar suite's (every traffic model, churn,
+mobility, wideband, p2p, every fault cocktail) plus the event-specific
+regimes: sparse Poisson loads where skipping dominates, and sounding
+periods bracketing the ack cadence.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import run_event, run_event_reference
+from repro.sim.wlan import WLANConfig, WLANSimulation
+from test_columnar_equivalence import ALL_CASES, config
+
+N_SLOTS = 40
+
+#: Event-specific regimes on top of the columnar grid: sparse arrivals
+#: (long idle gaps — the whole point of the kernel) and sounding
+#: cadences on both sides of the default.
+EVENT_CASES = {
+    "poisson_sparse": {
+        "traffic": "poisson",
+        "traffic_params": {"rate_per_client": 0.05},
+    },
+    "poisson_very_sparse": {
+        "traffic": "poisson",
+        "traffic_params": {"rate_per_client": 0.005},
+    },
+    "sparse_ack_every_slot": {
+        "ack_period": 1,
+        "traffic": "poisson",
+        "traffic_params": {"rate_per_client": 0.02},
+    },
+    "sparse_ack_rare": {
+        "ack_period": 16,
+        "traffic": "poisson",
+        "traffic_params": {"rate_per_client": 0.02},
+    },
+    "sparse_churn_mobility": {
+        "traffic": "poisson",
+        "traffic_params": {"rate_per_client": 0.05},
+        "churn_params": {"p_leave": 0.05, "p_join": 0.1},
+        "mobility_params": {"p_start": 0.2, "p_stop": 0.3, "rho_moving": 0.9},
+    },
+    "bursty_quiet": {
+        "traffic": "bursty",
+        "traffic_params": {"rate_on": 0.6, "p_on": 0.02, "p_off": 0.5},
+    },
+}
+
+EVENT_ALL_CASES = {**ALL_CASES, **EVENT_CASES}
+
+#: Long-trajectory subset: cases whose interesting dynamics (churn
+#: evictions, fault windows, drift reports) need room to unfold.
+LONG_CASES = (
+    "sparse_churn_mobility",
+    "sparse_ack_every_slot",
+    "full_cocktail",
+    "poisson_sparse",
+)
+
+
+@pytest.mark.parametrize("name", sorted(EVENT_ALL_CASES))
+def test_event_equals_scalar_reference(name):
+    """Full-WLANStats equality: every counter, rate, and event."""
+    overrides = {**EVENT_ALL_CASES[name], "engine": "event"}
+    event = run_event(WLANSimulation(config(**overrides)), N_SLOTS)
+    reference = run_event_reference(
+        WLANSimulation(config(**overrides)), N_SLOTS
+    )
+    assert event.to_dict() == reference.to_dict()
+    assert event.events == reference.events
+    assert event.digest() == reference.digest()
+
+
+@pytest.mark.parametrize("name", sorted(EVENT_ALL_CASES))
+def test_event_digest_equals_columnar(name):
+    """The two fast engines agree bit-for-bit with each other."""
+    overrides = EVENT_ALL_CASES[name]
+    event = WLANSimulation(config(engine="event", **overrides)).run(N_SLOTS)
+    columnar = WLANSimulation(config(**overrides)).run(N_SLOTS)
+    assert event.digest() == columnar.digest()
+
+
+@pytest.mark.parametrize("name", LONG_CASES)
+def test_event_long_trajectory(name):
+    """200-slot runs: enough room for churn/fault/drift interleavings."""
+    overrides = EVENT_ALL_CASES[name]
+    event = WLANSimulation(config(engine="event", **overrides)).run(200)
+    columnar = WLANSimulation(config(**overrides)).run(200)
+    assert event.to_dict() == columnar.to_dict()
+    assert event.events == columnar.events
+
+
+def test_event_split_run_equals_single_run():
+    """run(70) + run(130) rebuilds kernel state onto the same bits."""
+    overrides = EVENT_ALL_CASES["sparse_churn_mobility"]
+    split = WLANSimulation(config(engine="event", **overrides))
+    split.run(70)
+    stats = split.run(130)
+    whole = WLANSimulation(config(**overrides)).run(200)
+    assert stats.digest() == whole.digest()
+
+
+def test_event_summary_accounts_for_every_slot():
+    """processed + skipped == n_slots, and saturation never skips."""
+    sparse = WLANSimulation(
+        config(
+            engine="event",
+            traffic="poisson",
+            traffic_params={"rate_per_client": 0.02},
+        )
+    )
+    sparse.run(200)
+    summary = sparse.last_event_summary
+    assert summary["processed_slots"] + summary["skipped_slots"] == 200
+    assert summary["skipped_slots"] > 0
+
+    saturated = WLANSimulation(config(engine="event"))
+    saturated.run(50)
+    assert saturated.last_event_summary == {
+        "processed_slots": 50,
+        "skipped_slots": 0,
+    }
+
+
+def test_multicell_cells_can_run_event_engine():
+    """Per-cell event engines match the multicell columnar digest."""
+    from repro.sim.multicell import MultiCellConfig, MultiCellSimulation
+
+    def run(engine):
+        sim = MultiCellSimulation(
+            MultiCellConfig(
+                n_cells=4,
+                clients_per_cell=4,
+                engine=engine,
+                traffic="poisson",
+                load=0.1,
+                seed=5,
+            )
+        )
+        return sim.run(30)
+
+    assert run("event").digest() == run("columnar").digest()
+
+
+@settings(deadline=None, max_examples=12)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_clients=st.integers(min_value=4, max_value=10),
+    load=st.sampled_from([0.01, 0.05, 0.2, 0.6]),
+    ack_period=st.sampled_from([1, 4, 16]),
+)
+def test_event_equivalence_property(seed, n_clients, load, ack_period):
+    """Any (seed, population, load, cadence): same digest as columnar."""
+    overrides = dict(
+        seed=seed,
+        n_clients=n_clients,
+        ack_period=ack_period,
+        traffic="poisson",
+        traffic_params={"rate_per_client": load},
+    )
+    event = WLANSimulation(config(engine="event", **overrides)).run(25)
+    columnar = WLANSimulation(config(**overrides)).run(25)
+    assert event.digest() == columnar.digest()
